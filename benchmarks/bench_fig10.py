@@ -1,0 +1,16 @@
+"""Figure 10: per-block RAM for MCUNet-320KB-ImageNet on STM32-F767ZI."""
+
+from repro.analysis.bottleneck import compare_network, deployable_on
+from repro.eval.experiments import figure10
+from repro.eval.reporting import render_experiment
+from repro.mcu.device import STM32F411RE
+
+
+def test_figure10(benchmark, emit):
+    result = benchmark(figure10)
+    cmp_ = compare_network("imagenet")
+    assert cmp_.bottleneck("tinyengine")[0] == "B2"
+    assert cmp_.bottleneck("vmcu")[0] == "B1"
+    fits = deployable_on(cmp_, STM32F411RE)
+    assert fits["vmcu"] and not fits["tinyengine"]
+    emit("figure10", render_experiment("Figure 10 — ImageNet per-block RAM", result))

@@ -1,0 +1,11 @@
+"""Figure 11: image-size headroom at equal RAM (Section 7.4)."""
+
+from repro.eval.experiments import figure11
+from repro.eval.reporting import render_experiment
+
+
+def test_figure11(benchmark, emit):
+    headers, rows, notes = benchmark(figure11)
+    ratios = [float(r[4].rstrip("x")) for r in rows]
+    assert all(r >= 1.0 for r in ratios)
+    emit("figure11", render_experiment("Figure 11 — image headroom", (headers, rows, notes)))

@@ -1,0 +1,11 @@
+"""Figure 12: channel headroom at equal RAM (Section 7.4)."""
+
+from repro.eval.experiments import figure12
+from repro.eval.reporting import render_experiment
+
+
+def test_figure12(benchmark, emit):
+    headers, rows, notes = benchmark(figure12)
+    ratios = [float(r[4].rstrip("x")) for r in rows]
+    assert all(r >= 1.0 for r in ratios)
+    emit("figure12", render_experiment("Figure 12 — channel headroom", (headers, rows, notes)))

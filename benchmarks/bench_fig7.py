@@ -1,0 +1,17 @@
+"""Figure 7: single-layer RAM usage on STM32-F411RE.
+
+Regenerates the nine pointwise-convolution bars: TinyEngine vs vMCU RAM,
+reduction percentages and the 128 KB OOM line.  The benchmarked callable is
+the full planning pass (nine Eq.-1 solves plus the TinyEngine model).
+"""
+
+from repro.eval.experiments import figure7
+from repro.eval.reporting import render_experiment
+
+
+def test_figure7(benchmark, emit):
+    headers, rows, notes = benchmark(figure7)
+    # paper shape assertions: who wins, where TinyEngine faults
+    assert all(float(r[2]) < float(r[1]) for r in rows)
+    assert [r[4] for r in rows].count("OOM") == 3
+    emit("figure7", render_experiment("Figure 7 — single-layer RAM", (headers, rows, notes)))

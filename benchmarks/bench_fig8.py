@@ -1,0 +1,12 @@
+"""Figure 8: single-layer energy and latency on STM32-F767ZI."""
+
+from repro.eval.experiments import figure8
+from repro.eval.reporting import render_experiment
+
+
+def test_figure8(benchmark, emit):
+    headers, rows, notes = benchmark(figure8)
+    assert all(float(r[2]) < float(r[1]) for r in rows)  # vMCU wins energy
+    assert all(float(r[5]) < float(r[4]) for r in rows)  # vMCU wins latency
+    emit("figure8", render_experiment(
+        "Figure 8 — single-layer energy/latency", (headers, rows, notes)))

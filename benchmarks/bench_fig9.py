@@ -1,0 +1,16 @@
+"""Figure 9: per-block RAM for MCUNet-5fps-VWW on STM32-F411RE.
+
+Benchmarks the full comparison (8 fused Eq.-2 solves + TinyEngine + HMCOS
+exact-DP schedules) and checks the bottleneck-reduction headline.
+"""
+
+from repro.analysis.bottleneck import compare_network
+from repro.eval.experiments import figure9
+from repro.eval.reporting import render_experiment
+
+
+def test_figure9(benchmark, emit):
+    result = benchmark(figure9)
+    cmp_ = compare_network("vww")
+    assert 0.50 <= cmp_.bottleneck_reduction_vs_tinyengine <= 0.75
+    emit("figure9", render_experiment("Figure 9 — VWW per-block RAM", result))

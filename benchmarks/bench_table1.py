@@ -1,0 +1,9 @@
+"""Table 1: hardware feature comparison (from the device profiles)."""
+
+from repro.eval.experiments import table1
+from repro.eval.reporting import render_experiment
+
+
+def test_table1(benchmark, emit):
+    result = benchmark(table1)
+    emit("table1", render_experiment("Table 1 — hardware classes", result))

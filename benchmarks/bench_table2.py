@@ -1,0 +1,11 @@
+"""Table 2: inverted-bottleneck configurations of both networks."""
+
+from repro.eval.experiments import table2
+from repro.eval.reporting import render_experiment
+
+
+def test_table2(benchmark, emit):
+    result = benchmark(table2)
+    headers, rows, _ = result
+    assert len(rows) == 25
+    emit("table2", render_experiment("Table 2 — block configurations", result))

@@ -1,0 +1,11 @@
+"""Table 3: fused-block latency for MCUNet-5fps-VWW vs TinyEngine."""
+
+from repro.eval.experiments import table3
+from repro.eval.reporting import render_experiment
+
+
+def test_table3(benchmark, emit):
+    headers, rows, notes = benchmark(table3)
+    ratios = [float(r[4].rstrip("x")) for r in rows]
+    assert all(0.5 <= r <= 1.2 for r in ratios)
+    emit("table3", render_experiment("Table 3 — VWW block latency", (headers, rows, notes)))

@@ -1,0 +1,33 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one paper table/figure: it times the underlying
+computation with pytest-benchmark and writes the rendered table to
+``results/<name>.txt`` (and stdout) so the numbers are inspectable after a
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Write one experiment's rendered table to disk and stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text)
+        print()
+        print(text)
+
+    return _emit

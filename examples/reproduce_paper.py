@@ -1,0 +1,28 @@
+"""Regenerate the paper's full evaluation section in one run.
+
+Executes every experiment driver (Tables 1-3, Figures 7-12) against the
+simulator and prints the rendered tables — the same content the benchmark
+harness writes to ``results/``.  Useful as a one-command sanity check of the
+whole reproduction.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+import time
+
+from repro.eval import ALL_EXPERIMENTS, render_experiment
+
+
+def main() -> None:
+    total = 0.0
+    for name, driver in ALL_EXPERIMENTS.items():
+        start = time.perf_counter()
+        result = driver()
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        print(render_experiment(f"{name}  ({elapsed * 1e3:.0f} ms)", result))
+    print(f"regenerated {len(ALL_EXPERIMENTS)} experiments in {total:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

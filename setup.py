@@ -1,0 +1,6 @@
+"""Setup shim: lets `pip install -e .` work on this offline toolchain
+(setuptools 65 without the `wheel` package cannot build PEP-660 editable
+wheels, so pip falls back to the legacy `setup.py develop` path)."""
+from setuptools import setup
+
+setup()

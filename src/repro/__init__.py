@@ -1,0 +1,44 @@
+"""vMCU reproduction: coordinated memory management and kernel optimization
+for DNN inference on MCUs (MLSys 2024).
+
+Public API highlights:
+
+* :class:`repro.core.CircularSegmentPool` — the virtualized MCU memory.
+* :class:`repro.core.SingleLayerPlanner` / solvers — Equation 1.
+* :class:`repro.core.InvertedBottleneckPlanner` — Equation 2 fused blocks.
+* :mod:`repro.kernels` — segment-aware kernels with simulated execution.
+* :mod:`repro.runtime` — whole-network chained execution in one pool.
+* :mod:`repro.baselines` — TinyEngine / HMCOS / Serenity memory managers.
+* :mod:`repro.eval` — drivers that regenerate every figure and table.
+"""
+
+from repro import (
+    analysis,
+    baselines,
+    core,
+    eval,
+    graph,
+    ir,
+    kernels,
+    mcu,
+    quant,
+    runtime,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "core",
+    "eval",
+    "graph",
+    "ir",
+    "kernels",
+    "mcu",
+    "quant",
+    "runtime",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Whole-network analyses built on the planners and baselines.
+
+* :mod:`repro.analysis.bottleneck` — per-block RAM sweeps over a network and
+  the memory-bottleneck comparison of Figures 9/10.
+* :mod:`repro.analysis.nas` — the Figure 11/12 headroom search: how much a
+  block's image size or channel width can grow under vMCU before it uses as
+  much RAM as TinyEngine needs for the original block.
+"""
+
+from repro.analysis.bottleneck import (
+    BlockRow,
+    NetworkComparison,
+    compare_network,
+    deployable_on,
+)
+from repro.analysis.nas import (
+    HeadroomResult,
+    channel_headroom,
+    image_headroom,
+    scale_channels,
+    scale_image,
+)
+
+__all__ = [
+    "BlockRow",
+    "NetworkComparison",
+    "compare_network",
+    "deployable_on",
+    "HeadroomResult",
+    "channel_headroom",
+    "image_headroom",
+    "scale_channels",
+    "scale_image",
+]

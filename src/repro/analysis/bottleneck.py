@@ -1,0 +1,120 @@
+"""Per-block RAM comparison across memory managers (Figures 9/10).
+
+For every inverted bottleneck of a network this module computes the RAM
+footprint under TinyEngine (tensor-level, in-place depthwise), HMCOS
+(scheduling only) and vMCU (fused segment-level), identifies each manager's
+memory bottleneck block, and answers the deployability question the paper
+ends with: does the whole network fit a given device under each manager?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.hmcos import HMCOSScheduler
+from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.core.multilayer import BottleneckSpec, InvertedBottleneckPlanner
+from repro.graph.models import table2_specs
+from repro.mcu.device import DeviceProfile
+
+__all__ = ["BlockRow", "NetworkComparison", "compare_network", "deployable_on"]
+
+
+@dataclass(frozen=True)
+class BlockRow:
+    """RAM footprints (bytes) of one block under the three managers."""
+
+    name: str
+    tinyengine: int
+    hmcos: int
+    vmcu: int
+
+    @property
+    def vmcu_vs_tinyengine(self) -> float:
+        """Fractional reduction of vMCU vs TinyEngine (0.615 = -61.5%)."""
+        return 1.0 - self.vmcu / self.tinyengine
+
+    @property
+    def vmcu_vs_hmcos(self) -> float:
+        return 1.0 - self.vmcu / self.hmcos
+
+
+@dataclass(frozen=True)
+class NetworkComparison:
+    """All blocks of one network plus per-manager bottlenecks."""
+
+    network: str
+    rows: tuple[BlockRow, ...]
+
+    def bottleneck(self, manager: str) -> tuple[str, int]:
+        """(block name, bytes) of the peak block under ``manager``."""
+        key = manager.lower()
+        getter = {
+            "tinyengine": lambda r: r.tinyengine,
+            "hmcos": lambda r: r.hmcos,
+            "vmcu": lambda r: r.vmcu,
+        }[key]
+        row = max(self.rows, key=getter)
+        return row.name, getter(row)
+
+    @property
+    def bottleneck_reduction_vs_tinyengine(self) -> float:
+        """The headline number: 61.5% for VWW, 58.6% for ImageNet."""
+        _, te = self.bottleneck("tinyengine")
+        _, vm = self.bottleneck("vmcu")
+        return 1.0 - vm / te
+
+    @property
+    def bottleneck_reduction_vs_hmcos(self) -> float:
+        _, hm = self.bottleneck("hmcos")
+        _, vm = self.bottleneck("vmcu")
+        return 1.0 - vm / hm
+
+
+def vmcu_block_ram(
+    spec: BottleneckSpec,
+    planner: InvertedBottleneckPlanner | None = None,
+    *,
+    runtime_overhead: int = TinyEnginePlanner.runtime_overhead_bytes,
+) -> int:
+    """vMCU footprint of one block including the shared runtime overhead."""
+    planner = planner or InvertedBottleneckPlanner()
+    return planner.plan(spec).footprint_bytes + runtime_overhead
+
+
+def compare_network(
+    network: str,
+    *,
+    halo_mode: str = "cache_rows",
+) -> NetworkComparison:
+    """Build the Figure 9 / Figure 10 table for one network."""
+    te = TinyEnginePlanner()
+    hm = HMCOSScheduler()
+    vm = InvertedBottleneckPlanner(halo_mode=halo_mode)
+    rows = []
+    for spec in table2_specs(network):
+        rows.append(
+            BlockRow(
+                name=spec.name,
+                tinyengine=te.block_ram(spec),
+                hmcos=hm.block_ram(spec),
+                vmcu=vmcu_block_ram(spec, vm),
+            )
+        )
+    return NetworkComparison(network=network, rows=tuple(rows))
+
+
+def deployable_on(
+    comparison: NetworkComparison, device: DeviceProfile
+) -> dict[str, bool]:
+    """Whether the whole network fits the device under each manager.
+
+    The network fits iff its bottleneck block fits: this is the paper's
+    final argument (MCUNet-320KB-ImageNet deploys to the 128 KB part only
+    under vMCU).
+    """
+    out = {}
+    for manager in ("tinyengine", "hmcos", "vmcu"):
+        _, peak = comparison.bottleneck(manager)
+        out[manager] = peak <= device.sram_bytes
+    return out

@@ -1,0 +1,133 @@
+"""NAS headroom search (Figures 11/12, Section 7.4).
+
+vMCU frees RAM without retraining, which relaxes the memory constraint a
+NAS would face: under the *same* RAM budget TinyEngine needs for the
+original block, vMCU can afford a larger block.  Figure 11 grows the image
+size (both H and W), Figure 12 the channel widths (both input and output,
+with the expanded middle scaled proportionally).
+
+The search is a straightforward monotone sweep: scale the block up integer
+step by integer step while the vMCU footprint stays within the TinyEngine
+budget, then report the largest feasible ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bottleneck import vmcu_block_ram
+from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.core.multilayer import BottleneckSpec, InvertedBottleneckPlanner
+from repro.errors import PlanError
+
+__all__ = [
+    "HeadroomResult",
+    "scale_image",
+    "scale_channels",
+    "image_headroom",
+    "channel_headroom",
+]
+
+
+@dataclass(frozen=True)
+class HeadroomResult:
+    """Largest scaled block that fits the TinyEngine budget under vMCU."""
+
+    block: str
+    axis: str  # "image" or "channel"
+    budget_bytes: int
+    base_value: int
+    best_value: int
+    vmcu_bytes_at_best: int
+
+    @property
+    def ratio(self) -> float:
+        return self.best_value / self.base_value
+
+
+def scale_image(spec: BottleneckSpec, hw: int) -> BottleneckSpec:
+    """The same block at a different input image size."""
+    return BottleneckSpec(
+        name=spec.name, hw=hw, c_in=spec.c_in, c_mid=spec.c_mid,
+        c_out=spec.c_out, kernel=spec.kernel, strides=spec.strides,
+    )
+
+
+def scale_channels(spec: BottleneckSpec, factor: float) -> BottleneckSpec:
+    """Scale input/output/middle channels by ``factor`` (rounded, >= 1)."""
+    def s(c: int) -> int:
+        return max(int(round(c * factor)), 1)
+
+    return BottleneckSpec(
+        name=spec.name, hw=spec.hw, c_in=s(spec.c_in), c_mid=s(spec.c_mid),
+        c_out=s(spec.c_out), kernel=spec.kernel, strides=spec.strides,
+    )
+
+
+def image_headroom(
+    spec: BottleneckSpec,
+    *,
+    planner: InvertedBottleneckPlanner | None = None,
+    max_ratio: float = 4.0,
+) -> HeadroomResult:
+    """Largest H/W (as a ratio of the original) vMCU affords in the
+    TinyEngine budget for the original block."""
+    te_budget = TinyEnginePlanner().block_ram(spec)
+    planner = planner or InvertedBottleneckPlanner()
+    best = spec.hw
+    best_bytes = vmcu_block_ram(spec, planner)
+    if best_bytes > te_budget:
+        raise PlanError(
+            f"block {spec.name}: vMCU at base size already exceeds the "
+            "TinyEngine budget — calibration constants are inconsistent"
+        )
+    for hw in range(spec.hw + 1, int(spec.hw * max_ratio) + 1):
+        candidate = scale_image(spec, hw)
+        if not candidate.fusable():
+            continue
+        b = vmcu_block_ram(candidate, planner)
+        if b <= te_budget:
+            best, best_bytes = hw, b
+        else:
+            break
+    return HeadroomResult(
+        block=spec.name, axis="image", budget_bytes=te_budget,
+        base_value=spec.hw, best_value=best, vmcu_bytes_at_best=best_bytes,
+    )
+
+
+def channel_headroom(
+    spec: BottleneckSpec,
+    *,
+    planner: InvertedBottleneckPlanner | None = None,
+    max_ratio: float = 6.0,
+) -> HeadroomResult:
+    """Largest channel multiple vMCU affords in the TinyEngine budget.
+
+    Channels grow in steps of the original ``c_in`` granularity's unit
+    (1/8 of c_in, at least 1) so segment sizes stay aligned.
+    """
+    te_budget = TinyEnginePlanner().block_ram(spec)
+    planner = planner or InvertedBottleneckPlanner()
+    base = spec.c_in
+    step = max(base // 8, 1)
+    best_c = base
+    best_bytes = vmcu_block_ram(spec, planner)
+    if best_bytes > te_budget:
+        raise PlanError(
+            f"block {spec.name}: vMCU at base width already exceeds the "
+            "TinyEngine budget — calibration constants are inconsistent"
+        )
+    c = base + step
+    while c <= int(base * max_ratio):
+        candidate = scale_channels(spec, c / base)
+        b = vmcu_block_ram(candidate, planner)
+        if b <= te_budget:
+            best_c, best_bytes = c, b
+        else:
+            break
+        c += step
+    return HeadroomResult(
+        block=spec.name, axis="channel", budget_bytes=te_budget,
+        base_value=base, best_value=best_c, vmcu_bytes_at_best=best_bytes,
+    )

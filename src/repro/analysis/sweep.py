@@ -1,0 +1,76 @@
+"""Parameter sweeps generalizing Figure 7 (an extension experiment).
+
+The paper evaluates nine hand-picked pointwise layers.  The model behind
+the reduction is simple — vMCU eliminates ``min(in, out)`` of the activation
+bytes minus the solved distance — so the reduction should follow the
+channel ratio ``K/C`` and saturate toward 50% as activations dominate fixed
+overheads.  These sweeps map the full surface, which the ablation bench
+plots as a table and the tests check for the predicted structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.kernels.pointwise import PointwiseConvKernel
+
+__all__ = ["SweepPoint", "channel_ratio_sweep", "image_size_sweep",
+           "predicted_reduction"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: workload plus both managers' footprints."""
+
+    hw: int
+    c: int
+    k: int
+    tinyengine_bytes: int
+    vmcu_bytes: int
+
+    @property
+    def reduction(self) -> float:
+        return 1.0 - self.vmcu_bytes / self.tinyengine_bytes
+
+
+def predicted_reduction(hw: int, c: int, k: int) -> float:
+    """First-order model: vMCU saves ~min(C, K)/(C + K) of the activations.
+
+    Ignores the distance slack and fixed overheads, so it upper-bounds the
+    measured reduction and converges to it as activations grow.
+    """
+    return min(c, k) / (c + k)
+
+
+def _measure(hw: int, c: int, k: int) -> SweepPoint:
+    te = TinyEnginePlanner()
+    te_bytes = te.pointwise_ram(hw, hw, c, k)
+    vm_bytes = (
+        PointwiseConvKernel(hw, hw, c, k).plan().footprint_bytes
+        + te.runtime_overhead_bytes
+    )
+    return SweepPoint(
+        hw=hw, c=c, k=k, tinyengine_bytes=te_bytes, vmcu_bytes=vm_bytes
+    )
+
+
+def channel_ratio_sweep(
+    *, hw: int = 40, c: int = 32, ratios: tuple[int, ...] = (1, 2, 4, 8)
+) -> list[SweepPoint]:
+    """Fix the input, sweep ``K = C * r`` and ``K = C / r``.
+
+    Returns points ordered by ``K`` ascending.  The reduction peaks at
+    ``K == C`` (~50%) and falls off symmetrically toward ``1/(1+r)``.
+    """
+    ks = sorted(
+        {max(c // r, 1) for r in ratios} | {c * r for r in ratios}
+    )
+    return [_measure(hw, c, k) for k in ks]
+
+
+def image_size_sweep(
+    *, c: int = 16, k: int = 16, sizes: tuple[int, ...] = (6, 12, 24, 48, 80)
+) -> list[SweepPoint]:
+    """Fix the channels, sweep the image: overheads wash out as HW grows."""
+    return [_measure(hw, c, k) for hw in sizes]

@@ -1,0 +1,28 @@
+"""Baseline memory managers the paper compares against.
+
+* :mod:`repro.baselines.tinyengine` — TinyEngine's tensor-level policy:
+  memory pool with full-tensor overlap only where legal (in-place depthwise
+  and elementwise), im2col preprocessing never bypassed, fixed unroll depth.
+* :mod:`repro.baselines.scheduling` — exact dynamic-programming search for
+  the peak-memory-optimal execution order of a DAG (the Serenity approach).
+* :mod:`repro.baselines.serenity` — global DP scheduler.
+* :mod:`repro.baselines.hmcos` — hierarchical memory-constrained operator
+  scheduling: finds the bottleneck sub-graph, optimizes it locally.
+
+All report per-layer/per-block RAM footprints comparable with the vMCU
+planner's, which is exactly how Figures 7, 9 and 10 are regenerated.
+"""
+
+from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.baselines.scheduling import ScheduleResult, optimal_schedule, schedule_peak
+from repro.baselines.serenity import SerenityScheduler
+from repro.baselines.hmcos import HMCOSScheduler
+
+__all__ = [
+    "TinyEnginePlanner",
+    "ScheduleResult",
+    "optimal_schedule",
+    "schedule_peak",
+    "SerenityScheduler",
+    "HMCOSScheduler",
+]

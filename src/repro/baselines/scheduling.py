@@ -1,0 +1,146 @@
+"""Exact peak-memory-optimal scheduling of a DAG.
+
+Both Serenity and HMCOS search execution orders that minimize the peak sum
+of live tensors (no partial overlap, optionally no in-place either — the
+paper evaluates HMCOS without in-place support).  This module implements the
+search once, as a dynamic program over *frontiers*:
+
+    state  = frozenset of executed ops
+    value  = minimal peak memory over all orders reaching that state
+
+A tensor is live from the step that produces it until its last consumer has
+executed; graph inputs are live from step 0.  Transition cost charges the
+producing step with producer-input + output simultaneously resident (the
+working set of the executing kernel).
+
+The DP is exponential in the width of the DAG, which is fine for DNN graphs
+on MCUs (the paper's networks are linear chains with small residual
+diamonds; width <= 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["ScheduleResult", "optimal_schedule", "schedule_peak"]
+
+_MAX_STATES = 2_000_000
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of a scheduling search."""
+
+    order: tuple[str, ...]
+    peak_bytes: int
+    step_bytes: tuple[int, ...]
+
+    @property
+    def bottleneck_op(self) -> str:
+        idx = max(range(len(self.step_bytes)), key=self.step_bytes.__getitem__)
+        return self.order[idx]
+
+
+def _live_bytes(graph: Graph, executed: frozenset[str]) -> int:
+    """Sum of tensors that are live after ``executed`` ops have run."""
+    total = 0
+    for name, tensor in graph.tensors.items():
+        produced = tensor.producer is None or tensor.producer in executed
+        if not produced:
+            continue
+        consumers = graph.consumers(name)
+        is_output = name in graph.outputs
+        pending = [c for c in consumers if c not in executed]
+        if pending or is_output or not consumers:
+            total += tensor.nbytes
+    return total
+
+
+def schedule_peak(graph: Graph, order: list[str]) -> ScheduleResult:
+    """Peak memory of one specific execution order.
+
+    Each step's footprint is the live set *after* the op runs plus the live
+    set unique to running it (its inputs are certainly resident during the
+    step even if this is their last use).
+    """
+    if sorted(order) != sorted(graph.ops):
+        raise GraphError("order must be a permutation of the graph's ops")
+    executed: set[str] = set()
+    steps: list[int] = []
+    for op_name in order:
+        preds_ok = all(
+            graph.tensors[t].producer is None
+            or graph.tensors[t].producer in executed
+            for t in graph.op_inputs[op_name]
+        )
+        if not preds_ok:
+            raise GraphError(f"order violates dependencies at {op_name!r}")
+        before = frozenset(executed)
+        after = frozenset(executed | {op_name})
+        # working set while the op runs: everything live before, plus the
+        # output being produced
+        out_t = graph.tensors[graph.op_output[op_name]]
+        working = _live_bytes(graph, before) + out_t.nbytes
+        steps.append(max(working, _live_bytes(graph, after)))
+        executed.add(op_name)
+    return ScheduleResult(
+        order=tuple(order), peak_bytes=max(steps), step_bytes=tuple(steps)
+    )
+
+
+def optimal_schedule(graph: Graph) -> ScheduleResult:
+    """Exact DP over frontiers for the minimal-peak order (Serenity-style)."""
+    all_ops = frozenset(graph.ops)
+    graph.validate()
+
+    @lru_cache(maxsize=None)
+    def ready(executed: frozenset[str]) -> tuple[str, ...]:
+        out = []
+        for op_name in graph.ops:
+            if op_name in executed:
+                continue
+            if all(p in executed for p in graph.predecessors(op_name)):
+                out.append(op_name)
+        return tuple(out)
+
+    # best[state] = (peak, order-so-far); explored best-first by peak
+    best: dict[frozenset[str], int] = {frozenset(): 0}
+    parent: dict[frozenset[str], tuple[frozenset[str], str]] = {}
+    import heapq
+
+    heap: list[tuple[int, int, frozenset[str]]] = [(0, 0, frozenset())]
+    tie = 0
+    visited: set[frozenset[str]] = set()
+    while heap:
+        peak, _, state = heapq.heappop(heap)
+        if state in visited:
+            continue
+        visited.add(state)
+        if len(visited) > _MAX_STATES:
+            raise GraphError("schedule DP exceeded the state budget")
+        if state == all_ops:
+            # reconstruct order
+            order: list[str] = []
+            cur = state
+            while cur:
+                prev, op_name = parent[cur]
+                order.append(op_name)
+                cur = prev
+            order.reverse()
+            return schedule_peak(graph, order)
+        base_live = _live_bytes(graph, state)
+        for op_name in ready(state):
+            out_t = graph.tensors[graph.op_output[op_name]]
+            working = base_live + out_t.nbytes
+            nxt = frozenset(state | {op_name})
+            new_peak = max(peak, working, _live_bytes(graph, nxt))
+            if nxt not in best or new_peak < best[nxt]:
+                best[nxt] = new_peak
+                parent[nxt] = (state, op_name)
+                tie += 1
+                heapq.heappush(heap, (new_peak, tie, nxt))
+    raise GraphError("no complete schedule found (disconnected graph?)")

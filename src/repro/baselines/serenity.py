@@ -1,0 +1,40 @@
+"""Serenity-style global scheduler (Ahn et al., MLSys 2020).
+
+Serenity finds the memory-optimal execution order of an irregularly wired
+graph with dynamic programming over graph states.  Our implementation
+delegates to the exact frontier DP in :mod:`repro.baselines.scheduling`
+and adds the per-block / per-network reporting interface shared by all
+baselines.
+
+Like HMCOS, Serenity performs **no** in-place update and **no** partial
+overlap — on linear-chain networks its schedule is forced and the peak
+equals the largest producer+consumer pair, which is exactly the paper's
+point about scheduling-only approaches (Section 8.4).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.scheduling import ScheduleResult, optimal_schedule
+from repro.baselines.tinyengine import RUNTIME_OVERHEAD_BYTES
+from repro.core.multilayer import BottleneckSpec
+from repro.graph.graph import Graph
+from repro.graph.models import build_bottleneck_graph
+
+__all__ = ["SerenityScheduler"]
+
+
+class SerenityScheduler:
+    """Exact-DP scheduling baseline (no in-place, no partial overlap)."""
+
+    name = "Serenity"
+    runtime_overhead_bytes = RUNTIME_OVERHEAD_BYTES
+
+    def schedule(self, graph: Graph) -> ScheduleResult:
+        return optimal_schedule(graph)
+
+    def graph_ram(self, graph: Graph) -> int:
+        return self.schedule(graph).peak_bytes + self.runtime_overhead_bytes
+
+    def block_ram(self, spec: BottleneckSpec) -> int:
+        """Peak RAM of one inverted bottleneck under optimal ordering."""
+        return self.graph_ram(build_bottleneck_graph(spec))

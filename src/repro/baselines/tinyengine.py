@@ -1,0 +1,205 @@
+"""TinyEngine-style tensor-level memory management and kernel cost model.
+
+The paper characterizes TinyEngine's policy precisely (Sections 2.3 / 7.2):
+
+* tensors live in a memory pool; input and output of one kernel overlap
+  **fully or not at all** — full overlap is legal only for depthwise
+  convolution and elementwise ops;
+* pointwise convolutions run through im2col even though the transform is the
+  identity there ("TinyEngine doesn't bypass the pre-processing step"),
+  costing one extra read+write round trip of the input per kernel;
+* inner loops unroll to a fixed depth (16), leaving loop bookkeeping and
+  pipeline stalls in the MAC stream.
+
+This module implements that policy as both a RAM model (Figures 7/9/10) and
+a latency/energy model (Figure 8, Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multilayer import BottleneckSpec
+from repro.kernels.base import (
+    KernelCostModel,
+    TINYENGINE_COMPUTE_EFFICIENCY,
+    TINYENGINE_UNROLL_DEPTH,
+)
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport
+
+__all__ = ["TinyEnginePlanner", "LayerFootprint"]
+
+#: Fixed RAM the engine itself needs (runtime structs, stack): the same
+#: documented constant for every engine so comparisons are apples-to-apples.
+RUNTIME_OVERHEAD_BYTES = 2048
+
+#: im2col staging buffer: TinyEngine materializes two output pixels' worth
+#: of patch data at a time.
+IM2COL_PIXELS = 2
+
+
+@dataclass(frozen=True)
+class LayerFootprint:
+    """RAM footprint of one layer/step under a baseline policy."""
+
+    name: str
+    tensor_bytes: int
+    scratch_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.tensor_bytes + self.scratch_bytes + RUNTIME_OVERHEAD_BYTES
+
+
+class TinyEnginePlanner:
+    """Tensor-level planner + cost model mirroring TinyEngine's policy."""
+
+    name = "TinyEngine"
+    runtime_overhead_bytes = RUNTIME_OVERHEAD_BYTES
+
+    # ------------------------------------------------------------------ #
+    # RAM model — single layers (Figure 7)
+    # ------------------------------------------------------------------ #
+    def pointwise_ram(self, h: int, w: int, c: int, k: int, *, stride: int = 1) -> int:
+        """Input + output disjoint (no inplace for pointwise) + im2col buffer."""
+        p = (h - 1) // stride + 1
+        q = (w - 1) // stride + 1
+        in_bytes = h * w * c
+        out_bytes = p * q * k
+        im2col = IM2COL_PIXELS * c
+        return in_bytes + out_bytes + im2col + RUNTIME_OVERHEAD_BYTES
+
+    def conv2d_ram(
+        self, h: int, w: int, c: int, k: int, *, kernel: int,
+        stride: int = 1, padding: int = 0,
+    ) -> int:
+        p = (h + 2 * padding - kernel) // stride + 1
+        q = (w + 2 * padding - kernel) // stride + 1
+        im2col = IM2COL_PIXELS * kernel * kernel * c
+        return h * w * c + p * q * k + im2col + RUNTIME_OVERHEAD_BYTES
+
+    def depthwise_ram(
+        self, h: int, w: int, c: int, *, kernel: int,
+        stride: int = 1, padding: int = 0,
+    ) -> int:
+        """Full overlap is legal: in-place update with a small line buffer."""
+        p = (h + 2 * padding - kernel) // stride + 1
+        q = (w + 2 * padding - kernel) // stride + 1
+        line_buffer = kernel * w  # one channel's sliding rows
+        return max(h * w * c, p * q * c) + line_buffer + RUNTIME_OVERHEAD_BYTES
+
+    def fully_connected_ram(self, m: int, k: int, n: int) -> int:
+        return m * k + m * n + RUNTIME_OVERHEAD_BYTES
+
+    # ------------------------------------------------------------------ #
+    # RAM model — inverted bottleneck blocks (Figures 9/10)
+    # ------------------------------------------------------------------ #
+    def block_steps(self, spec: BottleneckSpec) -> list[LayerFootprint]:
+        """Per-step live-set footprints for one block.
+
+        TinyEngine executes the block layer by layer; the block input A must
+        stay resident through the whole block when there is a residual add.
+        The depthwise runs in place (B and C share storage); the add runs in
+        place into its first operand.
+        """
+        a = spec.in_bytes
+        b = spec.mid_bytes
+        m2 = (spec.mid_spatial() + 2 * spec.padding - spec.kernel) // spec.strides[1] + 1
+        c = m2 * m2 * spec.c_mid
+        d = spec.out_bytes
+        keep_a = a if spec.has_residual else 0
+        im2col_pw1 = IM2COL_PIXELS * spec.c_in
+        im2col_pw2 = IM2COL_PIXELS * spec.c_mid
+        line_buffer = spec.kernel * spec.mid_spatial()
+        steps = [
+            LayerFootprint("expand", a + b, im2col_pw1),
+            LayerFootprint("depthwise", keep_a + max(b, c), line_buffer),
+            LayerFootprint("project", keep_a + c + d, im2col_pw2),
+        ]
+        if spec.has_residual:
+            steps.append(LayerFootprint("add", a + d, 0))
+        return steps
+
+    def block_ram(self, spec: BottleneckSpec) -> int:
+        """Peak RAM of the block: the Figure 9/10 bar for TinyEngine."""
+        return max(step.total_bytes for step in self.block_steps(spec))
+
+    def block_bottleneck_step(self, spec: BottleneckSpec) -> LayerFootprint:
+        return max(self.block_steps(spec), key=lambda s: s.total_bytes)
+
+    # ------------------------------------------------------------------ #
+    # latency/energy model (Figure 8, Table 3)
+    # ------------------------------------------------------------------ #
+    def pointwise_cost(
+        self, h: int, w: int, c: int, k: int,
+        *, stride: int = 1, device: DeviceProfile = STM32F411RE,
+    ) -> CostReport:
+        p = (h - 1) // stride + 1
+        q = (w - 1) // stride + 1
+        px = p * q
+        macs = px * c * k
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=px * c,
+            sram_store_bytes=px * k,
+            flash_bytes=macs,
+            requant_elements=px * k,
+            segment_ops=0,  # tensor-level: linear addressing, no wrapping
+            efficiency=TINYENGINE_COMPUTE_EFFICIENCY,
+            unroll_depth=TINYENGINE_UNROLL_DEPTH,
+            extra_copy_bytes=h * w * c,  # im2col round trip, never bypassed
+        )
+
+    def depthwise_cost(
+        self, h: int, w: int, c: int, *, kernel: int, stride: int = 1,
+        padding: int = 0, device: DeviceProfile = STM32F411RE,
+    ) -> CostReport:
+        p = (h + 2 * padding - kernel) // stride + 1
+        q = (w + 2 * padding - kernel) // stride + 1
+        px = p * q
+        taps = kernel * kernel
+        macs = px * taps * c
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=px * taps * c,
+            sram_store_bytes=px * c,
+            flash_bytes=macs,
+            requant_elements=px * c,
+            segment_ops=0,
+            efficiency=TINYENGINE_COMPUTE_EFFICIENCY,
+            unroll_depth=TINYENGINE_UNROLL_DEPTH,
+        )
+
+    def block_cost(
+        self, spec: BottleneckSpec, *, device: DeviceProfile = STM32F411RE
+    ) -> CostReport:
+        """Unfused block: three kernels plus residual add, all through RAM."""
+        s1, s2, s3 = spec.strides
+        hb = spec.mid_spatial()
+        reports = [
+            self.pointwise_cost(
+                spec.hw, spec.hw, spec.c_in, spec.c_mid, stride=s1, device=device
+            ),
+            self.depthwise_cost(
+                hb, hb, spec.c_mid, kernel=spec.kernel, stride=s2,
+                padding=spec.padding, device=device,
+            ),
+        ]
+        hc = (hb + 2 * spec.padding - spec.kernel) // s2 + 1
+        reports.append(
+            self.pointwise_cost(
+                hc, hc, spec.c_mid, spec.c_out, stride=s3, device=device
+            )
+        )
+        if spec.has_residual:
+            px = spec.spatial_out() ** 2
+            add = KernelCostModel(device).report(
+                macs=0,
+                sram_load_bytes=2 * px * spec.c_out,
+                sram_store_bytes=px * spec.c_out,
+                flash_bytes=0,
+                requant_elements=0,
+            )
+            reports.append(add)
+        return CostReport.combine(reports)

@@ -1,0 +1,56 @@
+"""vMCU core: segment-level memory management.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.affine` — iteration domains, affine access functions and
+  row-major mapping vectors (the Section 4 formalism).
+* :mod:`repro.core.solver` — solvers for the base-pointer distance
+  ``d = b_in - b_out`` of Equation 1 (exact brute force, analytic vertex
+  solver, closed forms, LP cross-check).
+* :mod:`repro.core.pool` — the circular segment pool with modulo addressing,
+  owner tracking and read-after-clobber detection.
+* :mod:`repro.core.planner` — single-layer memory plans.
+* :mod:`repro.core.multilayer` — Equation 2 chained constraints and the
+  fused inverted-bottleneck plan.
+* :mod:`repro.core.segment_size` — the Section 5.3 segment-size policy.
+"""
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.core.pool import CircularSegmentPool, PoolStats, SlotState
+from repro.core.solver import (
+    SolveResult,
+    solve_min_distance,
+    solve_min_distance_vertex,
+    gemm_distance,
+    gemm_footprint_segments,
+    required_span,
+)
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.core.multilayer import FusedBlockPlan, InvertedBottleneckPlanner
+from repro.core.segment_size import select_segment_size
+
+__all__ = [
+    "AccessFunction",
+    "IterationDomain",
+    "RowMajorLayout",
+    "TensorAccess",
+    "CircularSegmentPool",
+    "PoolStats",
+    "SlotState",
+    "SolveResult",
+    "solve_min_distance",
+    "solve_min_distance_vertex",
+    "gemm_distance",
+    "gemm_footprint_segments",
+    "required_span",
+    "LayerPlan",
+    "SingleLayerPlanner",
+    "FusedBlockPlan",
+    "InvertedBottleneckPlanner",
+    "select_segment_size",
+]

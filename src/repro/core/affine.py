@@ -1,0 +1,243 @@
+"""Affine formalism of Section 4.
+
+The paper models a kernel as an *iteration domain* of instances ``S[i]``
+(a box of loop indices traversed in lexicographic order), *access functions*
+``S[i] -> T[u] : u = A i + V`` mapping instances to tensor indices, and
+*mapping vectors* ``L`` (row-major strides in segment units) mapping tensor
+indices to linear pool addresses:
+
+    addr(i) = L . (A i + V) + b_offset
+
+Everything here works in **segment units**: one address step is one segment
+slot of the circular pool.  Element-level layouts live in the kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import PlanError
+
+__all__ = [
+    "IterationDomain",
+    "AccessFunction",
+    "RowMajorLayout",
+    "TensorAccess",
+]
+
+
+@dataclass(frozen=True)
+class IterationDomain:
+    """A box iteration domain traversed in lexicographic (row-major) order.
+
+    The paper's general form is ``{S[i] : H i + B < 0}``; every kernel in the
+    paper (and here) uses rectangular loop nests, for which ``H`` is the
+    stacked +/- identity and the box ``0 <= i_k < extents[k]`` is the natural
+    representation.
+
+    Attributes
+    ----------
+    extents:
+        Upper bounds of each loop variable (exclusive), outermost first.
+    names:
+        Optional loop-variable names for diagnostics (``m``, ``n``, ``k``...).
+    """
+
+    extents: tuple[int, ...]
+    names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.extents:
+            raise PlanError("iteration domain needs at least one loop")
+        if any(e <= 0 for e in self.extents):
+            raise PlanError(f"all extents must be positive, got {self.extents}")
+        if self.names and len(self.names) != len(self.extents):
+            raise PlanError(
+                f"{len(self.names)} names for {len(self.extents)} loops"
+            )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.extents)
+
+    @property
+    def size(self) -> int:
+        """Number of iteration instances."""
+        return int(np.prod(self.extents, dtype=np.int64))
+
+    def instances(self) -> np.ndarray:
+        """All instances as an ``(size, ndim)`` int64 array in lex order.
+
+        Lexicographic order of the loop nest is exactly row-major enumeration
+        of the box, so ``instances()[t]`` is the ``t``-th executed instance.
+        """
+        grids = np.indices(self.extents, dtype=np.int64)
+        return grids.reshape(self.ndim, -1).T
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for row in self.instances():
+            yield tuple(int(v) for v in row)
+
+    def __contains__(self, point: Sequence[int]) -> bool:
+        if len(point) != self.ndim:
+            return False
+        return all(0 <= p < e for p, e in zip(point, self.extents))
+
+    def corners(self) -> np.ndarray:
+        """The ``2**ndim`` vertices of the box (each index at 0 or extent-1).
+
+        A linear objective over the box is maximized at one of these, which
+        is what the analytic solver exploits.
+        """
+        lo_hi = [(0, e - 1) for e in self.extents]
+        mesh = np.meshgrid(*[np.array(p, dtype=np.int64) for p in lo_hi], indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+@dataclass(frozen=True)
+class AccessFunction:
+    """Affine map from iteration vectors to tensor indices: ``u = A i + V``.
+
+    ``matrix`` has shape ``(tensor_rank, domain_ndim)``; ``offset`` has
+    length ``tensor_rank``.  This is the pair (A_u, V_u) of Section 4.
+    """
+
+    matrix: tuple[tuple[int, ...], ...]
+    offset: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        rank = len(self.matrix)
+        if rank == 0:
+            raise PlanError("access function must address at least one axis")
+        width = len(self.matrix[0])
+        if any(len(row) != width for row in self.matrix):
+            raise PlanError("ragged access matrix")
+        if self.offset and len(self.offset) != rank:
+            raise PlanError(
+                f"offset rank {len(self.offset)} != matrix rank {rank}"
+            )
+
+    @property
+    def tensor_rank(self) -> int:
+        return len(self.matrix)
+
+    @property
+    def domain_ndim(self) -> int:
+        return len(self.matrix[0])
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        a = np.asarray(self.matrix, dtype=np.int64)
+        v = (
+            np.asarray(self.offset, dtype=np.int64)
+            if self.offset
+            else np.zeros(self.tensor_rank, dtype=np.int64)
+        )
+        return a, v
+
+    def apply(self, instances: np.ndarray) -> np.ndarray:
+        """Map ``(n, ndim)`` instances to ``(n, rank)`` tensor indices."""
+        a, v = self.as_arrays()
+        return instances @ a.T + v
+
+    def __call__(self, point: Sequence[int]) -> tuple[int, ...]:
+        out = self.apply(np.asarray([point], dtype=np.int64))[0]
+        return tuple(int(x) for x in out)
+
+    @staticmethod
+    def select(domain_ndim: int, axes: Sequence[int]) -> "AccessFunction":
+        """Access function that picks loop variables ``axes`` directly.
+
+        ``select(3, [0, 2])`` builds ``S[m,n,k] -> T[m,k]`` — the common case
+        for GEMM-like kernels.
+        """
+        rows = []
+        for axis in axes:
+            if not (0 <= axis < domain_ndim):
+                raise PlanError(f"axis {axis} out of range for ndim {domain_ndim}")
+            row = [0] * domain_ndim
+            row[axis] = 1
+            rows.append(tuple(row))
+        return AccessFunction(matrix=tuple(rows))
+
+
+@dataclass(frozen=True)
+class RowMajorLayout:
+    """Row-major mapping vector ``L`` for a tensor of ``shape`` segments.
+
+    ``address(u) = sum_k strides[k] * u[k]`` with
+    ``strides[k] = prod(shape[k+1:])`` — the paper's mapping vector, e.g.
+    ``[K, 1]`` for an ``[M, K]`` tensor.
+    """
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise PlanError(f"bad layout shape {self.shape}")
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        out = []
+        acc = 1
+        for extent in reversed(self.shape):
+            out.append(acc)
+            acc *= extent
+        return tuple(reversed(out))
+
+    @property
+    def n_segments(self) -> int:
+        """Total segments the tensor occupies."""
+        return int(np.prod(self.shape, dtype=np.int64))
+
+    def addresses(self, indices: np.ndarray) -> np.ndarray:
+        """Map ``(n, rank)`` tensor indices to linear addresses (no base)."""
+        strides = np.asarray(self.strides, dtype=np.int64)
+        return indices @ strides
+
+    def address(self, index: Sequence[int]) -> int:
+        return int(self.addresses(np.asarray([index], dtype=np.int64))[0])
+
+
+@dataclass(frozen=True)
+class TensorAccess:
+    """One tensor's accesses within a kernel: function + layout (+ guard).
+
+    ``guard`` filters iteration instances that do *not* touch memory (e.g.
+    convolution reads that fall into zero padding).  It receives the full
+    ``(n, ndim)`` instance array and returns a boolean mask of instances
+    that really access the tensor; ``None`` means every instance does.
+    """
+
+    tensor: str
+    access: AccessFunction
+    layout: RowMajorLayout
+    guard: Callable[[np.ndarray], np.ndarray] | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.access.tensor_rank != len(self.layout.shape):
+            raise PlanError(
+                f"access rank {self.access.tensor_rank} != layout rank "
+                f"{len(self.layout.shape)} for tensor {self.tensor!r}"
+            )
+
+    def addresses(self, instances: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-instance linear addresses plus active mask.
+
+        Returns ``(addr, mask)`` where ``addr[t]`` is meaningful only where
+        ``mask[t]`` is true.
+        """
+        indices = self.access.apply(instances)
+        addr = self.layout.addresses(indices)
+        if self.guard is None:
+            mask = np.ones(len(instances), dtype=bool)
+        else:
+            mask = np.asarray(self.guard(instances), dtype=bool)
+            if mask.shape != (len(instances),):
+                raise PlanError(
+                    f"guard for {self.tensor!r} returned shape {mask.shape}, "
+                    f"expected ({len(instances)},)"
+                )
+        return addr, mask

@@ -1,0 +1,200 @@
+"""Single-layer memory plans.
+
+A :class:`LayerPlan` is the contract between the memory-management module and
+a kernel (Figure 2): it fixes the segment size, the input/output base
+addresses in the circular pool, and the pool capacity that makes the kernel's
+segment overlapping safe.  :class:`SingleLayerPlanner` produces plans from
+the kernel's affine description by solving Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.affine import IterationDomain, TensorAccess
+from repro.core.solver import (
+    SolveResult,
+    required_span,
+    solve_min_distance,
+    solve_min_distance_vertex,
+)
+from repro.errors import PlanError
+
+__all__ = ["LayerPlan", "SingleLayerPlanner"]
+
+# Above this domain size the planner switches from exact enumeration to the
+# analytic vertex solver (exact for the monotone row-major kernels here).
+_EXACT_SOLVE_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class LayerPlan:
+    """Everything a kernel needs to run with partial input/output overlap.
+
+    Addresses are logical segment addresses (the pool wraps them).  The
+    input base is placed at ``max(d, 0)`` and the output base at
+    ``max(-d, 0)`` so both are non-negative and exactly ``d`` apart, with
+    ``d = in_base - out_base`` the Equation-1 distance.
+
+    Attributes
+    ----------
+    seg_bytes:
+        Segment size in bytes.
+    distance:
+        Minimal safe ``b_in - b_out`` in segments.
+    in_base / out_base:
+        Logical base addresses of the input/output tensors.
+    in_segments / out_segments:
+        Tensor sizes in segments.
+    span_slots:
+        Pool capacity (slots) required for safe execution.
+    workspace_bytes:
+        Extra SRAM outside the pool (register-file spill, fused-kernel
+        buffers); 0 for plain single layers.
+    solver_method:
+        Which Eq.-1 solver produced ``distance``.
+    """
+
+    seg_bytes: int
+    distance: int
+    in_base: int
+    out_base: int
+    in_segments: int
+    out_segments: int
+    span_slots: int
+    workspace_bytes: int = 0
+    solver_method: str = "exact"
+
+    @property
+    def pool_bytes(self) -> int:
+        """SRAM consumed by the circular pool itself."""
+        return self.span_slots * self.seg_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total SRAM footprint: pool plus out-of-pool workspace."""
+        return self.pool_bytes + self.workspace_bytes
+
+    @property
+    def saved_segments(self) -> int:
+        """Segments saved versus disjoint input+output allocation."""
+        return self.in_segments + self.out_segments - self.span_slots
+
+    def __post_init__(self) -> None:
+        if self.in_base - self.out_base != self.distance:
+            raise PlanError(
+                f"bases ({self.in_base}, {self.out_base}) do not realize "
+                f"distance {self.distance}"
+            )
+        if min(self.in_base, self.out_base) < 0:
+            raise PlanError("base addresses must be non-negative")
+        if self.span_slots < max(self.in_segments, self.out_segments):
+            raise PlanError(
+                f"span {self.span_slots} cannot hold the larger tensor"
+            )
+
+    def shifted(self, offset: int) -> "LayerPlan":
+        """The same plan rotated ``offset`` slots along the logical tape.
+
+        Chained execution leaves each layer's input wherever the previous
+        layer wrote its output; only the *relative* distance matters because
+        the pool wraps addresses.  The required span is unchanged.  Negative
+        offsets are fine as long as both bases stay non-negative (validated
+        on construction).
+        """
+        from dataclasses import replace
+
+        return replace(
+            self, in_base=self.in_base + offset, out_base=self.out_base + offset
+        )
+
+
+class SingleLayerPlanner:
+    """Solve Equation 1 for one kernel and package the result as a plan.
+
+    Parameters
+    ----------
+    prefer_exact:
+        Force the exact enumerative solver even for large domains (tests);
+        by default large domains use the analytic vertex solver.
+    """
+
+    def __init__(self, *, prefer_exact: bool | None = None):
+        self.prefer_exact = prefer_exact
+
+    def solve(
+        self,
+        domain: IterationDomain,
+        writes: Sequence[TensorAccess],
+        reads: Sequence[TensorAccess],
+    ) -> SolveResult:
+        """Pick a solver by domain size (or ``prefer_exact``) and run it."""
+        use_exact = (
+            self.prefer_exact
+            if self.prefer_exact is not None
+            else domain.size <= _EXACT_SOLVE_LIMIT
+        )
+        if use_exact:
+            return solve_min_distance(domain, writes, reads)
+        return solve_min_distance_vertex(domain, writes, reads)
+
+    def plan(
+        self,
+        domain: IterationDomain,
+        writes: Sequence[TensorAccess],
+        reads: Sequence[TensorAccess],
+        *,
+        in_segments: int,
+        out_segments: int,
+        seg_bytes: int,
+        workspace_bytes: int = 0,
+        extra_distance: int = 0,
+    ) -> LayerPlan:
+        """Produce a :class:`LayerPlan` for a kernel's affine description.
+
+        ``extra_distance`` adds safety slack on top of the solved minimum
+        (used by tests that probe tightness, and available to users who want
+        headroom under measurement noise).
+        """
+        if in_segments <= 0 or out_segments <= 0:
+            raise PlanError("tensor segment counts must be positive")
+        if workspace_bytes < 0 or extra_distance < 0:
+            raise PlanError("workspace and slack must be non-negative")
+        result = self.solve(domain, writes, reads)
+        d = result.distance + extra_distance
+        return LayerPlan(
+            seg_bytes=seg_bytes,
+            distance=d,
+            in_base=max(d, 0),
+            out_base=max(-d, 0),
+            in_segments=in_segments,
+            out_segments=out_segments,
+            span_slots=required_span(in_segments, out_segments, d),
+            workspace_bytes=workspace_bytes,
+            solver_method=result.method,
+        )
+
+    @staticmethod
+    def disjoint_plan(
+        *, in_segments: int, out_segments: int, seg_bytes: int,
+        workspace_bytes: int = 0,
+    ) -> LayerPlan:
+        """The tensor-level baseline plan: input and output never overlap.
+
+        Output at the pool head, input immediately after it — this is what a
+        TinyEngine-style manager allocates when full-tensor overlap is
+        infeasible, and is the comparison point for ``saved_segments``.
+        """
+        d = out_segments
+        return LayerPlan(
+            seg_bytes=seg_bytes,
+            distance=d,
+            in_base=d,
+            out_base=0,
+            in_segments=in_segments,
+            out_segments=out_segments,
+            span_slots=in_segments + out_segments,
+            workspace_bytes=workspace_bytes,
+            solver_method="disjoint",
+        )

@@ -1,0 +1,275 @@
+"""The circular segment pool (Section 4's ``Pool[MemCap/Seg]``).
+
+The pool virtualizes an SRAM region as ``n_slots`` segment slots addressed
+modulo ``n_slots``.  Kernels address segments with *unbounded* linear
+addresses (segment 0, 1, 2, ... of a logical tape); the pool wraps them.
+
+On top of raw storage the pool runs a per-slot state machine that makes the
+paper's failure mode observable:
+
+* ``store`` to a slot that is LIVE under a different owner is *allowed* —
+  that is exactly the partial-overlap mechanism — but the previous contents
+  are recorded as clobbered.
+* ``load`` declaring an owner that no longer owns the slot raises
+  :class:`SegmentRaceError` (strict mode) or returns the corrupted bytes
+  (permissive mode, used by tests that demonstrate the silent-error mode of
+  Section 2.4).
+* ``free`` by a stale owner is a no-op: the slot already belongs to the
+  output tensor and must not be released.
+
+The pool also tracks the statistics the experiments need: peak live slots,
+total traffic, and the number of modulo (wrap) operations — the Section 5.3
+latency overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.errors import (
+    OutOfMemoryError,
+    SegmentRaceError,
+    SegmentStateError,
+)
+from repro.mcu.memory import SRAM
+from repro.mcu.profiler import Profiler
+
+__all__ = ["SlotState", "PoolStats", "CircularSegmentPool"]
+
+
+class SlotState(IntEnum):
+    """Lifecycle of one pool slot."""
+
+    FREE = 0
+    LIVE = 1
+
+
+@dataclass
+class PoolStats:
+    """Counters accumulated over a pool's lifetime."""
+
+    loads: int = 0
+    stores: int = 0
+    frees: int = 0
+    wraps: int = 0
+    clobbers: int = 0
+    peak_live: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+
+class CircularSegmentPool:
+    """A circular buffer of ``n_slots`` segments of ``seg_bytes`` each.
+
+    Parameters
+    ----------
+    n_slots:
+        Capacity in segments (``MemCap / Seg`` of the paper).
+    seg_bytes:
+        Segment size in bytes (the kernel-specific ``Seg``).
+    sram:
+        Optional backing :class:`~repro.mcu.memory.SRAM`.  When given, the
+        pool occupies ``[base_addr, base_addr + n_slots*seg_bytes)`` of it
+        and all traffic is counted there; otherwise the pool allocates its
+        own private buffer (convenient for unit tests).
+    strict:
+        If true (default), reading a clobbered segment raises
+        :class:`SegmentRaceError`.  If false, the read silently returns the
+        overwritten bytes — the paper's "silent error in correctness".
+    profiler:
+        Optional :class:`~repro.mcu.profiler.Profiler` to charge memcpy
+        traffic and modulo operations to.
+    """
+
+    def __init__(
+        self,
+        n_slots: int,
+        seg_bytes: int,
+        *,
+        sram: SRAM | None = None,
+        base_addr: int = 0,
+        strict: bool = True,
+        profiler: Profiler | None = None,
+    ):
+        if n_slots <= 0:
+            raise OutOfMemoryError(requested=1, capacity=0, what="segment pool")
+        if seg_bytes <= 0:
+            raise SegmentStateError(f"segment size must be positive, got {seg_bytes}")
+        self.n_slots = int(n_slots)
+        self.seg_bytes = int(seg_bytes)
+        self.strict = strict
+        self.profiler = profiler
+        if sram is None:
+            sram = SRAM(self.n_slots * self.seg_bytes)
+            base_addr = 0
+        needed = base_addr + self.n_slots * self.seg_bytes
+        if needed > sram.capacity:
+            raise OutOfMemoryError(
+                requested=needed, capacity=sram.capacity, what="segment pool"
+            )
+        self.sram = sram
+        self.base_addr = int(base_addr)
+        self._state = np.full(self.n_slots, SlotState.FREE, dtype=np.int8)
+        self._owner: list[str | None] = [None] * self.n_slots
+        # Logical (unwrapped) address that currently occupies each slot,
+        # for diagnostics.
+        self._logical: np.ndarray = np.full(self.n_slots, -1, dtype=np.int64)
+        self._live = 0
+        self.stats = PoolStats()
+        self._is_pow2 = (self.n_slots & (self.n_slots - 1)) == 0
+
+    # ------------------------------------------------------------------ #
+    # address arithmetic
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_slots * self.seg_bytes
+
+    @property
+    def live_slots(self) -> int:
+        return self._live
+
+    def slot_of(self, addr: int) -> int:
+        """Wrap a logical segment address into a physical slot index.
+
+        Counts one modulo operation when the address actually needs
+        wrapping, matching the boundary-check-then-wrap structure of the
+        kernels (Figure 2's "Boundary Check" stage).
+        """
+        if addr < 0:
+            raise SegmentStateError(f"negative segment address {addr}")
+        if self.profiler is not None:
+            self.profiler.count_branch()
+        if addr >= self.n_slots:
+            self.stats.wraps += 1
+            if self.profiler is not None:
+                self.profiler.count_modulo(power_of_two=self._is_pow2)
+        return addr % self.n_slots
+
+    def _byte_range(self, slot: int) -> tuple[int, int]:
+        start = self.base_addr + slot * self.seg_bytes
+        return start, self.seg_bytes
+
+    # ------------------------------------------------------------------ #
+    # segment operations (the RAMLoad / RAMStore / RAMFree intrinsics)
+    # ------------------------------------------------------------------ #
+    def store(self, addr: int, data: np.ndarray, owner: str) -> None:
+        """RAMStore: write one segment at logical address ``addr``.
+
+        Overwriting a live foreign segment is the overlap mechanism, not an
+        error; the event is counted so tests can assert when it happens.
+        """
+        data = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+        if data.size > self.seg_bytes:
+            raise SegmentStateError(
+                f"segment payload {data.size} bytes > segment size {self.seg_bytes}"
+            )
+        slot = self.slot_of(addr)
+        if self._state[slot] == SlotState.LIVE:
+            if self._owner[slot] != owner or self._logical[slot] != addr:
+                self.stats.clobbers += 1
+            # live slot being replaced: live count unchanged
+        else:
+            self._state[slot] = SlotState.LIVE
+            self._live += 1
+            self.stats.peak_live = max(self.stats.peak_live, self._live)
+        self._owner[slot] = owner
+        self._logical[slot] = addr
+        start, _ = self._byte_range(slot)
+        self.sram.write(start, data)
+        self.stats.stores += 1
+        self.stats.bytes_stored += data.size
+        if self.profiler is not None:
+            self.profiler.count_sram(data.size, store=True)
+
+    def load(self, addr: int, owner: str) -> np.ndarray:
+        """RAMLoad: read one segment, asserting it still belongs to ``owner``.
+
+        Raises :class:`SegmentRaceError` in strict mode if the slot was
+        overwritten by another tensor — the race that an under-allocated
+        output base distance causes.
+        """
+        slot = self.slot_of(addr)
+        if self._state[slot] != SlotState.LIVE:
+            raise SegmentStateError(
+                f"load of segment addr={addr} (slot {slot}): slot is FREE"
+            )
+        if self._owner[slot] != owner or self._logical[slot] != addr:
+            if self.strict:
+                raise SegmentRaceError(
+                    f"segment addr={addr} (slot {slot}) expected owner "
+                    f"{owner!r} but holds {self._owner[slot]!r} "
+                    f"(logical addr {int(self._logical[slot])}) — the output "
+                    "base distance or the pool capacity is too small"
+                )
+            # permissive: fall through and return the corrupted bytes
+        start, size = self._byte_range(slot)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += size
+        if self.profiler is not None:
+            self.profiler.count_sram(size, store=False)
+        return self.sram.read(start, size)
+
+    def free(self, addr: int, owner: str) -> bool:
+        """RAMFree: release a segment if ``owner`` still owns it.
+
+        Returns whether the slot was actually freed.  A stale free (the slot
+        was already overwritten by the output tensor) is a legal no-op: the
+        fully-connected kernel of Figure 4 frees input rows *after* storing
+        output rows that may already occupy the same slots.
+        """
+        slot = self.slot_of(addr)
+        self.stats.frees += 1
+        if self._state[slot] != SlotState.LIVE:
+            raise SegmentStateError(
+                f"double free of segment addr={addr} (slot {slot})"
+            )
+        if self._owner[slot] != owner or self._logical[slot] != addr:
+            return False
+        self._state[slot] = SlotState.FREE
+        self._owner[slot] = None
+        self._logical[slot] = -1
+        self._live -= 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # bulk helpers
+    # ------------------------------------------------------------------ #
+    def store_tensor(self, base: int, data: np.ndarray, owner: str) -> None:
+        """Lay out a whole tensor (flattened, row-major) from segment ``base``.
+
+        Used to place a layer's input into the pool before a kernel runs;
+        traffic is charged like ordinary stores (the previous layer paid it).
+        """
+        flat = np.ascontiguousarray(data).view(np.uint8).ravel()
+        if flat.size % self.seg_bytes != 0:
+            raise SegmentStateError(
+                f"tensor of {flat.size} bytes is not a whole number of "
+                f"{self.seg_bytes}-byte segments"
+            )
+        n = flat.size // self.seg_bytes
+        for s in range(n):
+            self.store(base + s, flat[s * self.seg_bytes : (s + 1) * self.seg_bytes], owner)
+
+    def read_tensor(self, base: int, n_segments: int, owner: str) -> np.ndarray:
+        """Read ``n_segments`` consecutive segments back as a flat uint8 array."""
+        parts = [self.load(base + s, owner) for s in range(n_segments)]
+        return np.concatenate(parts)
+
+    def owner_at(self, addr: int) -> str | None:
+        """Current owner of the slot holding logical address ``addr``."""
+        return self._owner[addr % self.n_slots]
+
+    def state_at(self, addr: int) -> SlotState:
+        return SlotState(int(self._state[addr % self.n_slots]))
+
+    def reset(self) -> None:
+        """Clear all slots and statistics (contents are zeroed)."""
+        self._state[:] = SlotState.FREE
+        self._owner = [None] * self.n_slots
+        self._logical[:] = -1
+        self._live = 0
+        self.stats = PoolStats()

@@ -1,0 +1,58 @@
+"""Segment size selection (Section 5.3).
+
+Smaller segments give a smaller footprint (management is per segment) but
+more modulo operations per byte moved; the paper's compromise is:
+
+* fully connected: the minimum of the input and output row sizes;
+* 2D convolution / inverted bottleneck: the minimum of the input and output
+  channel sizes.
+
+One practical refinement is needed that the paper leaves implicit: the
+segment size must *divide* both tensors' row/channel sizes, otherwise the
+row-major segment grids of input and output drift out of alignment and the
+affine formulation of Section 4 no longer describes the kernel.  When the
+minimum does not divide the maximum we fall back to the greatest common
+divisor, which is the largest size that keeps both grids aligned.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PlanError
+
+__all__ = ["select_segment_size", "segment_size_candidates"]
+
+
+def select_segment_size(in_unit: int, out_unit: int, *, elem_bytes: int = 1) -> int:
+    """Segment size in **bytes** for a layer.
+
+    Parameters
+    ----------
+    in_unit / out_unit:
+        The natural management unit of the two tensors in elements — row
+        length for fully connected layers, channel count for convolutions.
+    elem_bytes:
+        Bytes per element (1 for int8).
+    """
+    if in_unit <= 0 or out_unit <= 0:
+        raise PlanError(
+            f"segment units must be positive, got in={in_unit}, out={out_unit}"
+        )
+    lo, hi = min(in_unit, out_unit), max(in_unit, out_unit)
+    seg_elems = lo if hi % lo == 0 else math.gcd(in_unit, out_unit)
+    return seg_elems * elem_bytes
+
+
+def segment_size_candidates(
+    in_unit: int, out_unit: int, *, elem_bytes: int = 1
+) -> list[int]:
+    """All valid segment sizes (bytes), largest first.
+
+    A size is valid when it divides both management units, so both tensors
+    are whole numbers of segments.  Used by the segment-size ablation bench
+    to trace the footprint/latency trade-off of Section 5.3.
+    """
+    g = math.gcd(in_unit, out_unit)
+    divisors = [d for d in range(1, g + 1) if g % d == 0]
+    return [d * elem_bytes for d in sorted(divisors, reverse=True)]

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the vMCU reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.  The memory
+subsystem distinguishes *capacity* failures (the paper's "out of memory" on a
+128 KB part) from *race* failures (the "silent error in correctness" of
+Section 2.4, which this simulator makes loud).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MemoryError_",
+    "OutOfMemoryError",
+    "SegmentRaceError",
+    "SegmentStateError",
+    "PlanError",
+    "InfeasiblePlanError",
+    "KernelError",
+    "ShapeError",
+    "IRError",
+    "LoweringError",
+    "InterpreterError",
+    "GraphError",
+    "QuantizationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which signals host (not simulated) exhaustion.
+    """
+
+
+class OutOfMemoryError(MemoryError_):
+    """A tensor or plan does not fit in the device's SRAM.
+
+    This is the failure mode the paper reports for TinyEngine on
+    STM32-F411RE (Figure 7, cases 1/2/4): the requested footprint exceeds
+    the device RAM limit.
+    """
+
+    def __init__(self, requested: int, capacity: int, what: str = "allocation"):
+        self.requested = int(requested)
+        self.capacity = int(capacity)
+        self.what = what
+        super().__init__(
+            f"{what} needs {requested} bytes but device SRAM is {capacity} bytes"
+        )
+
+
+class SegmentRaceError(MemoryError_):
+    """A segment was read after being overwritten by a different owner.
+
+    This corresponds to the paper's warning that under-allocating empty
+    segments for the output tensor lets output writes "incorrectly replace
+    the segments of input tensor, causing silent error in correctness"
+    (Section 2.4).  The simulated pool detects the read-after-clobber and
+    raises instead of silently corrupting.
+    """
+
+
+class SegmentStateError(MemoryError_):
+    """A pool operation violated the segment state machine.
+
+    Examples: loading a slot that was never stored, or freeing a slot twice
+    with the same owner.
+    """
+
+
+class PlanError(ReproError):
+    """Base class for memory-planning failures."""
+
+
+class InfeasiblePlanError(PlanError):
+    """No base-pointer offset satisfies the Eq. 1 / Eq. 2 constraints."""
+
+
+class KernelError(ReproError):
+    """A segment-aware kernel was invoked with an invalid configuration."""
+
+
+class ShapeError(KernelError):
+    """Tensor shapes are inconsistent with the operator definition."""
+
+
+class IRError(ReproError):
+    """Base class for compiler (repro.ir) failures."""
+
+
+class LoweringError(IRError):
+    """The code generator met an IR construct it cannot lower to C."""
+
+
+class InterpreterError(IRError):
+    """The IR interpreter met an ill-formed program at run time."""
+
+
+class GraphError(ReproError):
+    """Model-graph construction or shape inference failed."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters are invalid (e.g. non-positive scale)."""

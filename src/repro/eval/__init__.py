@@ -1,0 +1,40 @@
+"""Evaluation harness: one driver per paper table/figure.
+
+:mod:`repro.eval.workloads` defines the exact workloads of Section 7
+(the nine single-layer pointwise cases, the Table 2 blocks);
+:mod:`repro.eval.experiments` regenerates every table and figure as
+structured rows; :mod:`repro.eval.reporting` renders them as text tables
+(the benches print these).
+"""
+
+from repro.eval.workloads import FIG7_CASES, SingleLayerCase
+from repro.eval.experiments import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+    table2,
+    table3,
+    ALL_EXPERIMENTS,
+)
+from repro.eval.reporting import format_table, render_experiment
+
+__all__ = [
+    "FIG7_CASES",
+    "SingleLayerCase",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "table1",
+    "table2",
+    "table3",
+    "ALL_EXPERIMENTS",
+    "format_table",
+    "render_experiment",
+]

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "render_experiment"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_experiment(
+    title: str,
+    experiment: tuple[list[str], list[tuple], list[str]],
+) -> str:
+    """Render one experiment's output with its notes."""
+    headers, rows, notes = experiment
+    parts = [f"== {title} ==", format_table(headers, rows)]
+    parts.extend(f"note: {n}" for n in notes)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,53 @@
+"""The exact evaluation workloads of Section 7.
+
+Figure 7/8 use nine pointwise convolutions whose names encode image size,
+input channels and output channels (``H/W80,C16,K16`` etc.).  The first
+three have equal input/output activation sizes (reduction approaching 50%),
+cases 4-9 have a 2:1 channel ratio on one side (reduction near 33%), and
+the small late-network cases show how fixed overheads compress the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SingleLayerCase", "FIG7_CASES"]
+
+
+@dataclass(frozen=True)
+class SingleLayerCase:
+    """One Figure 7/8 pointwise convolution workload."""
+
+    hw: int
+    c: int
+    k: int
+
+    @property
+    def name(self) -> str:
+        return f"H/W{self.hw},C{self.c},K{self.k}"
+
+    @property
+    def in_bytes(self) -> int:
+        return self.hw * self.hw * self.c
+
+    @property
+    def out_bytes(self) -> int:
+        return self.hw * self.hw * self.k
+
+    @property
+    def macs(self) -> int:
+        return self.hw * self.hw * self.c * self.k
+
+
+#: The nine cases of Figures 7 and 8, in the paper's order.
+FIG7_CASES: tuple[SingleLayerCase, ...] = (
+    SingleLayerCase(80, 16, 16),
+    SingleLayerCase(56, 32, 32),
+    SingleLayerCase(28, 64, 64),
+    SingleLayerCase(80, 16, 8),
+    SingleLayerCase(40, 32, 16),
+    SingleLayerCase(20, 48, 24),
+    SingleLayerCase(24, 16, 32),
+    SingleLayerCase(12, 32, 64),
+    SingleLayerCase(6, 64, 128),
+)

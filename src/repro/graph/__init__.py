@@ -1,0 +1,41 @@
+"""DNN graph representation and the paper's evaluation models.
+
+Provides operator nodes with shape inference, a small DAG container used by
+the baseline schedulers, and the exact inverted-bottleneck configurations of
+Table 2 (MCUNet-5fps-VWW's S1-S8 and MCUNet-320KB-ImageNet's B1-B17).
+"""
+
+from repro.graph.ops import (
+    AddOp,
+    Conv2dOp,
+    DepthwiseConv2dOp,
+    DenseOp,
+    OpBase,
+    PointwiseConv2dOp,
+    TensorSpec,
+)
+from repro.graph.graph import Graph, GraphTensor
+from repro.graph.models import (
+    MCUNET_VWW_BLOCKS,
+    MCUNET_IMAGENET_BLOCKS,
+    table2_specs,
+    build_bottleneck_graph,
+    build_network_graph,
+)
+
+__all__ = [
+    "AddOp",
+    "Conv2dOp",
+    "DepthwiseConv2dOp",
+    "DenseOp",
+    "OpBase",
+    "PointwiseConv2dOp",
+    "TensorSpec",
+    "Graph",
+    "GraphTensor",
+    "MCUNET_VWW_BLOCKS",
+    "MCUNET_IMAGENET_BLOCKS",
+    "table2_specs",
+    "build_bottleneck_graph",
+    "build_network_graph",
+]

@@ -1,0 +1,159 @@
+"""A small DAG container for DNN graphs.
+
+Built on :mod:`networkx` for traversal utilities; nodes are operators,
+edges carry activation tensors.  The baseline schedulers (Serenity, HMCOS)
+consume this structure to search execution orders, and the bottleneck
+analysis walks it to find the peak-memory layer of a whole network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graph.ops import OpBase, TensorSpec
+
+__all__ = ["GraphTensor", "Graph"]
+
+
+@dataclass(frozen=True)
+class GraphTensor:
+    """One activation edge: a named tensor produced by ``producer``."""
+
+    name: str
+    spec: TensorSpec
+    producer: str | None  # None for graph inputs
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+
+@dataclass
+class Graph:
+    """Operator DAG with named tensors.
+
+    Construction is incremental: add inputs, then ops wired to existing
+    tensor names.  Shape inference runs at insertion so a malformed graph
+    fails at build time.
+    """
+
+    name: str = "graph"
+    _g: nx.DiGraph = field(default_factory=nx.DiGraph, repr=False)
+    tensors: dict[str, GraphTensor] = field(default_factory=dict)
+    ops: dict[str, OpBase] = field(default_factory=dict)
+    op_inputs: dict[str, list[str]] = field(default_factory=dict)
+    op_output: dict[str, str] = field(default_factory=dict)
+    inputs: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_input(self, name: str, spec: TensorSpec) -> GraphTensor:
+        if name in self.tensors:
+            raise GraphError(f"tensor {name!r} already exists")
+        t = GraphTensor(name=name, spec=spec, producer=None)
+        self.tensors[name] = t
+        self.inputs.append(name)
+        return t
+
+    def add_op(
+        self, op: OpBase, input_names: list[str], output_name: str | None = None
+    ) -> GraphTensor:
+        if op.name in self.ops:
+            raise GraphError(f"op {op.name!r} already exists")
+        missing = [n for n in input_names if n not in self.tensors]
+        if missing:
+            raise GraphError(f"op {op.name!r} references unknown tensors {missing}")
+        out_name = output_name or f"{op.name}:out"
+        if out_name in self.tensors:
+            raise GraphError(f"tensor {out_name!r} already exists")
+        out_spec = op.infer([self.tensors[n].spec for n in input_names])
+        t = GraphTensor(name=out_name, spec=out_spec, producer=op.name)
+        self.tensors[out_name] = t
+        self.ops[op.name] = op
+        self.op_inputs[op.name] = list(input_names)
+        self.op_output[op.name] = out_name
+        self._g.add_node(op.name)
+        for n in input_names:
+            producer = self.tensors[n].producer
+            if producer is not None:
+                self._g.add_edge(producer, op.name)
+        return t
+
+    def mark_output(self, tensor_name: str) -> None:
+        if tensor_name not in self.tensors:
+            raise GraphError(f"unknown tensor {tensor_name!r}")
+        self.outputs.append(tensor_name)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+    def consumers(self, tensor_name: str) -> list[str]:
+        """Ops reading a tensor."""
+        return [
+            op for op, ins in self.op_inputs.items() if tensor_name in ins
+        ]
+
+    def topological_order(self) -> list[str]:
+        return list(nx.topological_sort(self._g))
+
+    def iter_topological_orders(self):
+        """Lazily yield topological orders (may be astronomically many)."""
+        for order in nx.all_topological_sorts(self._g):
+            yield list(order)
+
+    def all_topological_orders(self, limit: int = 100_000) -> list[list[str]]:
+        """All topological orders (bounded); used by exhaustive baselines."""
+        orders = []
+        for order in self.iter_topological_orders():
+            orders.append(order)
+            if len(orders) >= limit:
+                raise GraphError(
+                    f"graph {self.name!r} has more than {limit} orders"
+                )
+        return orders
+
+    def predecessors(self, op_name: str) -> list[str]:
+        return list(self._g.predecessors(op_name))
+
+    def successors(self, op_name: str) -> list[str]:
+        return list(self._g.successors(op_name))
+
+    def is_linear_chain(self) -> bool:
+        """True when every op has at most one producer and one consumer op.
+
+        The paper stresses that scheduling-based baselines cannot help
+        "linear structure" networks — this predicate is how the analysis
+        identifies them.
+        """
+        return all(
+            self._g.in_degree(op) <= 1 and self._g.out_degree(op) <= 1
+            for op in self.ops
+        )
+
+    def validate(self) -> None:
+        if not nx.is_directed_acyclic_graph(self._g):
+            raise GraphError(f"graph {self.name!r} has a cycle")
+
+    def total_macs(self) -> int:
+        return sum(
+            op.macs([self.tensors[n].spec for n in self.op_inputs[op_name]])
+            for op_name, op in self.ops.items()
+        )
+
+    def total_weight_bytes(self) -> int:
+        total = 0
+        for op_name, op in self.ops.items():
+            in_spec = self.tensors[self.op_inputs[op_name][0]].spec
+            wb = getattr(op, "weight_bytes_for", None)
+            if wb is not None:
+                total += wb(in_spec.shape[-1])
+        return total

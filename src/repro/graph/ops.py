@@ -1,0 +1,219 @@
+"""Operator definitions with shape inference.
+
+Each operator knows its output shape, MAC count, weight bytes (Flash) and —
+for the baseline memory managers — whether tensor-level in-place update is
+legal (only depthwise and elementwise ops qualify; Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = [
+    "TensorSpec",
+    "OpBase",
+    "PointwiseConv2dOp",
+    "Conv2dOp",
+    "DepthwiseConv2dOp",
+    "DenseOp",
+    "AddOp",
+]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype of one activation tensor (HWC for images)."""
+
+    shape: tuple[int, ...]
+    elem_bytes: int = 1  # int8
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise GraphError(f"bad tensor shape {self.shape}")
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * self.elem_bytes
+
+
+@dataclass(frozen=True)
+class OpBase:
+    """Common operator interface.
+
+    Subclasses implement :meth:`infer` (output spec from input specs) and
+    the cost properties used by the planners and baselines.
+    """
+
+    name: str
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        raise NotImplementedError
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        raise NotImplementedError
+
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def inplace_capable(self) -> bool:
+        """Whether tensor-level full overlap of input/output is legal."""
+        return False
+
+    def _expect_rank(self, spec: TensorSpec, rank: int) -> None:
+        if len(spec.shape) != rank:
+            raise GraphError(
+                f"{self.name}: expected rank-{rank} input, got {spec.shape}"
+            )
+
+
+def _conv_out(extent: int, kernel: int, stride: int, padding: int) -> int:
+    out = (extent + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise GraphError(
+            f"conv output collapses (extent={extent}, k={kernel}, "
+            f"s={stride}, p={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class PointwiseConv2dOp(OpBase):
+    """1x1 convolution, HWC."""
+
+    out_channels: int = 0
+    stride: int = 1
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        (x,) = inputs
+        self._expect_rank(x, 3)
+        h, w, _ = x.shape
+        return TensorSpec(
+            ( _conv_out(h, 1, self.stride, 0), _conv_out(w, 1, self.stride, 0),
+              self.out_channels )
+        )
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        (x,) = inputs
+        out = self.infer(inputs)
+        return out.shape[0] * out.shape[1] * x.shape[2] * self.out_channels
+
+    def weight_bytes(self) -> int:
+        return 0  # needs input channels; computed by the graph
+
+    def weight_bytes_for(self, in_channels: int) -> int:
+        return in_channels * self.out_channels
+
+
+@dataclass(frozen=True)
+class Conv2dOp(OpBase):
+    """Square k x k convolution, HWC."""
+
+    out_channels: int = 0
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        (x,) = inputs
+        self._expect_rank(x, 3)
+        h, w, _ = x.shape
+        return TensorSpec(
+            (
+                _conv_out(h, self.kernel, self.stride, self.padding),
+                _conv_out(w, self.kernel, self.stride, self.padding),
+                self.out_channels,
+            )
+        )
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        (x,) = inputs
+        out = self.infer(inputs)
+        return (
+            out.shape[0]
+            * out.shape[1]
+            * self.kernel
+            * self.kernel
+            * x.shape[2]
+            * self.out_channels
+        )
+
+    def weight_bytes_for(self, in_channels: int) -> int:
+        return self.kernel * self.kernel * in_channels * self.out_channels
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2dOp(OpBase):
+    """Depthwise k x k convolution; the op tensor-level managers update in place."""
+
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        (x,) = inputs
+        self._expect_rank(x, 3)
+        h, w, c = x.shape
+        return TensorSpec(
+            (
+                _conv_out(h, self.kernel, self.stride, self.padding),
+                _conv_out(w, self.kernel, self.stride, self.padding),
+                c,
+            )
+        )
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        out = self.infer(inputs)
+        return out.shape[0] * out.shape[1] * self.kernel * self.kernel * out.shape[2]
+
+    def weight_bytes_for(self, in_channels: int) -> int:
+        return self.kernel * self.kernel * in_channels
+
+    @property
+    def inplace_capable(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DenseOp(OpBase):
+    """Fully connected layer on a rank-1 or rank-2 input."""
+
+    out_features: int = 0
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        (x,) = inputs
+        if len(x.shape) == 1:
+            return TensorSpec((self.out_features,))
+        if len(x.shape) == 2:
+            return TensorSpec((x.shape[0], self.out_features))
+        raise GraphError(f"{self.name}: dense input must be rank 1/2, got {x.shape}")
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        (x,) = inputs
+        rows = x.shape[0] if len(x.shape) == 2 else 1
+        return rows * x.shape[-1] * self.out_features
+
+    def weight_bytes_for(self, in_features: int) -> int:
+        return in_features * self.out_features
+
+
+@dataclass(frozen=True)
+class AddOp(OpBase):
+    """Elementwise residual add (two inputs, same shape)."""
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        a, b = inputs
+        if a.shape != b.shape:
+            raise GraphError(f"{self.name}: add shapes {a.shape} vs {b.shape}")
+        return TensorSpec(a.shape)
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        return 0  # adds, not multiplies; negligible for the cost figures
+
+    @property
+    def inplace_capable(self) -> bool:
+        return True

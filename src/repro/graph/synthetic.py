@@ -1,0 +1,153 @@
+"""Synthetic irregularly-wired graphs (the Serenity/HMCOS target domain).
+
+Serenity (Ahn et al.) and HMCOS (Wang et al.) were built for *irregularly
+wired* networks — randomly-wired NAS cells where execution order genuinely
+changes peak memory.  The paper contrasts them with the linear MCUNet
+backbones, where scheduling is inert.  This module generates both families
+deterministically so the scheduler tests and benches can quantify the
+contrast:
+
+* :func:`random_cell` — a randomly wired cell in the style of RandWire /
+  NASNet: several branches of different widths joined by adds.
+* :func:`linear_chain` — the degenerate case with exactly one order.
+* :func:`branching_ladder` — a worst case for naive ordering: wide and
+  narrow branches interleaved so eager scheduling strands big tensors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.ops import AddOp, PointwiseConv2dOp, TensorSpec
+
+__all__ = ["random_cell", "linear_chain", "branching_ladder"]
+
+
+def linear_chain(n_ops: int, *, hw: int = 8, channels: int = 8) -> Graph:
+    """A plain chain of ``n_ops`` pointwise convolutions."""
+    if n_ops <= 0:
+        raise GraphError("chain needs at least one op")
+    g = Graph(name=f"chain{n_ops}")
+    g.add_input("x", TensorSpec((hw, hw, channels)))
+    prev = "x"
+    for i in range(n_ops):
+        g.add_op(
+            PointwiseConv2dOp(name=f"op{i}", out_channels=channels),
+            [prev],
+            f"t{i}",
+        )
+        prev = f"t{i}"
+    g.mark_output(prev)
+    g.validate()
+    return g
+
+
+def branching_ladder(
+    n_rungs: int, *, hw: int = 8, wide: int = 64, narrow: int = 4
+) -> Graph:
+    """Parallel wide/narrow branch pairs joined rung by rung.
+
+    A scheduler that interleaves the branches badly keeps a wide tensor
+    alive across the whole narrow branch; the optimal order retires each
+    wide tensor immediately.  The gap between naive and optimal peak grows
+    with the width ratio.
+    """
+    if n_rungs <= 0:
+        raise GraphError("ladder needs at least one rung")
+    g = Graph(name=f"ladder{n_rungs}")
+    g.add_input("x", TensorSpec((hw, hw, narrow)))
+    prev = "x"
+    for i in range(n_rungs):
+        g.add_op(
+            PointwiseConv2dOp(name=f"wide{i}", out_channels=wide),
+            [prev], f"w{i}",
+        )
+        g.add_op(
+            PointwiseConv2dOp(name=f"wnarrow{i}", out_channels=narrow),
+            [f"w{i}"], f"wn{i}",
+        )
+        g.add_op(
+            PointwiseConv2dOp(name=f"narrow{i}", out_channels=narrow),
+            [prev], f"n{i}",
+        )
+        g.add_op(AddOp(name=f"join{i}"), [f"wn{i}", f"n{i}"], f"j{i}")
+        prev = f"j{i}"
+    g.mark_output(prev)
+    g.validate()
+    return g
+
+
+def random_cell(
+    n_ops: int,
+    *,
+    seed: int = 0,
+    hw: int = 8,
+    min_channels: int = 2,
+    max_channels: int = 32,
+    join_probability: float = 0.3,
+) -> Graph:
+    """A randomly wired cell: each op consumes one or two earlier tensors.
+
+    Channel widths are drawn log-uniformly so the live-set differences
+    between orders are substantial.  The construction guarantees a DAG and a
+    single output (all leaves joined at the end).
+    """
+    if n_ops <= 0:
+        raise GraphError("cell needs at least one op")
+    rng = np.random.default_rng(seed)
+    g = Graph(name=f"cell{n_ops}-{seed}")
+    g.add_input("x", TensorSpec((hw, hw, min_channels)))
+    produced = ["x"]
+
+    def rand_channels() -> int:
+        lo, hi = np.log2(min_channels), np.log2(max_channels)
+        return int(2 ** rng.integers(int(lo), int(hi) + 1))
+
+    for i in range(n_ops):
+        src = produced[int(rng.integers(0, len(produced)))]
+        if rng.random() < join_probability and len(produced) >= 2:
+            other = produced[int(rng.integers(0, len(produced)))]
+            if other != src:
+                same = g.tensors[src].spec.shape
+                # adds need matching shapes; project both to a fresh width
+                width = rand_channels()
+                g.add_op(
+                    PointwiseConv2dOp(name=f"pa{i}", out_channels=width),
+                    [src], f"pa{i}.t",
+                )
+                g.add_op(
+                    PointwiseConv2dOp(name=f"pb{i}", out_channels=width),
+                    [other], f"pb{i}.t",
+                )
+                g.add_op(AddOp(name=f"add{i}"), [f"pa{i}.t", f"pb{i}.t"], f"t{i}")
+                produced.append(f"t{i}")
+                continue
+        g.add_op(
+            PointwiseConv2dOp(name=f"op{i}", out_channels=rand_channels()),
+            [src], f"t{i}",
+        )
+        produced.append(f"t{i}")
+
+    # join every leaf so the graph has one output
+    leaves = [
+        name for name in produced
+        if name != "x" and not g.consumers(name)
+    ]
+    prev = leaves[0]
+    for j, leaf in enumerate(leaves[1:]):
+        width = 4
+        g.add_op(
+            PointwiseConv2dOp(name=f"la{j}", out_channels=width), [prev],
+            f"la{j}.t",
+        )
+        g.add_op(
+            PointwiseConv2dOp(name=f"lb{j}", out_channels=width), [leaf],
+            f"lb{j}.t",
+        )
+        g.add_op(AddOp(name=f"ljoin{j}"), [f"la{j}.t", f"lb{j}.t"], f"l{j}")
+        prev = f"l{j}"
+    g.mark_output(prev)
+    g.validate()
+    return g

@@ -1,0 +1,58 @@
+"""Compiler support (Section 6).
+
+The paper provides a Python programming interface for kernel development:
+Python code is translated to an IR and then lowered to C for the ARM
+toolchain, with vector intrinsics (RegAlloc, RAMLoad, FlashLoad, Dot,
+RAMStore, RAMFree, Broadcast) exposed at every level.
+
+This package implements that pipeline:
+
+* :mod:`repro.ir.nodes` — expression/statement IR.
+* :mod:`repro.ir.builder` — the Python DSL that constructs IR programs.
+* :mod:`repro.ir.passes` — constant folding, loop unrolling, validation.
+* :mod:`repro.ir.interpreter` — executes IR against the simulated segment
+  pool (numerically exact; stands in for running the generated binary).
+* :mod:`repro.ir.codegen_c` — lowers IR to compilable C source with the
+  intrinsics mapped to SMLAD/SADD16/PKHBT sequences and modulo wrapping.
+* :mod:`repro.ir.library` — kernel generators written *in* the DSL (the
+  "light library for MCU" of Section 6.2).
+"""
+
+from repro.ir.nodes import (
+    Add,
+    Broadcast,
+    Const,
+    Dot,
+    Expr,
+    FlashLoad,
+    FloorDiv,
+    For,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Program,
+    RAMFree,
+    RAMLoad,
+    RAMStore,
+    RegAlloc,
+    Requantize,
+    Stmt,
+    Sub,
+    Var,
+    VectorAdd,
+)
+from repro.ir.builder import KernelBuilder
+from repro.ir.interpreter import Interpreter
+from repro.ir.codegen_c import CCodegen
+from repro.ir.passes import constant_fold, unroll_loops, validate_program
+from repro.ir.library import build_fc_kernel, build_pointwise_kernel
+
+__all__ = [
+    "Expr", "Var", "Const", "Add", "Sub", "Mul", "FloorDiv", "Mod", "Min",
+    "Max", "Stmt", "For", "RegAlloc", "RAMLoad", "FlashLoad", "Dot",
+    "Requantize", "RAMStore", "RAMFree", "Broadcast", "VectorAdd", "Program",
+    "KernelBuilder", "Interpreter", "CCodegen",
+    "constant_fold", "unroll_loops", "validate_program",
+    "build_fc_kernel", "build_pointwise_kernel",
+]

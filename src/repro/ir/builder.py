@@ -1,0 +1,226 @@
+"""Python DSL for writing segment-aware kernels (the Section 6 interface).
+
+Example (fully connected layer, following Figure 4)::
+
+    b = KernelBuilder("fc", seg_bytes=4)
+    in_base, out_base = b.int_params("in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("Weight")
+    with b.loop("m", M) as m:
+        with b.loop("n", NS) as n:
+            acc = b.reg_alloc("acc", SEG)
+            with b.loop("k", KS) as k:
+                a = b.ram_load("a", "In", m * KS + k)
+                w = b.flash_load("w", "Weight", (k * NS + n) * SEG * SEG, SEG * SEG)
+                b.dot(acc, a, w)
+            out = b.requantize("o", acc, mult)
+            b.ram_store("Out", m * NS + n, out)
+        with b.loop("k", KS) as k:
+            b.ram_free("In", m * KS + k)
+    program = b.finish()
+
+The builder produces an immutable :class:`~repro.ir.nodes.Program` that the
+interpreter can execute and the C code generator can lower.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from repro.errors import IRError
+from repro.ir.nodes import (
+    Broadcast,
+    Dot,
+    If,
+    MulAcc,
+    Expr,
+    FlashLoad,
+    For,
+    Program,
+    RAMFree,
+    RAMLoad,
+    RAMStore,
+    RegAlloc,
+    Requantize,
+    Stmt,
+    TensorDecl,
+    Var,
+    VectorAdd,
+    as_expr,
+)
+from repro.quant import FixedPointMultiplier
+
+__all__ = ["KernelBuilder"]
+
+IntLike = Union[int, Expr]
+
+
+class KernelBuilder:
+    """Incrementally constructs an IR :class:`Program`."""
+
+    def __init__(self, name: str, *, seg_bytes: int):
+        if seg_bytes <= 0:
+            raise IRError(f"segment size must be positive, got {seg_bytes}")
+        self.name = name
+        self.seg_bytes = seg_bytes
+        self._params: list[str] = []
+        self._tensors: list[TensorDecl] = []
+        self._stack: list[list[Stmt]] = [[]]
+        self._loop_vars: list[str] = []
+        self._reg_counter = 0
+        self._finished = False
+
+    # ------------------------------------------------------------------ #
+    # declarations
+    # ------------------------------------------------------------------ #
+    def int_param(self, name: str) -> Var:
+        """Declare a runtime integer parameter (shape, base address...)."""
+        if name in self._params:
+            raise IRError(f"parameter {name!r} already declared")
+        self._params.append(name)
+        return Var(name)
+
+    def int_params(self, *names: str) -> tuple[Var, ...]:
+        return tuple(self.int_param(n) for n in names)
+
+    def ram_tensor(self, name: str, *, base: str) -> TensorDecl:
+        """Declare a pool-resident tensor addressed relative to ``base``."""
+        if base not in self._params:
+            raise IRError(f"base parameter {base!r} must be declared first")
+        decl = TensorDecl(name=name, space="ram", base=base)
+        self._declare(decl)
+        return decl
+
+    def flash_tensor(self, name: str) -> TensorDecl:
+        decl = TensorDecl(name=name, space="flash")
+        self._declare(decl)
+        return decl
+
+    def _declare(self, decl: TensorDecl) -> None:
+        if any(t.name == decl.name for t in self._tensors):
+            raise IRError(f"tensor {decl.name!r} already declared")
+        self._tensors.append(decl)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def guard(self, lhs: IntLike, op: str, rhs: IntLike) -> Iterator[None]:
+        """Open a conditional block: statements run when ``lhs op rhs``."""
+        self._stack.append([])
+        try:
+            yield
+        finally:
+            body = self._stack.pop()
+            self._emit(
+                If(lhs=as_expr(lhs), op=op, rhs=as_expr(rhs), body=tuple(body))
+            )
+
+    @contextmanager
+    def loop(
+        self, var: str, extent: IntLike, *, step: int = 1, unroll: bool = False
+    ) -> Iterator[Var]:
+        """Open a counted loop; yields the loop variable."""
+        if var in self._loop_vars:
+            raise IRError(f"loop variable {var!r} shadows an enclosing loop")
+        self._loop_vars.append(var)
+        self._stack.append([])
+        try:
+            yield Var(var)
+        finally:
+            body = self._stack.pop()
+            self._loop_vars.pop()
+            self._emit(
+                For(var=var, extent=as_expr(extent), body=tuple(body),
+                    step=step, unroll=unroll)
+            )
+
+    def _emit(self, stmt: Stmt) -> None:
+        if self._finished:
+            raise IRError("builder already finished")
+        self._stack[-1].append(stmt)
+
+    def _fresh(self, hint: str) -> str:
+        self._reg_counter += 1
+        return f"{hint}{self._reg_counter}"
+
+    # ------------------------------------------------------------------ #
+    # intrinsics
+    # ------------------------------------------------------------------ #
+    def reg_alloc(self, hint: str, size: int, init: int = 0) -> str:
+        dst = self._fresh(hint)
+        self._emit(RegAlloc(dst=dst, size=size, init=init))
+        return dst
+
+    def ram_load(self, hint: str, tensor: str, addr: IntLike) -> str:
+        self._require_tensor(tensor, "ram")
+        dst = self._fresh(hint)
+        self._emit(RAMLoad(dst=dst, tensor=tensor, addr=as_expr(addr)))
+        return dst
+
+    def flash_load(self, hint: str, region: str, offset: IntLike, size: int) -> str:
+        self._require_tensor(region, "flash")
+        dst = self._fresh(hint)
+        self._emit(
+            FlashLoad(dst=dst, region=region, offset=as_expr(offset), size=size)
+        )
+        return dst
+
+    def dot(self, dst: str, a: str, b: str) -> None:
+        self._emit(Dot(dst=dst, a=a, b=b))
+
+    def mul_acc(self, dst: str, a: str, b: str) -> None:
+        self._emit(MulAcc(dst=dst, a=a, b=b))
+
+    def vector_add(self, hint: str, a: str, b: str) -> str:
+        dst = self._fresh(hint)
+        self._emit(VectorAdd(dst=dst, a=a, b=b))
+        return dst
+
+    def requantize(self, hint: str, src: str, mult: FixedPointMultiplier) -> str:
+        dst = self._fresh(hint)
+        self._emit(
+            Requantize(
+                dst=dst, src=src, multiplier=mult.multiplier, shift=mult.shift
+            )
+        )
+        return dst
+
+    def ram_store(self, tensor: str, addr: IntLike, src: str) -> None:
+        self._require_tensor(tensor, "ram")
+        self._emit(RAMStore(tensor=tensor, addr=as_expr(addr), src=src))
+
+    def ram_free(self, tensor: str, addr: IntLike) -> None:
+        self._require_tensor(tensor, "ram")
+        self._emit(RAMFree(tensor=tensor, addr=as_expr(addr)))
+
+    def broadcast(self, hint: str, size: int, value: IntLike) -> str:
+        dst = self._fresh(hint)
+        self._emit(Broadcast(dst=dst, size=size, value=as_expr(value)))
+        return dst
+
+    def _require_tensor(self, name: str, space: str) -> None:
+        for t in self._tensors:
+            if t.name == name:
+                if t.space != space:
+                    raise IRError(
+                        f"tensor {name!r} is in {t.space!r}, not {space!r}"
+                    )
+                return
+        raise IRError(f"tensor {name!r} not declared")
+
+    # ------------------------------------------------------------------ #
+    def finish(self) -> Program:
+        """Seal the builder and return the immutable program."""
+        if len(self._stack) != 1:
+            raise IRError("finish() called inside an open loop")
+        self._finished = True
+        return Program(
+            name=self.name,
+            params=tuple(self._params),
+            tensors=tuple(self._tensors),
+            body=tuple(self._stack[0]),
+            seg_bytes=self.seg_bytes,
+        )

@@ -1,0 +1,263 @@
+"""IR interpreter: executes a kernel program against the simulated pool.
+
+This is the stand-in for running the generated C binary on the board: the
+same load/compute/store/free/wrap schedule the code generator emits is
+executed here against :class:`~repro.core.pool.CircularSegmentPool` and the
+Flash model, with every intrinsic performing the bit-exact int8/int32
+arithmetic of the reference pipeline.  A kernel written once in the DSL is
+therefore verified numerically *and* charged realistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import InterpreterError
+from repro.ir.nodes import (
+    Add,
+    If,
+    MulAcc,
+    BinOp,
+    Broadcast,
+    Const,
+    Dot,
+    Expr,
+    FlashLoad,
+    FloorDiv,
+    For,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Program,
+    RAMFree,
+    RAMLoad,
+    RAMStore,
+    RegAlloc,
+    Requantize,
+    Stmt,
+    Sub,
+    Var,
+    VectorAdd,
+)
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["Interpreter"]
+
+
+class Interpreter:
+    """Evaluate a :class:`Program` with concrete parameters and memories.
+
+    Parameters
+    ----------
+    program:
+        The IR kernel.
+    pool:
+        The circular segment pool holding every RAM tensor.  Segment size
+        must match the program's.
+    flash:
+        Mapping of flash region name to a flat uint8 array (packed weights).
+    params:
+        Values for every declared integer parameter.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        *,
+        pool: CircularSegmentPool,
+        flash: dict[str, np.ndarray],
+        params: dict[str, int],
+    ):
+        if pool.seg_bytes != program.seg_bytes:
+            raise InterpreterError(
+                f"pool segment size {pool.seg_bytes} != program's "
+                f"{program.seg_bytes}"
+            )
+        missing = [p for p in program.params if p not in params]
+        if missing:
+            raise InterpreterError(f"missing parameter values: {missing}")
+        for decl in program.tensors:
+            if decl.space == "flash" and decl.name not in flash:
+                raise InterpreterError(f"missing flash region {decl.name!r}")
+        self.program = program
+        self.pool = pool
+        self.flash = {
+            k: np.ascontiguousarray(v, dtype=np.uint8).ravel()
+            for k, v in flash.items()
+        }
+        self.env: dict[str, int] = dict(params)
+        self.regs: dict[str, np.ndarray] = {}
+        self.intrinsic_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # expression evaluation
+    # ------------------------------------------------------------------ #
+    def eval_expr(self, expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return self.env[expr.name]
+            except KeyError:
+                raise InterpreterError(f"unbound variable {expr.name!r}") from None
+        if isinstance(expr, BinOp):
+            a = self.eval_expr(expr.a)
+            b = self.eval_expr(expr.b)
+            if isinstance(expr, Add):
+                return a + b
+            if isinstance(expr, Sub):
+                return a - b
+            if isinstance(expr, Mul):
+                return a * b
+            if isinstance(expr, FloorDiv):
+                if b == 0:
+                    raise InterpreterError("division by zero in address expr")
+                return a // b
+            if isinstance(expr, Mod):
+                if b == 0:
+                    raise InterpreterError("modulo by zero in address expr")
+                return a % b
+            if isinstance(expr, Min):
+                return min(a, b)
+            if isinstance(expr, Max):
+                return max(a, b)
+        raise InterpreterError(f"cannot evaluate expression {expr!r}")
+
+    # ------------------------------------------------------------------ #
+    # statement execution
+    # ------------------------------------------------------------------ #
+    def _count(self, name: str) -> None:
+        self.intrinsic_counts[name] = self.intrinsic_counts.get(name, 0) + 1
+
+    def _reg(self, name: str) -> np.ndarray:
+        try:
+            return self.regs[name]
+        except KeyError:
+            raise InterpreterError(f"register {name!r} not allocated") from None
+
+    def _tensor_addr(self, tensor: str, addr: int) -> int:
+        decl = self.program.tensor(tensor)
+        base = self.env[decl.base] if decl.base else 0
+        return base + addr
+
+    def execute(self) -> None:
+        """Run the whole program."""
+        for stmt in self.program.body:
+            self._exec(stmt)
+
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, For):
+            extent = self.eval_expr(stmt.extent)
+            saved = self.env.get(stmt.var)
+            for value in range(0, extent, stmt.step):
+                self.env[stmt.var] = value
+                for inner in stmt.body:
+                    self._exec(inner)
+            if saved is None:
+                self.env.pop(stmt.var, None)
+            else:
+                self.env[stmt.var] = saved
+            return
+        if isinstance(stmt, If):
+            lhs = self.eval_expr(stmt.lhs)
+            rhs = self.eval_expr(stmt.rhs)
+            taken = {
+                "<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs,
+            }[stmt.op]
+            if taken:
+                for inner in stmt.body:
+                    self._exec(inner)
+            return
+        if isinstance(stmt, MulAcc):
+            self._count("MulAcc")
+            acc = self._reg(stmt.dst)
+            a = self._reg(stmt.a).astype(np.int32)
+            b = self._reg(stmt.b).astype(np.int32)
+            if a.size != b.size or a.size != acc.size:
+                raise InterpreterError(
+                    f"MulAcc size mismatch: {acc.size}, {a.size}, {b.size}"
+                )
+            acc += a * b
+            return
+        if isinstance(stmt, RegAlloc):
+            self._count("RegAlloc")
+            self.regs[stmt.dst] = np.full(stmt.size, stmt.init, dtype=np.int32)
+            return
+        if isinstance(stmt, RAMLoad):
+            self._count("RAMLoad")
+            addr = self._tensor_addr(stmt.tensor, self.eval_expr(stmt.addr))
+            data = self.pool.load(addr, stmt.tensor)
+            self.regs[stmt.dst] = data.view(np.int8).copy()
+            return
+        if isinstance(stmt, FlashLoad):
+            self._count("FlashLoad")
+            region = self.flash[stmt.region]
+            off = self.eval_expr(stmt.offset)
+            if off < 0 or off + stmt.size > region.size:
+                raise InterpreterError(
+                    f"flash read [{off}, {off+stmt.size}) out of region "
+                    f"{stmt.region!r} ({region.size} bytes)"
+                )
+            self.regs[stmt.dst] = region[off : off + stmt.size].view(np.int8).copy()
+            return
+        if isinstance(stmt, Dot):
+            self._count("Dot")
+            acc = self._reg(stmt.dst)
+            a = self._reg(stmt.a).astype(np.int32)
+            b = self._reg(stmt.b).astype(np.int32)
+            n = acc.size
+            if b.size % a.size:
+                raise InterpreterError(
+                    f"Dot: block size {b.size} not a multiple of vector "
+                    f"size {a.size}"
+                )
+            block = b.reshape(a.size, b.size // a.size)
+            if block.shape[1] != n:
+                raise InterpreterError(
+                    f"Dot: accumulator size {n} != block columns {block.shape[1]}"
+                )
+            acc += a @ block
+            return
+        if isinstance(stmt, VectorAdd):
+            self._count("VectorAdd")
+            a = self._reg(stmt.a).astype(np.int16)
+            b = self._reg(stmt.b).astype(np.int16)
+            if a.size != b.size:
+                raise InterpreterError("VectorAdd operand size mismatch")
+            self.regs[stmt.dst] = np.clip(a + b, -128, 127).astype(np.int8)
+            return
+        if isinstance(stmt, Requantize):
+            self._count("Requantize")
+            src = self._reg(stmt.src)
+            mult = FixedPointMultiplier(
+                multiplier=stmt.multiplier, shift=stmt.shift
+            )
+            self.regs[stmt.dst] = requantize(src, mult)
+            return
+        if isinstance(stmt, RAMStore):
+            self._count("RAMStore")
+            addr = self._tensor_addr(stmt.tensor, self.eval_expr(stmt.addr))
+            data = self._reg(stmt.src)
+            if data.dtype != np.int8:
+                raise InterpreterError(
+                    f"RAMStore of non-int8 register {stmt.src!r} "
+                    f"({data.dtype}); requantize first"
+                )
+            self.pool.store(addr, data.view(np.uint8), stmt.tensor)
+            return
+        if isinstance(stmt, RAMFree):
+            self._count("RAMFree")
+            addr = self._tensor_addr(stmt.tensor, self.eval_expr(stmt.addr))
+            self.pool.free(addr, stmt.tensor)
+            return
+        if isinstance(stmt, Broadcast):
+            self._count("Broadcast")
+            value = self.eval_expr(stmt.value)
+            if not (-128 <= value <= 127):
+                raise InterpreterError(f"broadcast value {value} not int8")
+            self.regs[stmt.dst] = np.full(stmt.size, value, dtype=np.int8)
+            return
+        raise InterpreterError(f"unknown statement {stmt!r}")

@@ -1,0 +1,233 @@
+"""Kernel generators written in the DSL (the Section 6.2 library).
+
+These functions build the IR for the paper's kernels using
+:class:`~repro.ir.builder.KernelBuilder`.  Shapes are runtime parameters
+(``M``, ``NS``, ``KS``, base addresses), so one generated function serves
+every input configuration — the "dynamic input shapes so that the code size
+won't grow" property of Section 6.2.  Only the segment size and the
+requantization constants are baked in at generation time.
+
+The same IR drives both back ends: the interpreter (for verified simulated
+execution) and the C code generator (for the deployable source).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import Program
+from repro.quant import FixedPointMultiplier
+
+__all__ = [
+    "build_fc_kernel",
+    "build_pointwise_kernel",
+    "build_depthwise_kernel",
+    "build_conv2d_kernel",
+]
+
+
+def build_fc_kernel(
+    seg_bytes: int, mult: FixedPointMultiplier, *, unroll_inner: bool = False
+) -> Program:
+    """Fully connected kernel, Figure 4's two-level tiling in the DSL.
+
+    Runtime parameters: ``M`` (rows), ``KS``/``NS`` (K and N in segments),
+    ``in_base``/``out_base`` (pool addresses from the planner).  The Flash
+    weight region must be packed as ``[KS, NS, seg, seg]`` blocks
+    (:func:`repro.kernels.fully_connected.pack_fc_weights`).
+    """
+    seg = seg_bytes
+    b = KernelBuilder("vmcu_fc", seg_bytes=seg)
+    m_ext, ns_ext, ks_ext = b.int_params("M", "NS", "KS")
+    b.int_params("in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("Weight")
+    with b.loop("m", m_ext) as m:
+        with b.loop("n", ns_ext) as n:
+            acc = b.reg_alloc("acc", seg, 0)
+            with b.loop("k", ks_ext, unroll=unroll_inner) as k:
+                a = b.ram_load("a", "In", m * ks_ext + k)
+                wblk = b.flash_load(
+                    "w", "Weight", (k * ns_ext + n) * (seg * seg), seg * seg
+                )
+                b.dot(acc, a, wblk)
+            out = b.requantize("o", acc, mult)
+            b.ram_store("Out", m * ns_ext + n, out)
+        with b.loop("kf", ks_ext) as kf:
+            b.ram_free("In", m * ks_ext + kf)
+    return b.finish()
+
+
+def build_pointwise_kernel(
+    seg_bytes: int, mult: FixedPointMultiplier
+) -> Program:
+    """Pointwise convolution kernel (NHWC), stride as a runtime parameter.
+
+    Runtime parameters: ``P``/``Q`` (output extent), ``W`` (input width),
+    ``CE``/``CA`` (output/input channels in segments), ``ST`` (stride),
+    ``in_base``/``out_base``.  The input pixel is freed once its output
+    pixel completes — for stride > 1 the skipped pixels are freed by the
+    trailing cleanup loop emitted after the main nest.
+    """
+    seg = seg_bytes
+    b = KernelBuilder("vmcu_pointwise", seg_bytes=seg)
+    p_ext, q_ext, w_ext, ce, ca, st = b.int_params("P", "Q", "W", "CE", "CA", "ST")
+    hw = b.int_param("HW")  # total input pixels, for the trailing frees
+    b.int_params("in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("Weight")
+    with b.loop("p", p_ext) as p:
+        with b.loop("q", q_ext) as q:
+            with b.loop("n", ce) as n:
+                acc = b.reg_alloc("acc", seg, 0)
+                with b.loop("c", ca) as c:
+                    a = b.ram_load(
+                        "a", "In", ((p * st) * w_ext + q * st) * ca + c
+                    )
+                    wblk = b.flash_load(
+                        "w", "Weight", (c * ce + n) * (seg * seg), seg * seg
+                    )
+                    b.dot(acc, a, wblk)
+                out = b.requantize("o", acc, mult)
+                b.ram_store("Out", (p * q_ext + q) * ce + n, out)
+    # Frees trail the whole nest: simple and never early; the planner's
+    # distance does not depend on free placement (stale frees are no-ops).
+    with b.loop("fp", hw) as fp:
+        with b.loop("fc", ca) as fc:
+            b.ram_free("In", fp * ca + fc)
+    return b.finish()
+
+
+def build_depthwise_kernel(
+    seg_bytes: int, mult: FixedPointMultiplier
+) -> Program:
+    """Depthwise convolution with zero padding, expressed with guards.
+
+    Runtime parameters: ``P``/``Q`` (output extent), ``H``/``W`` (input
+    extent), ``CA`` (channels in segments), ``R`` (square kernel), ``ST``
+    (stride), ``PAD`` (padding), ``in_base``/``out_base``.  Border taps that
+    fall into the zero padding are skipped via ``If`` guards — their
+    contribution to the accumulator is implicitly zero, exactly like the
+    generated C.
+
+    The Flash weights must be packed as ``[R, R, CA, seg]`` (one segment of
+    per-channel taps per window position).
+    """
+    seg = seg_bytes
+    b = KernelBuilder("vmcu_depthwise", seg_bytes=seg)
+    p_ext, q_ext, h_ext, w_ext = b.int_params("P", "Q", "H", "W")
+    ca, r_ext, st, pad = b.int_params("CA", "R", "ST", "PAD")
+    b.int_params("in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("Weight")
+    with b.loop("p", p_ext) as p:
+        with b.loop("q", q_ext) as q:
+            with b.loop("c", ca) as c:
+                acc = b.reg_alloc("acc", seg, 0)
+                with b.loop("r", r_ext) as r:
+                    hh = p * st + r - pad
+                    with b.guard(hh, ">=", 0):
+                        with b.guard(hh, "<", h_ext):
+                            with b.loop("s", r_ext) as s_:
+                                ww = q * st + s_ - pad
+                                with b.guard(ww, ">=", 0):
+                                    with b.guard(ww, "<", w_ext):
+                                        a = b.ram_load(
+                                            "a", "In",
+                                            (hh * w_ext + ww) * ca + c,
+                                        )
+                                        wseg = b.flash_load(
+                                            "w", "Weight",
+                                            ((r * r_ext + s_) * ca + c) * seg,
+                                            seg,
+                                        )
+                                        b.mul_acc(acc, a, wseg)
+                out = b.requantize("o", acc, mult)
+                b.ram_store("Out", (p * q_ext + q) * ca + c, out)
+        # Free the input rows whose last reader is this output row: the
+        # band [p*ST - PAD, p*ST - PAD + ST - 1] (ST rows retire per
+        # output row; for stride 1 that is the single row p - PAD).
+        with b.loop("fr", st) as fr:
+            hh_f = p * st - pad + fr
+            with b.guard(hh_f, ">=", 0):
+                with b.guard(hh_f, "<", h_ext):
+                    with b.loop("fw", w_ext) as fw:
+                        with b.loop("fc", ca) as fc:
+                            b.ram_free("In", (hh_f * w_ext + fw) * ca + fc)
+    # trailing band: everything past the last per-row free (bottom padding
+    # plus stride remainder); R + ST iterations always reach H - 1
+    with b.loop("fh", r_ext + st) as fh:
+        hh_t = p_ext * st - pad + fh
+        with b.guard(hh_t, ">=", 0):
+            with b.guard(hh_t, "<", h_ext):
+                with b.loop("fw2", w_ext) as fw2:
+                    with b.loop("fc2", ca) as fc2:
+                        b.ram_free("In", (hh_t * w_ext + fw2) * ca + fc2)
+    return b.finish()
+
+
+def build_conv2d_kernel(
+    seg_bytes: int, mult: FixedPointMultiplier
+) -> Program:
+    """General 2D convolution (Figure 5) in the DSL: guards + Dot blocks.
+
+    Runtime parameters: ``P``/``Q``/``H``/``W`` (extents), ``CE``/``CA``
+    (output/input channels in segments), ``R`` (square kernel), ``ST``
+    (stride), ``PAD`` (padding), ``in_base``/``out_base``.  Flash weights
+    packed as ``[R, R, CA, CE, seg, seg]``
+    (:func:`repro.kernels.conv2d.pack_conv_weights`).  Frees follow the
+    receptive-field inverse, band by band, like the depthwise kernel.
+    """
+    seg = seg_bytes
+    b = KernelBuilder("vmcu_conv2d", seg_bytes=seg)
+    p_ext, q_ext, h_ext, w_ext = b.int_params("P", "Q", "H", "W")
+    ce, ca, r_ext, st, pad = b.int_params("CE", "CA", "R", "ST", "PAD")
+    b.int_params("in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("Weight")
+    blk = seg * seg
+    with b.loop("p", p_ext) as p:
+        with b.loop("q", q_ext) as q:
+            with b.loop("n", ce) as n:
+                acc = b.reg_alloc("acc", seg, 0)
+                with b.loop("r", r_ext) as r:
+                    hh = p * st + r - pad
+                    with b.guard(hh, ">=", 0):
+                        with b.guard(hh, "<", h_ext):
+                            with b.loop("s", r_ext) as s_:
+                                ww = q * st + s_ - pad
+                                with b.guard(ww, ">=", 0):
+                                    with b.guard(ww, "<", w_ext):
+                                        with b.loop("c", ca) as c:
+                                            a = b.ram_load(
+                                                "a", "In",
+                                                (hh * w_ext + ww) * ca + c,
+                                            )
+                                            wblk = b.flash_load(
+                                                "w", "Weight",
+                                                (((r * r_ext + s_) * ca + c)
+                                                 * ce + n) * blk,
+                                                blk,
+                                            )
+                                            b.dot(acc, a, wblk)
+                out = b.requantize("o", acc, mult)
+                b.ram_store("Out", (p * q_ext + q) * ce + n, out)
+        # retire the input bands the window has passed (see depthwise)
+        with b.loop("fr", st) as fr:
+            hh_f = p * st - pad + fr
+            with b.guard(hh_f, ">=", 0):
+                with b.guard(hh_f, "<", h_ext):
+                    with b.loop("fw", w_ext) as fw:
+                        with b.loop("fc", ca) as fc:
+                            b.ram_free("In", (hh_f * w_ext + fw) * ca + fc)
+    with b.loop("fh", r_ext + st) as fh:
+        hh_t = p_ext * st - pad + fh
+        with b.guard(hh_t, ">=", 0):
+            with b.guard(hh_t, "<", h_ext):
+                with b.loop("fw2", w_ext) as fw2:
+                    with b.loop("fc2", ca) as fc2:
+                        b.ram_free("In", (hh_t * w_ext + fw2) * ca + fc2)
+    return b.finish()

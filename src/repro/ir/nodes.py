@@ -1,0 +1,299 @@
+"""IR node definitions.
+
+A small two-level IR:
+
+* **Expressions** — integer arithmetic over loop variables and constants
+  (address computation).  Immutable dataclasses; evaluation happens in the
+  interpreter, structural rewriting in the passes.
+* **Statements** — structured loops plus the seven intrinsics of Section 6.1
+  (RegAlloc, RAMLoad, FlashLoad, Dot, RAMStore, RAMFree, Broadcast) and a
+  Requantize epilogue.  Register operands name virtual vector registers; RAM
+  operands address the circular segment pool in segment units.
+
+The IR is deliberately first-order: no function calls, no data-dependent
+control flow — exactly the subset a template-free MCU kernel needs, and the
+subset the C code generator can lower without a register allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import IRError
+
+__all__ = [
+    "Expr", "Var", "Const", "BinOp", "Add", "Sub", "Mul", "FloorDiv", "Mod",
+    "Min", "Max", "as_expr",
+    "Stmt", "For", "If", "RegAlloc", "RAMLoad", "FlashLoad", "Dot", "MulAcc",
+    "Requantize", "RAMStore", "RAMFree", "Broadcast", "VectorAdd", "Program",
+    "TensorDecl", "CMP_OPS",
+]
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+class Expr:
+    """Base class for integer expressions."""
+
+    def __add__(self, other): return Add(self, as_expr(other))
+    def __radd__(self, other): return Add(as_expr(other), self)
+    def __sub__(self, other): return Sub(self, as_expr(other))
+    def __rsub__(self, other): return Sub(as_expr(other), self)
+    def __mul__(self, other): return Mul(self, as_expr(other))
+    def __rmul__(self, other): return Mul(as_expr(other), self)
+    def __floordiv__(self, other): return FloorDiv(self, as_expr(other))
+    def __mod__(self, other): return Mod(self, as_expr(other))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop variable or named integer parameter."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary integer operation; subclasses fix the operator."""
+
+    a: Expr
+    b: Expr
+
+    op: str = field(default="?", init=False, repr=False)
+
+    def __repr__(self) -> str:
+        return f"({self.a!r} {self.op} {self.b!r})"
+
+
+class Add(BinOp):
+    op = "+"
+
+
+class Sub(BinOp):
+    op = "-"
+
+
+class Mul(BinOp):
+    op = "*"
+
+
+class FloorDiv(BinOp):
+    op = "//"
+
+
+class Mod(BinOp):
+    op = "%"
+
+
+class Min(BinOp):
+    op = "min"
+
+
+class Max(BinOp):
+    op = "max"
+
+
+def as_expr(x: Union[int, Expr]) -> Expr:
+    """Coerce Python ints to :class:`Const`."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, (int,)) and not isinstance(x, bool):
+        return Const(int(x))
+    raise IRError(f"cannot convert {x!r} to an IR expression")
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """Counted loop: ``for var in range(0, extent, step)``."""
+
+    var: str
+    extent: Expr
+    body: tuple[Stmt, ...]
+    step: int = 1
+    unroll: bool = False
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise IRError(f"loop step must be positive, got {self.step}")
+
+
+#: Comparison operators usable in :class:`If` guards.
+CMP_OPS = ("<", "<=", ">", ">=", "==")
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Guarded block: run ``body`` when ``lhs op rhs`` holds.
+
+    This is how padded convolution windows are expressed in the DSL — the
+    border taps are skipped rather than read (the zero-padding contribution
+    is implicit in the untouched accumulator).
+    """
+
+    lhs: Expr
+    op: str
+    rhs: Expr
+    body: tuple[Stmt, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in CMP_OPS:
+            raise IRError(f"unknown comparison {self.op!r}; want one of {CMP_OPS}")
+
+
+@dataclass(frozen=True)
+class RegAlloc(Stmt):
+    """Allocate a zero-initialized int32 accumulator register array."""
+
+    dst: str
+    size: int
+    init: int = 0
+
+
+@dataclass(frozen=True)
+class RAMLoad(Stmt):
+    """Load one segment from the circular pool into an int8 register array.
+
+    ``addr`` is a logical segment address; the runtime wraps it (the
+    boundary-check + modulo step of the kernel structure).
+    """
+
+    dst: str
+    tensor: str
+    addr: Expr
+
+
+@dataclass(frozen=True)
+class FlashLoad(Stmt):
+    """Load ``size`` bytes from a named Flash region at a byte offset."""
+
+    dst: str
+    region: str
+    offset: Expr
+    size: int
+
+
+@dataclass(frozen=True)
+class Dot(Stmt):
+    """Accumulate ``dst += a . b`` (int8 x int8 -> int32).
+
+    ``a`` is a vector register of SEG int8 values; ``b`` a SEG x SEG int8
+    block register.  Lowered to SXTB16 + SMLAD sequences on ARM.
+    """
+
+    dst: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class MulAcc(Stmt):
+    """Elementwise multiply-accumulate ``dst[i] += a[i] * b[i]``.
+
+    The depthwise-convolution inner step (no cross-channel reduction);
+    lowered to SXTB16 + SMLAD pairs like ``Dot``.
+    """
+
+    dst: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class VectorAdd(Stmt):
+    """Saturating int8 vector add ``dst = a + b`` (residual connections)."""
+
+    dst: str
+    a: str
+    b: str
+
+
+@dataclass(frozen=True)
+class Requantize(Stmt):
+    """Fixed-point requantize an int32 register into an int8 register."""
+
+    dst: str
+    src: str
+    multiplier: int
+    shift: int
+
+
+@dataclass(frozen=True)
+class RAMStore(Stmt):
+    """Store an int8 register array as one segment of a pool tensor."""
+
+    tensor: str
+    addr: Expr
+    src: str
+
+
+@dataclass(frozen=True)
+class RAMFree(Stmt):
+    """Release one segment of a pool tensor."""
+
+    tensor: str
+    addr: Expr
+
+
+@dataclass(frozen=True)
+class Broadcast(Stmt):
+    """Fill an int8 register with a scalar (PKHBT packing on ARM)."""
+
+    dst: str
+    size: int
+    value: Expr
+
+
+@dataclass(frozen=True)
+class TensorDecl:
+    """Declared kernel operand.
+
+    ``space`` is ``"ram"`` (lives in the segment pool, addressed by segment)
+    or ``"flash"`` (read-only region addressed by byte offset).
+    """
+
+    name: str
+    space: str
+    base: str | None = None  # name of the int parameter holding the base
+
+    def __post_init__(self) -> None:
+        if self.space not in ("ram", "flash"):
+            raise IRError(f"tensor {self.name!r}: bad space {self.space!r}")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete kernel: parameters, tensor declarations, body."""
+
+    name: str
+    params: tuple[str, ...]
+    tensors: tuple[TensorDecl, ...]
+    body: tuple[Stmt, ...]
+    seg_bytes: int
+
+    def tensor(self, name: str) -> TensorDecl:
+        for t in self.tensors:
+            if t.name == name:
+                return t
+        raise IRError(f"program {self.name!r} has no tensor {name!r}")

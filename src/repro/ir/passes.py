@@ -1,0 +1,276 @@
+"""IR transformation and validation passes.
+
+* :func:`constant_fold` — folds constant sub-expressions in addresses
+  (important after unrolling, where loop variables become literals).
+* :func:`unroll_loops` — expands loops marked ``unroll=True`` with constant
+  extents; this is the "fully unroll the innermost reduction loops" step
+  the paper credits for vMCU's pipeline behaviour (Section 7.2).
+* :func:`validate_program` — structural checks: every register is defined
+  before use, loop variables don't escape, every tensor reference is
+  declared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import IRError
+from repro.ir.nodes import (
+    Add,
+    If,
+    MulAcc,
+    BinOp,
+    Broadcast,
+    Const,
+    Dot,
+    Expr,
+    FlashLoad,
+    FloorDiv,
+    For,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Program,
+    RAMFree,
+    RAMLoad,
+    RAMStore,
+    RegAlloc,
+    Requantize,
+    Stmt,
+    Sub,
+    Var,
+    VectorAdd,
+)
+
+__all__ = ["constant_fold", "unroll_loops", "validate_program", "substitute"]
+
+
+# --------------------------------------------------------------------------- #
+# expression rewriting
+# --------------------------------------------------------------------------- #
+def substitute(expr: Expr, bindings: dict[str, int]) -> Expr:
+    """Replace variables with integer constants."""
+    if isinstance(expr, Var):
+        if expr.name in bindings:
+            return Const(bindings[expr.name])
+        return expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, BinOp):
+        return type(expr)(
+            substitute(expr.a, bindings), substitute(expr.b, bindings)
+        )
+    raise IRError(f"cannot substitute in {expr!r}")
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Bottom-up constant folding with a few algebraic identities."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if not isinstance(expr, BinOp):
+        raise IRError(f"cannot fold {expr!r}")
+    a = fold_expr(expr.a)
+    b = fold_expr(expr.b)
+    if isinstance(a, Const) and isinstance(b, Const):
+        av, bv = a.value, b.value
+        if isinstance(expr, Add):
+            return Const(av + bv)
+        if isinstance(expr, Sub):
+            return Const(av - bv)
+        if isinstance(expr, Mul):
+            return Const(av * bv)
+        if isinstance(expr, FloorDiv):
+            if bv == 0:
+                raise IRError("constant division by zero")
+            return Const(av // bv)
+        if isinstance(expr, Mod):
+            if bv == 0:
+                raise IRError("constant modulo by zero")
+            return Const(av % bv)
+        if isinstance(expr, Min):
+            return Const(min(av, bv))
+        if isinstance(expr, Max):
+            return Const(max(av, bv))
+    # identities: x+0, 0+x, x*1, 1*x, x*0, 0*x, x-0
+    if isinstance(expr, Add):
+        if isinstance(a, Const) and a.value == 0:
+            return b
+        if isinstance(b, Const) and b.value == 0:
+            return a
+    if isinstance(expr, Sub) and isinstance(b, Const) and b.value == 0:
+        return a
+    if isinstance(expr, Mul):
+        for x, y in ((a, b), (b, a)):
+            if isinstance(x, Const):
+                if x.value == 0:
+                    return Const(0)
+                if x.value == 1:
+                    return y
+    return type(expr)(a, b)
+
+
+# --------------------------------------------------------------------------- #
+# statement rewriting
+# --------------------------------------------------------------------------- #
+def _map_exprs(stmt: Stmt, fn) -> Stmt:
+    """Apply ``fn`` to every expression operand of one statement."""
+    if isinstance(stmt, For):
+        return replace(
+            stmt, extent=fn(stmt.extent), body=tuple(_map_exprs(s, fn) for s in stmt.body)
+        )
+    if isinstance(stmt, If):
+        return replace(
+            stmt, lhs=fn(stmt.lhs), rhs=fn(stmt.rhs),
+            body=tuple(_map_exprs(s, fn) for s in stmt.body),
+        )
+    if isinstance(stmt, RAMLoad):
+        return replace(stmt, addr=fn(stmt.addr))
+    if isinstance(stmt, FlashLoad):
+        return replace(stmt, offset=fn(stmt.offset))
+    if isinstance(stmt, RAMStore):
+        return replace(stmt, addr=fn(stmt.addr))
+    if isinstance(stmt, RAMFree):
+        return replace(stmt, addr=fn(stmt.addr))
+    if isinstance(stmt, Broadcast):
+        return replace(stmt, value=fn(stmt.value))
+    return stmt
+
+
+def constant_fold(program: Program) -> Program:
+    """Fold constant arithmetic throughout the program."""
+    body = tuple(_map_exprs(s, fold_expr) for s in program.body)
+    return replace(program, body=body)
+
+
+def _unroll_stmt(stmt: Stmt) -> list[Stmt]:
+    if isinstance(stmt, If):
+        body = tuple(s2 for s in stmt.body for s2 in _unroll_stmt(s))
+        if isinstance(stmt.lhs, Const) and isinstance(stmt.rhs, Const):
+            lhs, rhs = stmt.lhs.value, stmt.rhs.value
+            taken = {
+                "<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs,
+            }[stmt.op]
+            return list(body) if taken else []
+        return [replace(stmt, body=body)]
+    if not isinstance(stmt, For):
+        return [stmt]
+    body = [inner for s in stmt.body for inner in _unroll_stmt(s)]
+    if not stmt.unroll:
+        return [replace(stmt, body=tuple(body))]
+    if not isinstance(stmt.extent, Const):
+        raise IRError(
+            f"cannot unroll loop {stmt.var!r}: extent {stmt.extent!r} is "
+            "not a constant (run constant_fold first)"
+        )
+    out: list[Stmt] = []
+    for value in range(0, stmt.extent.value, stmt.step):
+        bindings = {stmt.var: value}
+        for inner in body:
+            bound = _map_exprs(
+                inner, lambda e: fold_expr(substitute(e, bindings))
+            )
+            # substitution may have made guard conditions constant
+            out.extend(_resolve_static_guards(bound))
+    return out
+
+
+def _resolve_static_guards(stmt: Stmt) -> list[Stmt]:
+    """Fold If statements whose condition became a compile-time constant."""
+    if isinstance(stmt, If):
+        body = [
+            s2 for s in stmt.body for s2 in _resolve_static_guards(s)
+        ]
+        if isinstance(stmt.lhs, Const) and isinstance(stmt.rhs, Const):
+            lhs, rhs = stmt.lhs.value, stmt.rhs.value
+            taken = {
+                "<": lhs < rhs, "<=": lhs <= rhs, ">": lhs > rhs,
+                ">=": lhs >= rhs, "==": lhs == rhs,
+            }[stmt.op]
+            return body if taken else []
+        return [replace(stmt, body=tuple(body))]
+    if isinstance(stmt, For):
+        body = [s2 for s in stmt.body for s2 in _resolve_static_guards(s)]
+        return [replace(stmt, body=tuple(body))]
+    return [stmt]
+
+
+def unroll_loops(program: Program) -> Program:
+    """Expand all loops marked ``unroll=True`` (requires constant extents)."""
+    body = tuple(s2 for s in program.body for s2 in _unroll_stmt(s))
+    return replace(program, body=body)
+
+
+# --------------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------------- #
+def _expr_vars(expr: Expr) -> set[str]:
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Const):
+        return set()
+    if isinstance(expr, BinOp):
+        return _expr_vars(expr.a) | _expr_vars(expr.b)
+    raise IRError(f"unknown expression {expr!r}")
+
+
+def validate_program(program: Program) -> None:
+    """Check definitions-before-use and scoping; raises :class:`IRError`.
+
+    Register liveness is checked along the program's textual order, which is
+    a sound approximation for the loop-structured kernels the builder can
+    express (a register defined in an earlier sibling statement stays
+    available).
+    """
+    tensor_names = {t.name for t in program.tensors}
+    declared_params = set(program.params)
+
+    def walk(stmts: tuple[Stmt, ...], scope: set[str], regs: set[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, If):
+                for v in _expr_vars(stmt.lhs) | _expr_vars(stmt.rhs):
+                    if v not in scope:
+                        raise IRError(f"If guard uses unbound {v!r}")
+                walk(stmt.body, scope, regs)
+                continue
+            if isinstance(stmt, For):
+                for v in _expr_vars(stmt.extent):
+                    if v not in scope:
+                        raise IRError(f"loop extent uses unbound {v!r}")
+                if stmt.var in scope:
+                    raise IRError(f"loop var {stmt.var!r} shadows a binding")
+                walk(stmt.body, scope | {stmt.var}, regs)
+                continue
+            for attr in ("addr", "offset", "value"):
+                expr = getattr(stmt, attr, None)
+                if expr is not None:
+                    for v in _expr_vars(expr):
+                        if v not in scope:
+                            raise IRError(
+                                f"{type(stmt).__name__} uses unbound {v!r}"
+                            )
+            tensor = getattr(stmt, "tensor", None) or getattr(stmt, "region", None)
+            if tensor is not None and tensor not in tensor_names:
+                raise IRError(f"{type(stmt).__name__} uses unknown tensor {tensor!r}")
+            if isinstance(stmt, (RegAlloc, RAMLoad, FlashLoad, Broadcast)):
+                regs.add(stmt.dst)
+            if isinstance(stmt, (Dot, MulAcc)):
+                for r in (stmt.dst, stmt.a, stmt.b):
+                    if r not in regs:
+                        raise IRError(
+                            f"{type(stmt).__name__} uses undefined register {r!r}"
+                        )
+            if isinstance(stmt, VectorAdd):
+                for r in (stmt.a, stmt.b):
+                    if r not in regs:
+                        raise IRError(f"VectorAdd uses undefined register {r!r}")
+                regs.add(stmt.dst)
+            if isinstance(stmt, Requantize):
+                if stmt.src not in regs:
+                    raise IRError(f"Requantize of undefined register {stmt.src!r}")
+                regs.add(stmt.dst)
+            if isinstance(stmt, RAMStore) and stmt.src not in regs:
+                raise IRError(f"RAMStore of undefined register {stmt.src!r}")
+
+    walk(program.body, declared_params, set())

@@ -1,0 +1,314 @@
+"""Fused inverted-bottleneck kernel (Figure 6).
+
+The fused kernel streams through output pixels of the block's final tensor
+``E``.  For each pixel it:
+
+1. materializes the depthwise window of the expanded tensor ``B`` in a tiny
+   workspace (``k x k`` segments), loading the needed pixels of ``A`` from
+   the circular pool and computing the first pointwise convolution on the
+   fly (column-rolling: entries still in the window are reused, new ones are
+   recomputed — the paper's recompute/workspace trade-off);
+2. computes one segment of ``C`` (depthwise) and one segment of ``D``
+   (second pointwise) in workspace;
+3. adds the residual segment of ``A`` when the block has a skip connection;
+4. stores the ``E`` segment back into the pool, where it may land on pool
+   slots whose ``A`` rows the receptive field has already passed.
+
+Only ``A`` and ``E`` ever live in the pool; the intermediates occupy
+``k*k + 1 + 1`` workspace segments (11 for a 3x3 depthwise) exactly as the
+paper counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.multilayer import (
+    BottleneckSpec,
+    FusedBlockPlan,
+    InvertedBottleneckPlanner,
+    compose_receptive_field,
+)
+from repro.core.pool import CircularSegmentPool
+from repro.errors import ShapeError
+from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport, Profiler
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["FusedBottleneckKernel"]
+
+
+class FusedBottleneckKernel:
+    """Executable fused kernel for one :class:`BottleneckSpec`."""
+
+    def __init__(
+        self,
+        spec: BottleneckSpec,
+        *,
+        halo_mode: str = "cache_rows",
+        planner: InvertedBottleneckPlanner | None = None,
+    ):
+        self.spec = spec
+        self.planner = planner or InvertedBottleneckPlanner(halo_mode=halo_mode)
+
+    def plan(self) -> FusedBlockPlan:
+        return self.planner.plan(self.spec)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray,
+        w_expand: np.ndarray,
+        w_dw: np.ndarray,
+        w_project: np.ndarray,
+        mults: tuple[
+            FixedPointMultiplier, FixedPointMultiplier, FixedPointMultiplier
+        ],
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: FusedBlockPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "A",
+        out_name: str = "E",
+        place_input: bool = True,
+    ) -> KernelRun:
+        """Simulated fused execution, bit-exact against the reference chain.
+
+        ``in_name``/``out_name`` tag pool ownership for chained pipelines;
+        ``place_input=False`` means the input already sits at
+        ``plan.in_base`` (left there by the previous stage).
+        """
+        spec = self.spec
+        if x.shape != (spec.hw, spec.hw, spec.c_in) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{spec.hw},{spec.hw},{spec.c_in}], got {x.shape}"
+            )
+        if w_expand.shape != (spec.c_in, spec.c_mid):
+            raise ShapeError(f"w_expand must be [{spec.c_in},{spec.c_mid}]")
+        if w_dw.shape != (spec.kernel, spec.kernel, spec.c_mid):
+            raise ShapeError(
+                f"w_dw must be [{spec.kernel},{spec.kernel},{spec.c_mid}]"
+            )
+        if w_project.shape != (spec.c_mid, spec.c_out):
+            raise ShapeError(f"w_project must be [{spec.c_mid},{spec.c_out}]")
+        m1, mdw, m2 = mults
+        plan = plan or self.plan()
+        profiler = Profiler(device)
+        if pool is None:
+            pool = CircularSegmentPool(
+                n_slots=plan.span_slots,
+                seg_bytes=plan.seg_bytes,
+                strict=strict,
+                profiler=profiler,
+            )
+        else:
+            pool.profiler = profiler
+
+        seg = plan.seg_bytes
+        ca = spec.c_in // seg
+        ce = spec.c_out // seg
+        s1, s2, s3 = spec.strides
+        pad = spec.padding
+        k = spec.kernel
+        hb = spec.mid_spatial()  # spatial extent of B (and C before stride s3)
+        p_out = spec.spatial_out()
+        # C's spatial extent (after depthwise, before the pw-project stride)
+        hc = (hb + 2 * pad - k) // s2 + 1
+        rf = compose_receptive_field(spec.stages)
+        h = w = spec.hw
+
+        if place_input:
+            # Input placement is the previous layer's traffic; do not
+            # charge it to this kernel's profile.
+            pool.profiler = None
+            pool.store_tensor(plan.in_base, x, in_name)
+            pool.profiler = profiler
+        w1 = w_expand.astype(np.int32)
+        wdw = w_dw.astype(np.int32)
+        w2 = w_project.astype(np.int32)
+
+        def in_addr(hh: int, ww: int, cs: int) -> int:
+            return plan.in_base + (hh * w + ww) * ca + cs
+
+        def load_a_pixel(hh: int, ww: int) -> np.ndarray:
+            parts = [
+                pool.load(in_addr(hh, ww, cs), in_name).view(np.int8)
+                for cs in range(ca)
+            ]
+            return np.concatenate(parts)
+
+        def compute_b(pb: int, qb: int) -> np.ndarray:
+            """First pointwise conv for one B pixel (int8 after requant)."""
+            a = load_a_pixel(pb * s1, qb * s1)
+            acc = a.astype(np.int32) @ w1
+            profiler.count_macs(spec.c_in * spec.c_mid)
+            profiler.count_flash(spec.c_in * spec.c_mid)
+            profiler.count_requantize(spec.c_mid)
+            # workspace store of the fresh B segment
+            profiler.count_sram(spec.c_mid, store=True)
+            return requantize(acc, m1)
+
+        # Workspace for B segments: a rolling k x k window ("recompute"
+        # mode, the literal Figure 6 buffer) or k rolling rows
+        # ("cache_rows" mode, each B pixel computed exactly once).
+        cache_rows = self.planner.halo_mode == "cache_rows"
+        b_cache: dict[tuple[int, int], np.ndarray] = {}
+
+        free_row = 0
+        for p in range(p_out):
+            for q in range(p_out):
+                # -- step 1: the B window this E pixel's dw stage needs
+                pc, qc = p * s3, q * s3  # the C pixel the pw-project reads
+                window: dict[tuple[int, int], np.ndarray] = {}
+                for dr in range(k):
+                    pb = pc * s2 + dr - pad
+                    if not (0 <= pb < hb):
+                        continue
+                    for ds in range(k):
+                        qb = qc * s2 + ds - pad
+                        if not (0 <= qb < hb):
+                            continue
+                        cached = b_cache.get((pb, qb))
+                        if cached is None:
+                            cached = compute_b(pb, qb)
+                            if cache_rows:
+                                b_cache[(pb, qb)] = cached
+                        window[(pb, qb)] = cached
+                if not cache_rows:
+                    b_cache = window  # evict everything the window passed
+
+                # -- step 2: one C segment (depthwise on the window)
+                acc_c = np.zeros(spec.c_mid, dtype=np.int32)
+                for dr in range(k):
+                    pb = pc * s2 + dr - pad
+                    for ds in range(k):
+                        qb = qc * s2 + ds - pad
+                        bseg = b_cache.get((pb, qb))
+                        if bseg is None:
+                            continue  # zero padding
+                        profiler.count_sram(spec.c_mid, store=False)
+                        acc_c += bseg.astype(np.int32) * wdw[dr, ds]
+                        profiler.count_macs(spec.c_mid)
+                profiler.count_flash(k * k * spec.c_mid)
+                c_seg = requantize(acc_c, mdw)
+                profiler.count_requantize(spec.c_mid)
+                profiler.count_sram(spec.c_mid, store=True)
+
+                # -- step 3: one D segment (second pointwise)
+                profiler.count_sram(spec.c_mid, store=False)
+                acc_d = c_seg.astype(np.int32) @ w2
+                profiler.count_macs(spec.c_mid * spec.c_out)
+                profiler.count_flash(spec.c_mid * spec.c_out)
+                d_seg = requantize(acc_d, m2)
+                profiler.count_requantize(spec.c_out)
+
+                # -- step 4: residual add with the A segment loaded earlier
+                if spec.has_residual:
+                    a_res = load_a_pixel(p, q)
+                    e_seg = np.clip(
+                        d_seg.astype(np.int16) + a_res.astype(np.int16), -128, 127
+                    ).astype(np.int8)
+                    profiler.count_instr("SADD16", spec.c_out / 2.0)
+                else:
+                    e_seg = d_seg
+
+                # -- step 5: store E back to the pool (may evict dead A rows)
+                e_bytes = e_seg.view(np.uint8)
+                for j in range(ce):
+                    pool.store(
+                        plan.out_base + (p * p_out + q) * ce + j,
+                        e_bytes[j * seg : (j + 1) * seg],
+                        out_name,
+                    )
+
+            if cache_rows:
+                # roll the B row cache: rows below the next window are dead
+                min_needed = (p + 1) * s3 * s2 - pad
+                for key in [kk for kk in b_cache if kk[0] < min_needed]:
+                    del b_cache[key]
+            while free_row < h and last_reader_row(
+                free_row, jump=rf.jump, offset=rf.offset, last_row=p_out - 1
+            ) <= p:
+                for ww in range(w):
+                    for cs in range(ca):
+                        pool.free(in_addr(free_row, ww, cs), in_name)
+                free_row += 1
+        while free_row < h:
+            for ww in range(w):
+                for cs in range(ca):
+                    pool.free(in_addr(free_row, ww, cs), in_name)
+            free_row += 1
+
+        report = profiler.report()
+        pool.profiler = None
+        flat = pool.read_tensor(plan.out_base, p_out * p_out * ce, out_name)
+        output = flat.view(np.int8).reshape(p_out, p_out, spec.c_out)
+        return KernelRun(
+            output=output, plan=plan, pool_stats=pool.stats, report=report
+        )
+
+    # ------------------------------------------------------------------ #
+    # analytic cost
+    # ------------------------------------------------------------------ #
+    def recompute_count(self) -> int:
+        """Number of B-pixel computations the rolling window performs.
+
+        Column rolling reuses window entries as ``q`` advances; each output
+        row recomputes its window rows from scratch (the ``k x k`` workspace
+        cannot cache across rows).  ``cache_rows`` mode computes every B
+        pixel exactly once.
+        """
+        spec = self.spec
+        k = spec.kernel
+        p_out = spec.spatial_out()
+        hb = spec.mid_spatial()
+        s2, s3 = spec.strides[1], spec.strides[2]
+        if self.planner.halo_mode == "cache_rows":
+            return hb * hb
+        shift = s2 * s3  # window column shift per output pixel step
+        per_row_cols = min(k + (p_out - 1) * shift, hb) if p_out > 1 else min(k, hb)
+        # k window rows per output row, clipped by padding at the borders
+        return p_out * min(k, hb) * per_row_cols
+
+    def cost(self, device: DeviceProfile = STM32F411RE) -> CostReport:
+        """Analytic cost for figure-scale blocks (Table 3 / Figure 9)."""
+        spec = self.spec
+        k = spec.kernel
+        px = spec.spatial_out() ** 2
+        b_computes = self.recompute_count()
+        macs = (
+            b_computes * spec.c_in * spec.c_mid
+            + px * k * k * spec.c_mid
+            + px * spec.c_mid * spec.c_out
+        )
+        sram_loads = (
+            b_computes * spec.c_in  # A pixels feeding pw-expand
+            + px * k * k * spec.c_mid  # B window reads for depthwise
+            + px * spec.c_mid  # C segment read by pw-project
+            + (px * spec.c_in if spec.has_residual else 0)
+        )
+        sram_stores = (
+            b_computes * spec.c_mid  # fresh B segments into workspace
+            + px * spec.c_mid  # C segments
+            + px * spec.c_out  # E segments
+        )
+        flash = (
+            b_computes * spec.c_in * spec.c_mid
+            + px * k * k * spec.c_mid
+            + px * spec.c_mid * spec.c_out
+        )
+        requant = b_computes * spec.c_mid + px * spec.c_mid + px * spec.c_out
+        ca = spec.c_in // self.planner.segment_bytes(spec)
+        ce = spec.c_out // self.planner.segment_bytes(spec)
+        seg_ops = b_computes * ca + px * (ce + (ca if spec.has_residual else 0))
+        seg_ops += spec.hw * spec.hw * ca  # frees
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=sram_loads,
+            sram_store_bytes=sram_stores,
+            flash_bytes=flash,
+            requant_elements=requant,
+            segment_ops=seg_ops,
+        )

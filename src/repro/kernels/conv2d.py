@@ -1,0 +1,271 @@
+"""Segment-aware 2D convolution kernel (Figure 5).
+
+NHWC input, ``[R, S, C, K]`` weights in Flash, zero padding, stride.  The
+loop nest matches the paper's pseudo code: output pixels in row-major order,
+per output-channel tile a reduction over the window and input-channel
+segments, then RAMStore of the output segment.  Input rows are freed once
+the sliding window has passed them (the receptive-field inverse), which is
+what lets the output overlap the input region the window no longer needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.core.pool import CircularSegmentPool
+from repro.core.segment_size import select_segment_size
+from repro.errors import ShapeError
+from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row, make_pool
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport, Profiler
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["Conv2dKernel", "pack_conv_weights"]
+
+
+def pack_conv_weights(w: np.ndarray, seg: int) -> np.ndarray:
+    """Re-layout ``W[R,S,C,K]`` into ``[R, S, Cs, Ks, seg, seg]`` blocks."""
+    r, s, c, k = w.shape
+    if c % seg or k % seg:
+        raise ShapeError(f"segment {seg} does not tile weight {w.shape}")
+    return (
+        w.reshape(r, s, c // seg, seg, k // seg, seg)
+        .transpose(0, 1, 2, 4, 3, 5)
+        .copy()
+    )
+
+
+class Conv2dKernel:
+    """General 2D convolution with partial input/output overlap."""
+
+    def __init__(
+        self,
+        h: int,
+        w: int,
+        c: int,
+        k: int,
+        *,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        seg_bytes: int | None = None,
+    ):
+        if min(h, w, c, k, kernel) <= 0 or stride <= 0 or padding < 0:
+            raise ShapeError(
+                f"bad conv2d config {(h, w, c, k, kernel, stride, padding)}"
+            )
+        self.h, self.w, self.c, self.k = h, w, c, k
+        self.r = kernel
+        self.stride = stride
+        self.padding = padding
+        self.p = (h + 2 * padding - kernel) // stride + 1
+        self.q = (w + 2 * padding - kernel) // stride + 1
+        if self.p <= 0 or self.q <= 0:
+            raise ShapeError(f"conv2d output collapses: {(self.p, self.q)}")
+        self.seg_bytes = seg_bytes or select_segment_size(c, k)
+        if c % self.seg_bytes or k % self.seg_bytes:
+            raise ShapeError(
+                f"segment size {self.seg_bytes} does not divide C={c} / K={k}"
+            )
+        self.ca = c // self.seg_bytes
+        self.ce = k // self.seg_bytes
+
+    @property
+    def in_segments(self) -> int:
+        return self.h * self.w * self.ca
+
+    @property
+    def out_segments(self) -> int:
+        return self.p * self.q * self.ce
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def accesses(
+        self,
+    ) -> tuple[IterationDomain, list[TensorAccess], list[TensorAccess]]:
+        """Affine system on the (p, q, n, r, s, c) nest of Figure 5.
+
+        Window reads are guarded by the padding bounds; the output write is
+        guarded to the last inner instance (the store physically follows the
+        reduction).
+        """
+        st, pad, r = self.stride, self.padding, self.r
+        domain = IterationDomain(
+            extents=(self.p, self.q, self.ce, r, r, self.ca),
+            names=("p", "q", "n", "r", "s", "c"),
+        )
+        h, w = self.h, self.w
+
+        def in_bounds(instances: np.ndarray) -> np.ndarray:
+            rows = instances[:, 0] * st + instances[:, 3] - pad
+            cols = instances[:, 1] * st + instances[:, 4] - pad
+            return (rows >= 0) & (rows < h) & (cols >= 0) & (cols < w)
+
+        reads = [
+            TensorAccess(
+                tensor="In",
+                access=AccessFunction(
+                    matrix=(
+                        (st, 0, 0, 1, 0, 0),
+                        (0, st, 0, 0, 1, 0),
+                        (0, 0, 0, 0, 0, 1),
+                    ),
+                    offset=(-pad, -pad, 0),
+                ),
+                layout=RowMajorLayout(shape=(h, w, self.ca)),
+                guard=in_bounds,
+            )
+        ]
+
+        last = (r - 1, r - 1, self.ca - 1)
+
+        def at_last_inner(instances: np.ndarray) -> np.ndarray:
+            return (
+                (instances[:, 3] == last[0])
+                & (instances[:, 4] == last[1])
+                & (instances[:, 5] == last[2])
+            )
+
+        writes = [
+            TensorAccess(
+                tensor="Out",
+                access=AccessFunction(
+                    matrix=(
+                        (1, 0, 0, 0, 0, 0),
+                        (0, 1, 0, 0, 0, 0),
+                        (0, 0, 1, 0, 0, 0),
+                    )
+                ),
+                layout=RowMajorLayout(shape=(self.p, self.q, self.ce)),
+                guard=at_last_inner,
+            )
+        ]
+        return domain, writes, reads
+
+    def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
+        planner = planner or SingleLayerPlanner()
+        domain, writes, reads = self.accesses()
+        return planner.plan(
+            domain,
+            writes,
+            reads,
+            in_segments=self.in_segments,
+            out_segments=self.out_segments,
+            seg_bytes=self.seg_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+    ) -> KernelRun:
+        if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
+            )
+        if w.shape != (self.r, self.r, self.c, self.k) or w.dtype != np.int8:
+            raise ShapeError(
+                f"weight must be int8[{self.r},{self.r},{self.c},{self.k}]"
+            )
+        plan = plan or self.plan()
+        profiler = Profiler(device)
+        if pool is None:
+            pool = make_pool(plan, strict=strict, profiler=profiler)
+        else:
+            pool.profiler = profiler
+        seg = plan.seg_bytes
+        # Input placement is the previous layer's traffic; do not
+        # charge it to this kernel's profile.
+        pool.profiler = None
+        pool.store_tensor(plan.in_base, x, "In")
+        pool.profiler = profiler
+        packed = pack_conv_weights(w, seg)
+        st, pad = self.stride, self.padding
+
+        def in_addr(hh: int, ww: int, cs: int) -> int:
+            return plan.in_base + (hh * self.w + ww) * self.ca + cs
+
+        free_row = 0
+        for p in range(self.p):
+            for q in range(self.q):
+                for ns in range(self.ce):
+                    acc = np.zeros(seg, dtype=np.int32)
+                    for dr in range(self.r):
+                        hh = p * st + dr - pad
+                        if not (0 <= hh < self.h):
+                            continue
+                        for ds in range(self.r):
+                            ww = q * st + ds - pad
+                            if not (0 <= ww < self.w):
+                                continue
+                            for cs in range(self.ca):
+                                a = pool.load(in_addr(hh, ww, cs), "In").view(np.int8)
+                                blk = packed[dr, ds, cs, ns]
+                                profiler.count_flash(seg * seg)
+                                acc += a.astype(np.int32) @ blk.astype(np.int32)
+                                profiler.count_macs(seg * seg)
+                    out8 = requantize(acc, mult)
+                    profiler.count_requantize(seg)
+                    pool.store(
+                        plan.out_base + (p * self.q + q) * self.ce + ns,
+                        out8.view(np.uint8),
+                        "Out",
+                    )
+            # the window has moved past: free input rows whose last reader
+            # is this output row
+            while free_row < self.h and last_reader_row(
+                free_row, jump=st, offset=-pad, last_row=self.p - 1
+            ) <= p:
+                for ww in range(self.w):
+                    for cs in range(self.ca):
+                        pool.free(in_addr(free_row, ww, cs), "In")
+                free_row += 1
+        while free_row < self.h:
+            for ww in range(self.w):
+                for cs in range(self.ca):
+                    pool.free(in_addr(free_row, ww, cs), "In")
+            free_row += 1
+
+        report = profiler.report()
+        pool.profiler = None
+        flat = pool.read_tensor(plan.out_base, self.out_segments, "Out")
+        output = flat.view(np.int8).reshape(self.p, self.q, self.k)
+        return KernelRun(
+            output=output, plan=plan, pool_stats=pool.stats, report=report
+        )
+
+    # ------------------------------------------------------------------ #
+    # analytic cost
+    # ------------------------------------------------------------------ #
+    def cost(self, device: DeviceProfile = STM32F411RE) -> CostReport:
+        px = self.p * self.q
+        # padding clips roughly nothing for figure-scale shapes; count full
+        # windows (upper bound; the simulator counts exactly)
+        taps = self.r * self.r
+        macs = px * taps * self.c * self.k
+        seg_ops = px * self.ce * (taps * self.ca + 1) + self.h * self.w * self.ca
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=px * self.ce * taps * self.c,
+            sram_store_bytes=px * self.k,
+            flash_bytes=macs,
+            requant_elements=px * self.k,
+            segment_ops=seg_ops,
+        )

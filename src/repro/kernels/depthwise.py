@@ -1,0 +1,207 @@
+"""Segment-aware depthwise convolution kernel.
+
+Depthwise layers have no cross-channel reuse, which is why tensor-level
+managers (TinyEngine) can update them in place.  vMCU's segment-level plan
+recovers exactly the same footprint (the paper notes the two coincide for
+depthwise), so this kernel doubles as the agreement check between the two
+management schemes: its planned span equals ``max(in, out)`` plus the small
+window halo that in-place execution also needs.
+
+The segment is one full pixel (``C`` bytes) on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.core.pool import CircularSegmentPool
+from repro.errors import ShapeError
+from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row, make_pool
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport, Profiler
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["DepthwiseConvKernel"]
+
+
+class DepthwiseConvKernel:
+    """``Out[P,Q,C] = requant(dwconv(In[H,W,C], W[R,S,C]))`` in the pool."""
+
+    def __init__(
+        self,
+        h: int,
+        w: int,
+        c: int,
+        *,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+    ):
+        if min(h, w, c, kernel) <= 0 or stride <= 0 or padding < 0:
+            raise ShapeError(f"bad depthwise config {(h, w, c, kernel, stride)}")
+        self.h, self.w, self.c = h, w, c
+        self.r = kernel
+        self.stride = stride
+        self.padding = padding
+        self.p = (h + 2 * padding - kernel) // stride + 1
+        self.q = (w + 2 * padding - kernel) // stride + 1
+        if self.p <= 0 or self.q <= 0:
+            raise ShapeError(f"depthwise output collapses: {(self.p, self.q)}")
+        self.seg_bytes = c  # one pixel per segment on both sides
+
+    @property
+    def in_segments(self) -> int:
+        return self.h * self.w
+
+    @property
+    def out_segments(self) -> int:
+        return self.p * self.q
+
+    # ------------------------------------------------------------------ #
+    def accesses(
+        self,
+    ) -> tuple[IterationDomain, list[TensorAccess], list[TensorAccess]]:
+        st, pad, r = self.stride, self.padding, self.r
+        domain = IterationDomain(
+            extents=(self.p, self.q, r, r), names=("p", "q", "r", "s")
+        )
+        h, w = self.h, self.w
+
+        def in_bounds(instances: np.ndarray) -> np.ndarray:
+            rows = instances[:, 0] * st + instances[:, 2] - pad
+            cols = instances[:, 1] * st + instances[:, 3] - pad
+            return (rows >= 0) & (rows < h) & (cols >= 0) & (cols < w)
+
+        reads = [
+            TensorAccess(
+                tensor="In",
+                access=AccessFunction(
+                    matrix=((st, 0, 1, 0), (0, st, 0, 1)),
+                    offset=(-pad, -pad),
+                ),
+                layout=RowMajorLayout(shape=(h, w)),
+                guard=in_bounds,
+            )
+        ]
+
+        def at_last_inner(instances: np.ndarray) -> np.ndarray:
+            return (instances[:, 2] == r - 1) & (instances[:, 3] == r - 1)
+
+        writes = [
+            TensorAccess(
+                tensor="Out",
+                access=AccessFunction(matrix=((1, 0, 0, 0), (0, 1, 0, 0))),
+                layout=RowMajorLayout(shape=(self.p, self.q)),
+                guard=at_last_inner,
+            )
+        ]
+        return domain, writes, reads
+
+    def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
+        planner = planner or SingleLayerPlanner()
+        domain, writes, reads = self.accesses()
+        return planner.plan(
+            domain,
+            writes,
+            reads,
+            in_segments=self.in_segments,
+            out_segments=self.out_segments,
+            seg_bytes=self.seg_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+    ) -> KernelRun:
+        if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
+            )
+        if w.shape != (self.r, self.r, self.c) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{self.r},{self.r},{self.c}]")
+        plan = plan or self.plan()
+        profiler = Profiler(device)
+        if pool is None:
+            pool = make_pool(plan, strict=strict, profiler=profiler)
+        else:
+            pool.profiler = profiler
+        # Input placement is the previous layer's traffic; do not
+        # charge it to this kernel's profile.
+        pool.profiler = None
+        pool.store_tensor(plan.in_base, x, "In")
+        pool.profiler = profiler
+        st, pad = self.stride, self.padding
+        wi = w.astype(np.int32)
+
+        def in_addr(hh: int, ww: int) -> int:
+            return plan.in_base + hh * self.w + ww
+
+        free_row = 0
+        for p in range(self.p):
+            for q in range(self.q):
+                acc = np.zeros(self.c, dtype=np.int32)
+                for dr in range(self.r):
+                    hh = p * st + dr - pad
+                    if not (0 <= hh < self.h):
+                        continue
+                    for ds in range(self.r):
+                        ww = q * st + ds - pad
+                        if not (0 <= ww < self.w):
+                            continue
+                        a = pool.load(in_addr(hh, ww), "In").view(np.int8)
+                        profiler.count_flash(self.c)
+                        acc += a.astype(np.int32) * wi[dr, ds]
+                        profiler.count_macs(self.c)
+                out8 = requantize(acc, mult)
+                profiler.count_requantize(self.c)
+                pool.store(
+                    plan.out_base + p * self.q + q, out8.view(np.uint8), "Out"
+                )
+            while free_row < self.h and last_reader_row(
+                free_row, jump=st, offset=-pad, last_row=self.p - 1
+            ) <= p:
+                for ww in range(self.w):
+                    pool.free(in_addr(free_row, ww), "In")
+                free_row += 1
+        while free_row < self.h:
+            for ww in range(self.w):
+                pool.free(in_addr(free_row, ww), "In")
+            free_row += 1
+
+        report = profiler.report()
+        pool.profiler = None
+        flat = pool.read_tensor(plan.out_base, self.out_segments, "Out")
+        output = flat.view(np.int8).reshape(self.p, self.q, self.c)
+        return KernelRun(
+            output=output, plan=plan, pool_stats=pool.stats, report=report
+        )
+
+    # ------------------------------------------------------------------ #
+    def cost(self, device: DeviceProfile = STM32F411RE) -> CostReport:
+        px = self.p * self.q
+        taps = self.r * self.r
+        macs = px * taps * self.c
+        seg_ops = px * (taps + 1) + self.h * self.w
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=px * taps * self.c,
+            sram_store_bytes=px * self.c,
+            flash_bytes=macs,
+            requant_elements=px * self.c,
+            segment_ops=seg_ops,
+        )

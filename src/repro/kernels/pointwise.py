@@ -1,0 +1,252 @@
+"""Segment-aware pointwise (1x1) convolution kernel.
+
+This is the single-layer workload of Figures 7 and 8: the CNNs deployed on
+MCUs are dominated by pointwise + depthwise convolutions.  A pointwise
+convolution is a GEMM whose M dimension is the image (H*W pixels), so the
+kernel follows the Figure 4 sketch with NHWC addressing and optional stride.
+
+Segment size follows Section 5.3: the minimum of input/output channel size
+(gcd-aligned), so each image pixel is a whole number of segments in both
+tensors and the input pixel (p*stride, q*stride) can be freed as soon as
+output pixel (p, q) is stored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.core.pool import CircularSegmentPool
+from repro.core.segment_size import select_segment_size
+from repro.errors import ShapeError
+from repro.kernels.base import KernelCostModel, KernelRun, make_pool
+from repro.kernels.fully_connected import pack_fc_weights
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport, Profiler
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["PointwiseConvKernel"]
+
+
+class PointwiseConvKernel:
+    """``Out[P,Q,K] = requant(In[H,W,C] . W[C,K])`` with partial overlap.
+
+    Parameters
+    ----------
+    h, w:
+        Input image extent (square images use ``h == w``).
+    c, k:
+        Input/output channel counts.
+    stride:
+        Spatial stride (output is ``ceil(h/stride) x ceil(w/stride)``).
+    seg_bytes:
+        Segment size override; defaults to the Section 5.3 policy.
+    """
+
+    def __init__(
+        self,
+        h: int,
+        w: int,
+        c: int,
+        k: int,
+        *,
+        stride: int = 1,
+        seg_bytes: int | None = None,
+    ):
+        if min(h, w, c, k) <= 0 or stride <= 0:
+            raise ShapeError(f"bad pointwise config {(h, w, c, k, stride)}")
+        self.h, self.w, self.c, self.k = h, w, c, k
+        self.stride = stride
+        self.p = (h - 1) // stride + 1
+        self.q = (w - 1) // stride + 1
+        self.seg_bytes = seg_bytes or select_segment_size(c, k)
+        if c % self.seg_bytes or k % self.seg_bytes:
+            raise ShapeError(
+                f"segment size {self.seg_bytes} does not divide C={c} / K={k}"
+            )
+        self.ca = c // self.seg_bytes
+        self.ce = k // self.seg_bytes
+
+    @property
+    def in_segments(self) -> int:
+        return self.h * self.w * self.ca
+
+    @property
+    def out_segments(self) -> int:
+        return self.p * self.q * self.ce
+
+    @property
+    def in_bytes(self) -> int:
+        return self.h * self.w * self.c
+
+    @property
+    def out_bytes(self) -> int:
+        return self.p * self.q * self.k
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def accesses(
+        self,
+    ) -> tuple[IterationDomain, list[TensorAccess], list[TensorAccess]]:
+        """Affine formulation on the (p, q, n_seg, c_seg) loop nest.
+
+        The output store physically happens after the reduction over input
+        channel segments, so the write access is guarded to the last inner
+        instance — this is what makes the solved distance exact rather than
+        conservative.
+        """
+        st = self.stride
+        domain = IterationDomain(
+            extents=(self.p, self.q, self.ce, self.ca), names=("p", "q", "n", "c")
+        )
+        reads = [
+            TensorAccess(
+                tensor="In",
+                access=AccessFunction(
+                    matrix=((st, 0, 0, 0), (0, st, 0, 0), (0, 0, 0, 1))
+                ),
+                layout=RowMajorLayout(shape=(self.h, self.w, self.ca)),
+            )
+        ]
+        last_c = self.ca - 1
+
+        def at_last_inner(instances: np.ndarray) -> np.ndarray:
+            return instances[:, 3] == last_c
+
+        writes = [
+            TensorAccess(
+                tensor="Out",
+                access=AccessFunction(
+                    matrix=((1, 0, 0, 0), (0, 1, 0, 0), (0, 0, 1, 0))
+                ),
+                layout=RowMajorLayout(shape=(self.p, self.q, self.ce)),
+                guard=at_last_inner,
+            )
+        ]
+        return domain, writes, reads
+
+    def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
+        planner = planner or SingleLayerPlanner()
+        domain, writes, reads = self.accesses()
+        return planner.plan(
+            domain,
+            writes,
+            reads,
+            in_segments=self.in_segments,
+            out_segments=self.out_segments,
+            seg_bytes=self.seg_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "In",
+        out_name: str = "Out",
+        place_input: bool = True,
+    ) -> KernelRun:
+        """Simulated execution: load / dot / store / free / wrap.
+
+        ``in_name``/``out_name`` tag pool ownership (chained pipelines give
+        each activation a unique tag); ``place_input=False`` means the
+        previous pipeline stage already left the input at ``plan.in_base``.
+        """
+        if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
+            )
+        if w.shape != (self.c, self.k) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{self.c},{self.k}]")
+        plan = plan or self.plan()
+        profiler = Profiler(device)
+        if pool is None:
+            pool = make_pool(plan, strict=strict, profiler=profiler)
+        else:
+            pool.profiler = profiler
+        seg = plan.seg_bytes
+        # Input placement is the previous layer's traffic; do not
+        # charge it to this kernel's profile.
+        if place_input:
+            pool.profiler = None
+            pool.store_tensor(plan.in_base, x, in_name)
+            pool.profiler = profiler
+        packed = pack_fc_weights(w, seg)
+        st = self.stride
+
+        def in_addr(hh: int, ww: int, cs: int) -> int:
+            return plan.in_base + (hh * self.w + ww) * self.ca + cs
+
+        # Input pixels are freed in row-major order once the read cursor
+        # passes them (stride > 1 skips pixels entirely; they die the same
+        # way).
+        free_cursor = 0
+
+        for p in range(self.p):
+            for q in range(self.q):
+                hh, ww = p * st, q * st
+                for ns in range(self.ce):
+                    acc = np.zeros(seg, dtype=np.int32)
+                    for cs in range(self.ca):
+                        a = pool.load(in_addr(hh, ww, cs), in_name).view(np.int8)
+                        blk = packed[cs, ns]
+                        profiler.count_flash(seg * seg)
+                        acc += a.astype(np.int32) @ blk.astype(np.int32)
+                        profiler.count_macs(seg * seg)
+                    out8 = requantize(acc, mult)
+                    profiler.count_requantize(seg)
+                    pool.store(
+                        plan.out_base + (p * self.q + q) * self.ce + ns,
+                        out8.view(np.uint8),
+                        out_name,
+                    )
+                # free every input pixel the read cursor has passed
+                last_read_linear = hh * self.w + ww
+                while free_cursor <= last_read_linear:
+                    for cs in range(self.ca):
+                        pool.free(plan.in_base + free_cursor * self.ca + cs, in_name)
+                    free_cursor += 1
+        while free_cursor < self.h * self.w:
+            for cs in range(self.ca):
+                pool.free(plan.in_base + free_cursor * self.ca + cs, in_name)
+            free_cursor += 1
+
+        report = profiler.report()
+        pool.profiler = None
+        flat = pool.read_tensor(plan.out_base, self.out_segments, out_name)
+        output = flat.view(np.int8).reshape(self.p, self.q, self.k)
+        return KernelRun(
+            output=output, plan=plan, pool_stats=pool.stats, report=report
+        )
+
+    # ------------------------------------------------------------------ #
+    # analytic cost
+    # ------------------------------------------------------------------ #
+    def cost(self, device: DeviceProfile = STM32F411RE) -> CostReport:
+        """Analytic vMCU cost for figure-scale shapes (no simulation)."""
+        px = self.p * self.q
+        macs = px * self.c * self.k
+        seg_ops = px * self.ce * (self.ca + 1) + self.h * self.w * self.ca
+        return KernelCostModel(device).report(
+            macs=macs,
+            sram_load_bytes=px * self.ce * self.c,
+            sram_store_bytes=px * self.k,
+            flash_bytes=macs,
+            requant_elements=px * self.k,
+            segment_ops=seg_ops,
+        )

@@ -1,0 +1,184 @@
+"""Segment-aware global average pooling.
+
+MCUNet-style classifiers end with global average pooling before the dense
+head.  The kernel is the extreme case of segment overlap: it consumes the
+whole feature map pixel by pixel into one accumulator and emits a single
+output pixel, so the pool span is just the input itself — the output can
+land on freed input slots.
+
+Averaging is computed in fixed point: the accumulated per-channel sums are
+requantized with a multiplier that folds in the ``1 / (H*W)`` factor, which
+is how CMSIS-NN implements it (no division in the inner loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.core.pool import CircularSegmentPool
+from repro.errors import ShapeError
+from repro.kernels.base import KernelCostModel, KernelRun, make_pool
+from repro.mcu.device import DeviceProfile, STM32F411RE
+from repro.mcu.profiler import CostReport, Profiler
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = ["GlobalAvgPoolKernel", "global_avg_pool_reference", "fold_mean"]
+
+
+def fold_mean(mult: FixedPointMultiplier, pixels: int) -> FixedPointMultiplier:
+    """Fold the ``1/pixels`` averaging factor into a requantization multiplier."""
+    from repro.quant import quantize_multiplier
+
+    return quantize_multiplier(mult.real_value / pixels)
+
+
+def global_avg_pool_reference(
+    x: np.ndarray, mult: FixedPointMultiplier
+) -> np.ndarray:
+    """NumPy reference: ``requant(sum over pixels)`` with the folded multiplier."""
+    x = np.asarray(x)
+    if x.ndim != 3 or x.dtype != np.int8:
+        raise ShapeError(f"avg pool input must be int8 HWC, got {x.shape}")
+    acc = x.astype(np.int32).sum(axis=(0, 1))
+    return requantize(acc, mult)
+
+
+class GlobalAvgPoolKernel:
+    """``Out[C] = requant(sum over H*W of In[H,W,C])`` in the pool.
+
+    ``seg_bytes`` defaults to one pixel (C bytes) and may be any divisor of
+    C (shared-pool pipelines force a chain-wide segment size).
+    """
+
+    def __init__(self, h: int, w: int, c: int, *, seg_bytes: int | None = None):
+        if min(h, w, c) <= 0:
+            raise ShapeError(f"bad avg pool config {(h, w, c)}")
+        self.h, self.w, self.c = h, w, c
+        self.seg_bytes = seg_bytes or c
+        if c % self.seg_bytes:
+            raise ShapeError(
+                f"segment size {self.seg_bytes} does not divide C={c}"
+            )
+        self.ca = c // self.seg_bytes
+
+    @property
+    def in_segments(self) -> int:
+        return self.h * self.w * self.ca
+
+    @property
+    def out_segments(self) -> int:
+        return self.ca
+
+    # ------------------------------------------------------------------ #
+    def accesses(
+        self,
+    ) -> tuple[IterationDomain, list[TensorAccess], list[TensorAccess]]:
+        n = self.h * self.w
+        domain = IterationDomain(extents=(n, self.ca), names=("t", "c"))
+        reads = [
+            TensorAccess(
+                tensor="In",
+                access=AccessFunction.select(2, [0, 1]),
+                layout=RowMajorLayout(shape=(n, self.ca)),
+            )
+        ]
+
+        def at_last_pixel(instances: np.ndarray) -> np.ndarray:
+            return instances[:, 0] == n - 1
+
+        writes = [
+            TensorAccess(
+                tensor="Out",
+                access=AccessFunction(matrix=((0, 0), (0, 1))),
+                layout=RowMajorLayout(shape=(1, self.ca)),
+                guard=at_last_pixel,
+            )
+        ]
+        return domain, writes, reads
+
+    def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
+        planner = planner or SingleLayerPlanner()
+        domain, writes, reads = self.accesses()
+        return planner.plan(
+            domain,
+            writes,
+            reads,
+            in_segments=self.in_segments,
+            out_segments=self.out_segments,
+            seg_bytes=self.seg_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "In",
+        out_name: str = "Out",
+        place_input: bool = True,
+    ) -> KernelRun:
+        """Stream every pixel through the accumulator, emit one pixel."""
+        if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
+            )
+        plan = plan or self.plan()
+        profiler = Profiler(device)
+        if pool is None:
+            pool = make_pool(plan, strict=strict, profiler=profiler)
+        else:
+            pool.profiler = profiler
+        if place_input:
+            pool.profiler = None
+            pool.store_tensor(plan.in_base, x, in_name)
+            pool.profiler = profiler
+
+        seg = plan.seg_bytes
+        acc = np.zeros(self.c, dtype=np.int32)
+        for t in range(self.h * self.w):
+            for cs in range(self.ca):
+                a = pool.load(plan.in_base + t * self.ca + cs, in_name)
+                acc[cs * seg : (cs + 1) * seg] += a.view(np.int8).astype(np.int32)
+                profiler.count_instr("SADD16", seg / 2.0)
+                pool.free(plan.in_base + t * self.ca + cs, in_name)
+        out8 = requantize(acc, mult)
+        profiler.count_requantize(self.c)
+        out_bytes = out8.view(np.uint8)
+        for cs in range(self.ca):
+            pool.store(
+                plan.out_base + cs, out_bytes[cs * seg : (cs + 1) * seg], out_name
+            )
+
+        report = profiler.report()
+        pool.profiler = None
+        flat = pool.read_tensor(plan.out_base, self.ca, out_name)
+        return KernelRun(
+            output=flat.view(np.int8).copy(),
+            plan=plan,
+            pool_stats=pool.stats,
+            report=report,
+        )
+
+    # ------------------------------------------------------------------ #
+    def cost(self, device: DeviceProfile = STM32F411RE) -> CostReport:
+        px = self.h * self.w
+        return KernelCostModel(device).report(
+            macs=0,
+            sram_load_bytes=px * self.c,
+            sram_store_bytes=self.c,
+            flash_bytes=0,
+            requant_elements=self.c,
+            segment_ops=px * self.ca + self.ca,
+        )

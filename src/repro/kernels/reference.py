@@ -1,0 +1,165 @@
+"""NumPy reference implementations of the quantized operators.
+
+These are the golden models: straightforward, obviously-correct int8
+operators with int32 accumulation and fixed-point requantization, against
+which every segment-aware kernel is verified bit-exactly.
+
+Conventions (shared with the segment-aware kernels):
+
+* activations and weights are symmetric int8 (zero point 0) — the scheme
+  MCUNet uses for convolution operands;
+* accumulation is int32, wide enough for every shape in the paper
+  (max ``K * 127 * 127`` is far below 2**31);
+* requantization uses the bit-exact gemmlowp pipeline from
+  :mod:`repro.quant.requant`;
+* image tensors are NHWC with N = 1 (MCUs run batch 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.quant import FixedPointMultiplier, requantize
+
+__all__ = [
+    "fully_connected",
+    "pointwise_conv",
+    "conv2d",
+    "depthwise_conv",
+    "saturating_add",
+    "inverted_bottleneck",
+]
+
+
+def _as_int8(x: np.ndarray, name: str) -> np.ndarray:
+    x = np.asarray(x)
+    if x.dtype != np.int8:
+        raise ShapeError(f"{name} must be int8, got {x.dtype}")
+    return x
+
+
+def fully_connected(
+    x: np.ndarray, w: np.ndarray, mult: FixedPointMultiplier
+) -> np.ndarray:
+    """``Out[M,N] = requant(In[M,K] @ W[K,N])`` in int8."""
+    x = _as_int8(x, "x")
+    w = _as_int8(w, "w")
+    if x.ndim != 2 or w.ndim != 2 or x.shape[1] != w.shape[0]:
+        raise ShapeError(f"fc shapes mismatch: {x.shape} @ {w.shape}")
+    acc = x.astype(np.int32) @ w.astype(np.int32)
+    return requantize(acc, mult)
+
+
+def pointwise_conv(
+    x: np.ndarray, w: np.ndarray, mult: FixedPointMultiplier, *, stride: int = 1
+) -> np.ndarray:
+    """1x1 convolution on HWC input; ``w`` is ``[C, K]``."""
+    x = _as_int8(x, "x")
+    w = _as_int8(w, "w")
+    if x.ndim != 3 or w.ndim != 2 or x.shape[2] != w.shape[0]:
+        raise ShapeError(f"pointwise shapes mismatch: {x.shape}, {w.shape}")
+    if stride < 1:
+        raise ShapeError(f"stride must be >= 1, got {stride}")
+    x = x[::stride, ::stride, :]
+    acc = x.astype(np.int32) @ w.astype(np.int32)
+    return requantize(acc, mult)
+
+
+def conv2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    mult: FixedPointMultiplier,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """2D convolution, HWC input, ``w`` is ``[R, S, C, K]``, zero padding."""
+    x = _as_int8(x, "x")
+    w = _as_int8(w, "w")
+    if x.ndim != 3 or w.ndim != 4 or x.shape[2] != w.shape[2]:
+        raise ShapeError(f"conv2d shapes mismatch: {x.shape}, {w.shape}")
+    h, wid, c = x.shape
+    r, s, _, k = w.shape
+    p = (h + 2 * padding - r) // stride + 1
+    q = (wid + 2 * padding - s) // stride + 1
+    if p <= 0 or q <= 0:
+        raise ShapeError(f"conv2d output collapses: {(p, q)}")
+    if padding:
+        x = np.pad(x, ((padding, padding), (padding, padding), (0, 0)))
+    xi = x.astype(np.int32)
+    wi = w.astype(np.int32)
+    acc = np.zeros((p, q, k), dtype=np.int32)
+    for dr in range(r):
+        for ds in range(s):
+            window = xi[dr : dr + p * stride : stride, ds : ds + q * stride : stride, :]
+            acc += np.tensordot(window, wi[dr, ds], axes=([2], [0]))
+    return requantize(acc, mult)
+
+
+def depthwise_conv(
+    x: np.ndarray,
+    w: np.ndarray,
+    mult: FixedPointMultiplier,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Depthwise convolution, HWC input, ``w`` is ``[R, S, C]``."""
+    x = _as_int8(x, "x")
+    w = _as_int8(w, "w")
+    if x.ndim != 3 or w.ndim != 3 or x.shape[2] != w.shape[2]:
+        raise ShapeError(f"depthwise shapes mismatch: {x.shape}, {w.shape}")
+    h, wid, c = x.shape
+    r, s, _ = w.shape
+    p = (h + 2 * padding - r) // stride + 1
+    q = (wid + 2 * padding - s) // stride + 1
+    if p <= 0 or q <= 0:
+        raise ShapeError(f"depthwise output collapses: {(p, q)}")
+    if padding:
+        x = np.pad(x, ((padding, padding), (padding, padding), (0, 0)))
+    xi = x.astype(np.int32)
+    wi = w.astype(np.int32)
+    acc = np.zeros((p, q, c), dtype=np.int32)
+    for dr in range(r):
+        for ds in range(s):
+            window = xi[dr : dr + p * stride : stride, ds : ds + q * stride : stride, :]
+            acc += window * wi[dr, ds]
+    return requantize(acc, mult)
+
+
+def saturating_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Int8 elementwise add with saturation (same-scale residual add)."""
+    a = _as_int8(a, "a")
+    b = _as_int8(b, "b")
+    if a.shape != b.shape:
+        raise ShapeError(f"add shapes mismatch: {a.shape} vs {b.shape}")
+    out = a.astype(np.int16) + b.astype(np.int16)
+    return np.clip(out, -128, 127).astype(np.int8)
+
+
+def inverted_bottleneck(
+    x: np.ndarray,
+    w_expand: np.ndarray,
+    w_dw: np.ndarray,
+    w_project: np.ndarray,
+    mults: tuple[FixedPointMultiplier, FixedPointMultiplier, FixedPointMultiplier],
+    *,
+    kernel: int,
+    strides: tuple[int, int, int],
+    padding: int,
+    residual: bool,
+) -> np.ndarray:
+    """Reference for the fused block: pw-expand -> dw -> pw-project (+ skip)."""
+    s1, s2, s3 = strides
+    m_expand, m_dw, m_project = mults
+    b = pointwise_conv(x, w_expand, m_expand, stride=s1)
+    c = depthwise_conv(b, w_dw, m_dw, stride=s2, padding=padding)
+    d = pointwise_conv(c, w_project, m_project, stride=s3)
+    if residual:
+        if d.shape != x.shape:
+            raise ShapeError(
+                f"residual shapes mismatch: {d.shape} vs {x.shape}"
+            )
+        return saturating_add(d, x)
+    return d

@@ -1,0 +1,132 @@
+"""Device profiles for the evaluation platforms.
+
+The paper uses STM32-F411RE (Cortex-M4, 128 KB SRAM, 512 KB Flash) and
+STM32-F767ZI (Cortex-M7, 512 KB SRAM, 2 MB Flash).  A profile bundles the
+memory capacities, clock rate, instruction set cost table and energy
+coefficients; all latency/energy results in the benchmark harness are
+computed against one of these profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mcu.isa import CORTEX_M4_ISA, CORTEX_M7_ISA, InstructionSet
+
+__all__ = ["DeviceProfile", "STM32F411RE", "STM32F767ZI", "DEVICES", "get_device"]
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one MCU platform.
+
+    Energy coefficients are derived from the STM32 datasheet current figures
+    (run-mode mA at V=3.3 V divided by clock) split into a core component and
+    per-access memory components.  They are *calibration constants* of the
+    simulator, documented here and frozen across all experiments.
+
+    Attributes
+    ----------
+    name / chip / core:
+        Identification strings matching the paper's Table 1.
+    sram_bytes / flash_bytes:
+        Capacities of on-chip SRAM (activations) and Flash (weights).
+    clock_hz:
+        Maximum rated clock, used to convert cycles to seconds.
+    isa:
+        Instruction cost table for the core.
+    energy_per_cycle_nj:
+        Core energy per clock cycle (nJ).
+    energy_per_sram_byte_nj / energy_per_flash_byte_nj:
+        Additional energy per byte moved from/to SRAM and Flash (nJ).
+    reserved_ram_bytes:
+        RAM the runtime itself consumes (stack, runtime structs, vector
+        table copies); deducted from the budget available to tensors.
+    """
+
+    name: str
+    chip: str
+    core: str
+    sram_bytes: int
+    flash_bytes: int
+    clock_hz: int
+    isa: InstructionSet = field(repr=False)
+    energy_per_cycle_nj: float
+    energy_per_sram_byte_nj: float
+    energy_per_flash_byte_nj: float
+    reserved_ram_bytes: int = 2 * KB
+
+    @property
+    def sram_kb(self) -> float:
+        return self.sram_bytes / KB
+
+    @property
+    def flash_kb(self) -> float:
+        return self.flash_bytes / KB
+
+    @property
+    def usable_sram_bytes(self) -> int:
+        """SRAM available to tensor data after the runtime reservation."""
+        return self.sram_bytes - self.reserved_ram_bytes
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return 1e3 * self.cycles_to_seconds(cycles)
+
+    def fits(self, footprint_bytes: int) -> bool:
+        """Whether a tensor footprint fits in usable SRAM."""
+        return footprint_bytes <= self.usable_sram_bytes
+
+
+#: STM32-F411RE: the 128 KB part where TinyEngine goes OOM in Figure 7.
+STM32F411RE = DeviceProfile(
+    name="STM32-F411RE",
+    chip="STM32F411RE",
+    core="ARM Cortex-M4",
+    sram_bytes=128 * KB,
+    flash_bytes=512 * KB,
+    clock_hz=100_000_000,
+    isa=CORTEX_M4_ISA,
+    # 146 uA/MHz @ 3.3 V (datasheet run mode) ~= 0.48 nJ/cycle total;
+    # split ~60/40 between core and memory traffic.
+    energy_per_cycle_nj=0.30,
+    energy_per_sram_byte_nj=0.08,
+    energy_per_flash_byte_nj=0.24,
+)
+
+#: STM32-F767ZI: the 512 KB part used for Figure 8 / Figure 10.
+STM32F767ZI = DeviceProfile(
+    name="STM32-F767ZI",
+    chip="STM32F767ZI",
+    core="ARM Cortex-M7",
+    sram_bytes=512 * KB,
+    flash_bytes=2 * MB,
+    clock_hz=216_000_000,
+    isa=CORTEX_M7_ISA,
+    # 7 mA/MHz-class core; higher absolute power, lower energy/op than M4.
+    energy_per_cycle_nj=0.50,
+    energy_per_sram_byte_nj=0.06,
+    energy_per_flash_byte_nj=0.20,
+)
+
+DEVICES: dict[str, DeviceProfile] = {
+    STM32F411RE.name: STM32F411RE,
+    STM32F767ZI.name: STM32F767ZI,
+    "F411RE": STM32F411RE,
+    "F767ZI": STM32F767ZI,
+}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by name (accepts short aliases)."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(set(DEVICES))}"
+        ) from None

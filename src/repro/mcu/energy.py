@@ -1,0 +1,82 @@
+"""Energy model for MCU kernel execution.
+
+The paper attributes its energy wins to reduced memory-access counts and
+lower latency (Section 7.2: "The energy consumption of MCU is highly related
+to the total number of memory accesses and execution latency").  The model
+here follows that decomposition directly:
+
+    E = e_cycle * cycles  +  e_sram * sram_bytes  +  e_flash * flash_bytes
+
+with coefficients taken from the device profile.  The breakdown is kept so
+benchmark tables can attribute energy to compute vs memory, mirroring the
+paper's discussion of im2col's extra RAM accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mcu.device import DeviceProfile
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (nJ) attributed to core cycles, SRAM traffic and Flash traffic."""
+
+    core_nj: float
+    sram_nj: float
+    flash_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.core_nj + self.sram_nj + self.flash_nj
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_nj / 1e3
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_nj / 1e6
+
+    @property
+    def memory_fraction(self) -> float:
+        """Share of energy spent moving data (SRAM + Flash)."""
+        total = self.total_nj
+        if total == 0:
+            return 0.0
+        return (self.sram_nj + self.flash_nj) / total
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            core_nj=self.core_nj * factor,
+            sram_nj=self.sram_nj * factor,
+            flash_nj=self.flash_nj * factor,
+        )
+
+    @staticmethod
+    def combine(parts: list["EnergyBreakdown"]) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            core_nj=sum(p.core_nj for p in parts),
+            sram_nj=sum(p.sram_nj for p in parts),
+            flash_nj=sum(p.flash_nj for p in parts),
+        )
+
+
+class EnergyModel:
+    """Computes :class:`EnergyBreakdown` for counted work on one device."""
+
+    def __init__(self, device: DeviceProfile):
+        self.device = device
+
+    def energy(
+        self, *, cycles: float, sram_bytes: int, flash_bytes: int
+    ) -> EnergyBreakdown:
+        d = self.device
+        return EnergyBreakdown(
+            core_nj=cycles * d.energy_per_cycle_nj,
+            sram_nj=sram_bytes * d.energy_per_sram_byte_nj,
+            flash_nj=flash_bytes * d.energy_per_flash_byte_nj,
+        )

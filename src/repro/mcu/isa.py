@@ -1,0 +1,126 @@
+"""Instruction cost model for ARM Cortex-M4 / Cortex-M7.
+
+The paper's kernels are built from a handful of instructions (Section 6.1):
+
+* ``SMLAD`` — dual 16-bit multiply-accumulate (2 MACs/issue on M4).
+* ``SADD16`` — dual 16-bit add, used when widening int8 pairs.
+* ``PKHBT`` — pack halfwords, used by the Broadcast intrinsic.
+* ``LDR``/``STR`` — 32-bit loads/stores to SRAM.
+* Flash reads go through the ART accelerator / prefetch and cost more.
+
+Cycle counts follow the ARM technical reference manuals: the M4 is a
+single-issue 3-stage core (most ALU ops are 1 cycle, loads 2 cycles),
+the M7 is dual-issue 6-stage (effective ~0.5-1 cycle ALU, 1-cycle DTCM
+loads).  We model the *effective* per-instruction cost as a float so the
+dual-issue M7 can express fractional throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = [
+    "Instruction",
+    "InstructionSet",
+    "CORTEX_M4_ISA",
+    "CORTEX_M7_ISA",
+]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One modeled instruction: mnemonic, effective cycles, work description."""
+
+    mnemonic: str
+    cycles: float
+    description: str
+
+
+class InstructionSet:
+    """A lookup table of modeled instructions for one core.
+
+    The table is immutable after construction; kernels query it through
+    :meth:`cycles` so that a typo in a mnemonic fails loudly instead of
+    silently costing zero.
+    """
+
+    def __init__(self, name: str, instructions: Mapping[str, Instruction]):
+        self.name = name
+        self._table = MappingProxyType(dict(instructions))
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._table
+
+    def __getitem__(self, mnemonic: str) -> Instruction:
+        try:
+            return self._table[mnemonic]
+        except KeyError:
+            raise KeyError(
+                f"instruction {mnemonic!r} is not modeled for {self.name}; "
+                f"known: {sorted(self._table)}"
+            ) from None
+
+    def cycles(self, mnemonic: str, count: int | float = 1) -> float:
+        """Effective cycles for ``count`` executions of ``mnemonic``."""
+        return self._table[mnemonic].cycles * count
+
+    @property
+    def mnemonics(self) -> tuple[str, ...]:
+        return tuple(sorted(self._table))
+
+
+def _make_isa(name: str, rows: list[tuple[str, float, str]]) -> InstructionSet:
+    return InstructionSet(
+        name, {m: Instruction(m, c, d) for (m, c, d) in rows}
+    )
+
+
+#: Cortex-M4 (STM32-F411RE): single issue, 1-cycle DSP ops, 2-cycle loads.
+CORTEX_M4_ISA = _make_isa(
+    "cortex-m4",
+    [
+        ("SMLAD", 1.0, "dual 16-bit MAC, 2 MACs per issue"),
+        ("SMLABB", 1.0, "single 16-bit MAC"),
+        ("SADD16", 1.0, "dual 16-bit add"),
+        ("SXTB16", 1.0, "sign-extend packed int8 pairs to int16"),
+        ("PKHBT", 1.0, "pack halfwords (Broadcast intrinsic)"),
+        ("LDR", 2.0, "32-bit SRAM load"),
+        ("STR", 1.0, "32-bit SRAM store (buffered)"),
+        ("LDR_FLASH", 3.0, "32-bit Flash load through prefetch"),
+        ("MOV", 1.0, "register move"),
+        ("ADD", 1.0, "32-bit add"),
+        ("AND", 1.0, "bitwise and (power-of-two modulo)"),
+        ("UDIV", 8.0, "unsigned divide (general modulo)"),
+        ("MLS", 2.0, "multiply-subtract (remainder of general modulo)"),
+        ("CMP", 1.0, "compare (boundary check)"),
+        ("B", 1.5, "branch, averaged taken/not-taken"),
+        ("SSAT", 1.0, "signed saturate (requantize clamp)"),
+        ("SQRDMULH", 2.0, "saturating rounding doubling high multiply"),
+    ],
+)
+
+#: Cortex-M7 (STM32-F767ZI): dual issue, 1-cycle DTCM loads.
+CORTEX_M7_ISA = _make_isa(
+    "cortex-m7",
+    [
+        ("SMLAD", 0.5, "dual 16-bit MAC, dual-issued"),
+        ("SMLABB", 0.5, "single 16-bit MAC, dual-issued"),
+        ("SADD16", 0.5, "dual 16-bit add, dual-issued"),
+        ("SXTB16", 0.5, "sign-extend packed int8 pairs to int16"),
+        ("PKHBT", 0.5, "pack halfwords (Broadcast intrinsic)"),
+        ("LDR", 1.0, "32-bit DTCM load"),
+        ("STR", 1.0, "32-bit DTCM store"),
+        ("LDR_FLASH", 2.0, "32-bit Flash load through ART accelerator"),
+        ("MOV", 0.5, "register move"),
+        ("ADD", 0.5, "32-bit add"),
+        ("AND", 0.5, "bitwise and (power-of-two modulo)"),
+        ("UDIV", 6.0, "unsigned divide (general modulo)"),
+        ("MLS", 1.0, "multiply-subtract (remainder of general modulo)"),
+        ("CMP", 0.5, "compare (boundary check)"),
+        ("B", 1.0, "branch, averaged taken/not-taken"),
+        ("SSAT", 0.5, "signed saturate (requantize clamp)"),
+        ("SQRDMULH", 1.0, "saturating rounding doubling high multiply"),
+    ],
+)

@@ -1,0 +1,126 @@
+"""Byte-level SRAM and Flash models.
+
+MCUs have no cache and no OS (paper Section 2.1): programs address a flat
+SRAM directly and read constant weights from memory-mapped Flash.  These two
+classes model exactly that — flat byte arrays with access counting — and are
+the storage layer beneath :class:`repro.core.pool.CircularSegmentPool`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, SegmentStateError
+
+__all__ = ["SRAM", "Flash"]
+
+
+class SRAM:
+    """A flat on-chip SRAM of ``capacity`` bytes with access counters.
+
+    Reads and writes take/return ``np.uint8`` arrays.  Out-of-range accesses
+    raise :class:`OutOfMemoryError` — on the real part they would silently
+    corrupt a neighbouring region or hard-fault; the simulator always faults.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"SRAM capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._data = np.zeros(self.capacity, dtype=np.uint8)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.capacity:
+            raise OutOfMemoryError(
+                requested=addr + size, capacity=self.capacity, what="SRAM access"
+            )
+
+    def read(self, addr: int, size: int) -> np.ndarray:
+        """Read ``size`` bytes starting at ``addr`` (returns a copy)."""
+        self._check(addr, size)
+        self.bytes_read += size
+        return self._data[addr : addr + size].copy()
+
+    def write(self, addr: int, data: np.ndarray) -> None:
+        """Write a uint8 array at ``addr``."""
+        data = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+        self._check(addr, data.size)
+        self.bytes_written += data.size
+        self._data[addr : addr + data.size] = data
+
+    def fill(self, addr: int, size: int, value: int) -> None:
+        """memset-equivalent, counted as writes."""
+        self._check(addr, size)
+        self.bytes_written += size
+        self._data[addr : addr + size] = np.uint8(value)
+
+    @property
+    def total_traffic(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def reset_counters(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full SRAM contents (for debugging/tests); not counted."""
+        return self._data.copy()
+
+
+class Flash:
+    """Read-only weight storage.
+
+    Regions are registered once (at "link time", mirroring how the ARM
+    toolchain places constant arrays in .rodata) and then read by name.
+    Writing after registration is impossible, like the real part at run time.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"Flash capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._regions: dict[str, np.ndarray] = {}
+        self._used = 0
+        self.bytes_read = 0
+
+    def register(self, name: str, data: np.ndarray) -> None:
+        """Place a constant array into Flash under ``name``."""
+        if name in self._regions:
+            raise SegmentStateError(f"flash region {name!r} already registered")
+        blob = np.ascontiguousarray(data).view(np.uint8).ravel().copy()
+        if self._used + blob.size > self.capacity:
+            raise OutOfMemoryError(
+                requested=self._used + blob.size,
+                capacity=self.capacity,
+                what=f"flash region {name!r}",
+            )
+        blob.flags.writeable = False
+        self._regions[name] = blob
+        self._used += blob.size
+
+    def read(self, name: str, offset: int, size: int) -> np.ndarray:
+        """Read ``size`` bytes of region ``name`` starting at ``offset``."""
+        try:
+            region = self._regions[name]
+        except KeyError:
+            raise SegmentStateError(f"unknown flash region {name!r}") from None
+        if offset < 0 or offset + size > region.size:
+            raise OutOfMemoryError(
+                requested=offset + size,
+                capacity=region.size,
+                what=f"flash read from {name!r}",
+            )
+        self.bytes_read += size
+        return region[offset : offset + size]
+
+    def region_size(self, name: str) -> int:
+        return self._regions[name].size
+
+    @property
+    def used(self) -> int:
+        return self._used
+
+    def reset_counters(self) -> None:
+        self.bytes_read = 0

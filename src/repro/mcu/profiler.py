@@ -1,0 +1,184 @@
+"""Execution cost accounting.
+
+Kernels (both the simulated ones in :mod:`repro.kernels` and the IR
+interpreter) report their work into a :class:`Profiler`:
+
+* instruction counts by mnemonic (converted to cycles via the device ISA),
+* SRAM / Flash byte traffic,
+* modulo (circular-buffer boundary) operations, which Section 5.3 calls out
+  as the latency cost of small segments.
+
+A finished profile is frozen into a :class:`CostReport` carrying cycles,
+milliseconds and an energy breakdown for a specific device.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.mcu.device import DeviceProfile
+from repro.mcu.energy import EnergyBreakdown, EnergyModel
+
+__all__ = ["Profiler", "CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Frozen cost summary of one kernel/network execution on one device."""
+
+    device: str
+    cycles: float
+    latency_ms: float
+    sram_bytes: int
+    flash_bytes: int
+    macs: int
+    modulo_ops: int
+    energy: EnergyBreakdown
+    instructions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def energy_mj(self) -> float:
+        return self.energy.total_mj
+
+    @property
+    def throughput_inferences_per_s(self) -> float:
+        if self.latency_ms <= 0:
+            return float("inf")
+        return 1000.0 / self.latency_ms
+
+    def scaled(self, factor: float) -> "CostReport":
+        """Linearly scale all extensive quantities (e.g. per-image → per-batch)."""
+        return CostReport(
+            device=self.device,
+            cycles=self.cycles * factor,
+            latency_ms=self.latency_ms * factor,
+            sram_bytes=int(self.sram_bytes * factor),
+            flash_bytes=int(self.flash_bytes * factor),
+            macs=int(self.macs * factor),
+            modulo_ops=int(self.modulo_ops * factor),
+            energy=self.energy.scaled(factor),
+            instructions={k: v * factor for k, v in self.instructions.items()},
+        )
+
+    @staticmethod
+    def combine(reports: list["CostReport"]) -> "CostReport":
+        """Sum reports from sequential kernels on the same device."""
+        if not reports:
+            raise ValueError("cannot combine an empty report list")
+        device = reports[0].device
+        if any(r.device != device for r in reports):
+            raise ValueError("cannot combine reports from different devices")
+        instructions: Counter[str] = Counter()
+        for r in reports:
+            instructions.update(r.instructions)
+        return CostReport(
+            device=device,
+            cycles=sum(r.cycles for r in reports),
+            latency_ms=sum(r.latency_ms for r in reports),
+            sram_bytes=sum(r.sram_bytes for r in reports),
+            flash_bytes=sum(r.flash_bytes for r in reports),
+            macs=sum(r.macs for r in reports),
+            modulo_ops=sum(r.modulo_ops for r in reports),
+            energy=EnergyBreakdown.combine([r.energy for r in reports]),
+            instructions=dict(instructions),
+        )
+
+
+class Profiler:
+    """Mutable cost accumulator used while a kernel executes.
+
+    All ``count_*`` methods are cheap enough to call per segment (not per
+    element); kernels batch element-level work into one call with a count.
+    """
+
+    def __init__(self, device: DeviceProfile):
+        self.device = device
+        self._instr: Counter[str] = Counter()
+        self.sram_bytes = 0
+        self.flash_bytes = 0
+        self.macs = 0
+        self.modulo_ops = 0
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def count_instr(self, mnemonic: str, count: int | float = 1) -> None:
+        """Record ``count`` executions of an ISA instruction."""
+        if mnemonic not in self.device.isa:
+            raise KeyError(
+                f"{mnemonic!r} not modeled by {self.device.isa.name}"
+            )
+        self._instr[mnemonic] += count
+
+    def count_macs(self, count: int) -> None:
+        """Record multiply-accumulates (also charges SMLAD issue slots)."""
+        self.macs += count
+        # SMLAD performs 2 MACs per issue.
+        self._instr["SMLAD"] += count / 2.0
+
+    def count_sram(self, nbytes: int, *, store: bool = False) -> None:
+        """Record SRAM traffic; charges LDR/STR at 4 bytes per issue."""
+        self.sram_bytes += nbytes
+        self._instr["STR" if store else "LDR"] += nbytes / 4.0
+
+    def count_flash(self, nbytes: int) -> None:
+        """Record Flash traffic; charges LDR_FLASH at 4 bytes per issue."""
+        self.flash_bytes += nbytes
+        self._instr["LDR_FLASH"] += nbytes / 4.0
+
+    def count_modulo(self, count: int = 1, *, power_of_two: bool = False) -> None:
+        """Record circular-buffer wrap arithmetic (Section 5.3 overhead).
+
+        A power-of-two pool size lowers the modulo to a single AND; the
+        general case needs UDIV+MLS.
+        """
+        self.modulo_ops += count
+        if power_of_two:
+            self._instr["AND"] += count
+        else:
+            self._instr["UDIV"] += count
+            self._instr["MLS"] += count
+
+    def count_branch(self, count: int = 1) -> None:
+        """Record loop/boundary-check branches (CMP + B)."""
+        self._instr["CMP"] += count
+        self._instr["B"] += count
+
+    def count_requantize(self, elements: int) -> None:
+        """Record the fixed-point requantization epilogue for N elements."""
+        self._instr["SQRDMULH"] += elements
+        self._instr["SSAT"] += elements
+        self._instr["PKHBT"] += elements / 2.0
+
+    def add_cycles_raw(self, mnemonic: str, count: float) -> None:
+        """Escape hatch used by baseline cost models (e.g. im2col memcpy)."""
+        self._instr[mnemonic] += count
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    @property
+    def cycles(self) -> float:
+        isa = self.device.isa
+        return sum(isa.cycles(m, c) for m, c in self._instr.items())
+
+    def report(self) -> CostReport:
+        """Freeze the current counters into a :class:`CostReport`."""
+        cycles = self.cycles
+        energy = EnergyModel(self.device).energy(
+            cycles=cycles,
+            sram_bytes=self.sram_bytes,
+            flash_bytes=self.flash_bytes,
+        )
+        return CostReport(
+            device=self.device.name,
+            cycles=cycles,
+            latency_ms=self.device.cycles_to_ms(cycles),
+            sram_bytes=self.sram_bytes,
+            flash_bytes=self.flash_bytes,
+            macs=self.macs,
+            modulo_ops=self.modulo_ops,
+            energy=energy,
+            instructions=dict(self._instr),
+        )

@@ -1,0 +1,125 @@
+"""Deployment facade: a virtual MCU that hosts a whole model.
+
+Ties the simulator pieces together the way a real deployment does:
+
+* weights are "linked" into the Flash model (capacity-checked — a model
+  whose parameters exceed the part's Flash cannot ship, independent of RAM);
+* the pipeline's shared circular pool is placed in the device SRAM;
+* inference runs the chained pipeline against that SRAM, so the byte
+  traffic counted by :class:`~repro.mcu.memory.SRAM` is the model's real
+  simulated footprint traffic.
+
+This is the "ARM GCC + Mbed deploy" step of Section 6.2, minus the cable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OutOfMemoryError, PlanError
+from repro.mcu.device import DeviceProfile
+from repro.mcu.memory import Flash, SRAM
+from repro.mcu.profiler import CostReport
+
+__all__ = ["VirtualMCU", "DeployedModel"]
+
+
+@dataclass
+class DeployedModel:
+    """A pipeline linked against one virtual device, ready for inference."""
+
+    mcu: "VirtualMCU"
+    pipeline: object  # repro.runtime.Pipeline
+    weight_bytes: int
+    footprint_bytes: int
+
+    def infer(self, x: np.ndarray, *, strict: bool = True):
+        """Run one inference; returns the pipeline result."""
+        return self.pipeline.run(x, strict=strict)
+
+    def cost_of(self, result) -> CostReport:
+        return result.report
+
+
+class VirtualMCU:
+    """One simulated device instance with its SRAM and Flash."""
+
+    def __init__(self, device: DeviceProfile):
+        self.device = device
+        self.sram = SRAM(device.usable_sram_bytes)
+        self.flash = Flash(device.flash_bytes)
+        self._deployed = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def pipeline_weight_bytes(pipeline) -> int:
+        """Total constant bytes the pipeline's stages keep in Flash."""
+        from repro.runtime.pipeline import (
+            BottleneckStage,
+            DenseStage,
+            GlobalAvgPoolStage,
+            PointwiseStage,
+        )
+
+        total = 0
+        for st in pipeline.stages:
+            if isinstance(st, PointwiseStage):
+                total += st.weights.size
+            elif isinstance(st, BottleneckStage):
+                total += st.w_expand.size + st.w_dw.size + st.w_project.size
+            elif isinstance(st, DenseStage):
+                total += st.weights.size
+            elif isinstance(st, GlobalAvgPoolStage):
+                pass  # no parameters
+            else:
+                raise PlanError(f"unknown stage type {type(st).__name__}")
+        return total
+
+    def deploy(self, pipeline) -> DeployedModel:
+        """Link a pipeline onto this device (Flash + SRAM checked).
+
+        Raises :class:`OutOfMemoryError` when the weights exceed Flash or
+        the activation plan exceeds SRAM — the two distinct ways a model
+        fails to ship on a given part.
+        """
+        from repro.runtime.pipeline import (
+            BottleneckStage,
+            DenseStage,
+            PointwiseStage,
+        )
+
+        weight_bytes = self.pipeline_weight_bytes(pipeline)
+        plan = pipeline.plan()
+        if plan.footprint_bytes > self.sram.capacity:
+            raise OutOfMemoryError(
+                requested=plan.footprint_bytes,
+                capacity=self.sram.capacity,
+                what="activation pool",
+            )
+        # register the constants region by region, enforcing Flash capacity
+        tag = self._deployed
+        self._deployed += 1
+        for i, st in enumerate(pipeline.stages):
+            if isinstance(st, PointwiseStage) or isinstance(st, DenseStage):
+                self.flash.register(f"m{tag}.s{i}.w", st.weights)
+            elif isinstance(st, BottleneckStage):
+                self.flash.register(f"m{tag}.s{i}.expand", st.w_expand)
+                self.flash.register(f"m{tag}.s{i}.dw", st.w_dw)
+                self.flash.register(f"m{tag}.s{i}.project", st.w_project)
+        return DeployedModel(
+            mcu=self,
+            pipeline=pipeline,
+            weight_bytes=weight_bytes,
+            footprint_bytes=plan.footprint_bytes,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def flash_used(self) -> int:
+        return self.flash.used
+
+    @property
+    def flash_free(self) -> int:
+        return self.flash.capacity - self.flash.used

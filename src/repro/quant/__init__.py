@@ -1,0 +1,38 @@
+"""Int8 quantization substrate.
+
+DNNs deployed on MCUs are int8-quantized (the paper assumes "dense tensors
+with quantization", Section 4).  This package provides the affine
+quantization scheme and the fixed-point requantization arithmetic that
+CMSIS-NN-style kernels use, so the segment-aware kernels in
+:mod:`repro.kernels` can be verified bit-exactly against NumPy references.
+"""
+
+from repro.quant.qparams import (
+    QuantParams,
+    quantize,
+    dequantize,
+    choose_qparams,
+    INT8_MIN,
+    INT8_MAX,
+)
+from repro.quant.requant import (
+    FixedPointMultiplier,
+    quantize_multiplier,
+    requantize,
+    saturating_rounding_doubling_high_mul,
+    rounding_divide_by_pot,
+)
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "choose_qparams",
+    "INT8_MIN",
+    "INT8_MAX",
+    "FixedPointMultiplier",
+    "quantize_multiplier",
+    "requantize",
+    "saturating_rounding_doubling_high_mul",
+    "rounding_divide_by_pot",
+]

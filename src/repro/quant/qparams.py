@@ -1,0 +1,111 @@
+"""Affine int8 quantization parameters.
+
+A real tensor ``x`` is represented as ``q = round(x / scale) + zero_point``
+clamped to ``[-128, 127]``.  This is the standard TFLite/CMSIS-NN scheme used
+by every network the paper evaluates (MCUNet models are int8 throughout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+INT8_MIN = -128
+INT8_MAX = 127
+
+__all__ = [
+    "INT8_MIN",
+    "INT8_MAX",
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "choose_qparams",
+]
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor affine quantization parameters.
+
+    Attributes
+    ----------
+    scale:
+        Positive real step between adjacent quantized values.
+    zero_point:
+        Integer in ``[-128, 127]`` that represents real 0.0 exactly.
+    """
+
+    scale: float
+    zero_point: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.scale > 0.0) or not np.isfinite(self.scale):
+            raise QuantizationError(f"scale must be finite and > 0, got {self.scale}")
+        if not (INT8_MIN <= self.zero_point <= INT8_MAX):
+            raise QuantizationError(
+                f"zero_point must lie in [{INT8_MIN}, {INT8_MAX}], got {self.zero_point}"
+            )
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Quantize a float array to int8 under these parameters."""
+        return quantize(x, self)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Recover floats from an int8 array quantized under these parameters."""
+        return dequantize(q, self)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize floats to int8: ``clamp(round(x/scale) + zp)``.
+
+    Rounding is round-half-to-even (NumPy's default), matching TFLite's
+    reference implementation.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    q = np.rint(x / params.scale) + params.zero_point
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map int8 values back to floats: ``(q - zp) * scale``."""
+    q = np.asarray(q, dtype=np.float64)
+    return (q - params.zero_point) * params.scale
+
+
+def choose_qparams(
+    x: np.ndarray, *, symmetric: bool = False
+) -> QuantParams:
+    """Pick quantization parameters covering the value range of ``x``.
+
+    Parameters
+    ----------
+    x:
+        Float array whose min/max define the representable range.
+    symmetric:
+        If true, force ``zero_point = 0`` (the scheme used for weights, so
+        that the dot-product kernels need no zero-point correction on the
+        weight operand).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise QuantizationError("cannot choose qparams for an empty tensor")
+    lo = float(np.min(x))
+    hi = float(np.max(x))
+    # The range must contain 0 so that zero is exactly representable.
+    lo = min(lo, 0.0)
+    hi = max(hi, 0.0)
+    if symmetric:
+        bound = max(abs(lo), abs(hi))
+        if bound == 0.0:
+            bound = 1.0
+        return QuantParams(scale=bound / INT8_MAX, zero_point=0)
+    if hi == lo:
+        return QuantParams(scale=1.0, zero_point=0)
+    scale = (hi - lo) / (INT8_MAX - INT8_MIN)
+    if scale <= 0.0:  # subnormal range underflowed the division
+        return QuantParams(scale=1.0, zero_point=0)
+    zero_point = int(np.clip(np.rint(INT8_MIN - lo / scale), INT8_MIN, INT8_MAX))
+    return QuantParams(scale=scale, zero_point=zero_point)

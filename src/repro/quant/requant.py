@@ -1,0 +1,140 @@
+"""Fixed-point requantization arithmetic.
+
+Quantized kernels accumulate int8 x int8 products into int32 and must scale
+the accumulator back into int8 output space.  MCUs have no FPU budget for
+this in the inner loop, so the standard trick (gemmlowp / CMSIS-NN) encodes
+the real multiplier ``M = s_in * s_w / s_out  (0 < M < 1)`` as a Q31
+fixed-point mantissa plus a right-shift:
+
+    ``M ~= multiplier / 2**31 * 2**(-shift)``
+
+The two primitives below are bit-exact ports of the gemmlowp reference:
+
+* :func:`saturating_rounding_doubling_high_mul` — SQRDMULH semantics.
+* :func:`rounding_divide_by_pot` — rounding arithmetic shift right.
+
+Implementing them exactly (rather than via floats) lets the test suite check
+our segment-overlapped kernels bit-for-bit against the reference pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.qparams import INT8_MAX, INT8_MIN
+
+__all__ = [
+    "FixedPointMultiplier",
+    "quantize_multiplier",
+    "saturating_rounding_doubling_high_mul",
+    "rounding_divide_by_pot",
+    "requantize",
+]
+
+_INT32_MIN = -(2**31)
+_INT32_MAX = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class FixedPointMultiplier:
+    """Q31 mantissa + right shift encoding of a real multiplier in (0, 1).
+
+    ``real = multiplier * 2**(-31 - shift)`` with ``multiplier`` in
+    ``[2**30, 2**31)`` (normalized) and ``shift >= 0``.
+    """
+
+    multiplier: int
+    shift: int
+
+    def __post_init__(self) -> None:
+        if not (0 < self.multiplier <= _INT32_MAX):
+            raise QuantizationError(f"bad Q31 multiplier {self.multiplier}")
+        if self.shift < 0:
+            raise QuantizationError(
+                f"only multipliers < 1 are supported (shift={self.shift})"
+            )
+
+    @property
+    def real_value(self) -> float:
+        """The real multiplier this encoding approximates."""
+        return self.multiplier / 2.0**31 / 2.0**self.shift
+
+
+def quantize_multiplier(real_multiplier: float) -> FixedPointMultiplier:
+    """Encode ``real_multiplier`` in (0, 1) as a normalized Q31 multiplier.
+
+    Mirrors gemmlowp's ``QuantizeMultiplierSmallerThanOneExp``.
+    """
+    if not (0.0 < real_multiplier < 1.0):
+        raise QuantizationError(
+            f"requantization multiplier must be in (0, 1), got {real_multiplier}"
+        )
+    shift = 0
+    m = real_multiplier
+    while m < 0.5:
+        m *= 2.0
+        shift += 1
+    q = int(np.rint(m * (1 << 31)))
+    if q == (1 << 31):  # rounding may push the mantissa to exactly 1.0
+        q //= 2
+        shift -= 1
+    return FixedPointMultiplier(multiplier=q, shift=shift)
+
+
+def saturating_rounding_doubling_high_mul(
+    a: np.ndarray | int, b: int
+) -> np.ndarray:
+    """Bit-exact SQRDMULH: ``round(a * b * 2 / 2**32)`` with saturation.
+
+    ``a`` may be an int32 array; ``b`` is the Q31 multiplier scalar.  The
+    only overflow case is ``a == b == INT32_MIN``, which saturates.
+    """
+    a_arr = np.asarray(a, dtype=np.int64)
+    b64 = np.int64(b)
+    overflow = (a_arr == _INT32_MIN) & (b64 == _INT32_MIN)
+    ab = a_arr * b64
+    nudge = np.where(ab >= 0, np.int64(1 << 30), np.int64(1 - (1 << 30)))
+    x = ab + nudge
+    # gemmlowp divides by 2**31 with C++ semantics (truncation toward zero),
+    # not an arithmetic shift (floor) — they differ by 1 for negatives.
+    result = np.sign(x) * (np.abs(x) >> 31)
+    result = np.where(overflow, np.int64(_INT32_MAX), result)
+    result = np.clip(result, _INT32_MIN, _INT32_MAX)
+    return result.astype(np.int32)
+
+
+def rounding_divide_by_pot(x: np.ndarray | int, exponent: int) -> np.ndarray:
+    """Rounding arithmetic right shift by ``exponent`` (round half away from 0)."""
+    if exponent < 0:
+        raise QuantizationError(f"shift exponent must be >= 0, got {exponent}")
+    x_arr = np.asarray(x, dtype=np.int64)
+    if exponent == 0:
+        return x_arr.astype(np.int32)
+    mask = np.int64((1 << exponent) - 1)
+    remainder = x_arr & mask
+    threshold = (mask >> 1) + np.where(x_arr < 0, np.int64(1), np.int64(0))
+    result = (x_arr >> exponent) + np.where(remainder > threshold, 1, 0)
+    return result.astype(np.int32)
+
+
+def requantize(
+    acc: np.ndarray,
+    mult: FixedPointMultiplier,
+    *,
+    out_zero_point: int = 0,
+    out_min: int = INT8_MIN,
+    out_max: int = INT8_MAX,
+) -> np.ndarray:
+    """Scale int32 accumulators into int8 output space.
+
+    ``out = clamp(round_fixedpoint(acc * M) + zp)`` — the exact pipeline the
+    Broadcast/PKHBT-based epilogue performs on the MCU.
+    """
+    acc = np.asarray(acc, dtype=np.int32)
+    scaled = saturating_rounding_doubling_high_mul(acc, mult.multiplier)
+    shifted = rounding_divide_by_pot(scaled, mult.shift)
+    out = shifted.astype(np.int64) + out_zero_point
+    return np.clip(out, out_min, out_max).astype(np.int8)

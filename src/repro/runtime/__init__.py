@@ -1,0 +1,30 @@
+"""Chained execution runtime.
+
+On a real MCU the whole network runs inside one SRAM region: each kernel
+consumes its input *where the previous kernel left it* and writes its output
+a planned distance below, wrapping around the circular pool.  This package
+implements that deployment mode: :class:`~repro.runtime.pipeline.Pipeline`
+plans a chain of layers onto a single pool (one shared segment size, one
+capacity = the worst stage's span) and executes them back to back with no
+copies between stages.
+"""
+
+from repro.runtime.pipeline import (
+    BottleneckStage,
+    DenseStage,
+    GlobalAvgPoolStage,
+    Pipeline,
+    PipelinePlan,
+    PipelineResult,
+    PointwiseStage,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelinePlan",
+    "PipelineResult",
+    "PointwiseStage",
+    "BottleneckStage",
+    "GlobalAvgPoolStage",
+    "DenseStage",
+]

@@ -1,0 +1,104 @@
+"""Tests for the per-block network comparison (Figures 9/10)."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    BlockRow,
+    compare_network,
+    deployable_on,
+    vmcu_block_ram,
+)
+from repro.core.multilayer import InvertedBottleneckPlanner
+from repro.graph.models import MCUNET_VWW_BLOCKS
+from repro.mcu.device import STM32F411RE, STM32F767ZI
+
+KB = 1024
+
+
+@pytest.fixture(scope="module")
+def vww():
+    return compare_network("vww")
+
+
+@pytest.fixture(scope="module")
+def imagenet():
+    return compare_network("imagenet")
+
+
+class TestBlockRow:
+    def test_reduction_math(self):
+        row = BlockRow(name="X", tinyengine=100, hmcos=200, vmcu=50)
+        assert row.vmcu_vs_tinyengine == pytest.approx(0.5)
+        assert row.vmcu_vs_hmcos == pytest.approx(0.75)
+
+
+class TestVWWComparison:
+    def test_ordering_invariant(self, vww):
+        """vMCU <= TinyEngine <= HMCOS on every block (paper Figure 9)."""
+        for row in vww.rows:
+            assert row.vmcu <= row.tinyengine <= row.hmcos
+
+    def test_bottleneck_is_s1_for_all(self, vww):
+        assert vww.bottleneck("tinyengine")[0] == "S1"
+        assert vww.bottleneck("hmcos")[0] == "S1"
+        assert vww.bottleneck("vmcu")[0] == "S1"
+
+    def test_bottleneck_reduction_near_paper(self, vww):
+        """Paper: 61.5% bottleneck reduction vs TinyEngine; ours within 10pp."""
+        got = 100 * vww.bottleneck_reduction_vs_tinyengine
+        assert abs(got - 61.5) < 10
+
+    def test_reduction_vs_hmcos_near_paper(self, vww):
+        """Paper: 71.6% vs HMCOS at the bottleneck."""
+        got = 100 * vww.bottleneck_reduction_vs_hmcos
+        assert abs(got - 71.6) < 10
+
+    def test_all_managers_deploy_vww(self, vww):
+        fits = deployable_on(vww, STM32F411RE)
+        assert fits == {"tinyengine": True, "hmcos": True, "vmcu": True}
+
+
+class TestImageNetComparison:
+    def test_bottleneck_blocks_match_paper(self, imagenet):
+        """Paper: TE bottleneck at B2, HMCOS at B3, vMCU at B1."""
+        assert imagenet.bottleneck("tinyengine")[0] == "B2"
+        assert imagenet.bottleneck("hmcos")[0] == "B3"
+        assert imagenet.bottleneck("vmcu")[0] == "B1"
+
+    def test_deployability_headline(self, imagenet):
+        """The paper's closing claim: only vMCU fits the 128KB part."""
+        fits = deployable_on(imagenet, STM32F411RE)
+        assert fits["vmcu"] is True
+        assert fits["tinyengine"] is False
+        assert fits["hmcos"] is False
+        # and everything fits the 512KB part
+        fits_big = deployable_on(imagenet, STM32F767ZI)
+        assert all(fits_big.values())
+
+    def test_bottleneck_reduction_near_paper(self, imagenet):
+        """Paper: 58.6% reduction of the bottleneck vs TinyEngine."""
+        got = 100 * imagenet.bottleneck_reduction_vs_tinyengine
+        assert abs(got - 58.6) < 10
+
+    def test_vmcu_bottleneck_magnitude(self, imagenet):
+        """Paper: vMCU bottleneck 102.7KB; ours within 15%."""
+        _, peak = imagenet.bottleneck("vmcu")
+        assert abs(peak / KB - 102.7) / 102.7 < 0.15
+
+
+class TestVmcuBlockRam:
+    def test_includes_runtime_overhead(self):
+        spec = MCUNET_VWW_BLOCKS[0]
+        planner = InvertedBottleneckPlanner()
+        bare = planner.plan(spec).footprint_bytes
+        assert vmcu_block_ram(spec, planner) == bare + 2048
+
+    def test_halo_mode_changes_footprint(self):
+        spec = MCUNET_VWW_BLOCKS[0]
+        small_ws = vmcu_block_ram(
+            spec, InvertedBottleneckPlanner(halo_mode="recompute")
+        )
+        big_ws = vmcu_block_ram(
+            spec, InvertedBottleneckPlanner(halo_mode="cache_rows")
+        )
+        assert small_ws < big_ws

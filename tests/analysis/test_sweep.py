@@ -1,0 +1,72 @@
+"""Tests for the Figure-7-generalizing sweeps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sweep import (
+    channel_ratio_sweep,
+    image_size_sweep,
+    predicted_reduction,
+)
+
+
+class TestPredictedReduction:
+    def test_peak_at_equal_channels(self):
+        assert predicted_reduction(40, 16, 16) == pytest.approx(0.5)
+
+    def test_ratio_falloff(self):
+        assert predicted_reduction(40, 32, 16) == pytest.approx(1 / 3)
+        assert predicted_reduction(40, 16, 32) == pytest.approx(1 / 3)
+
+    @given(st.integers(1, 256), st.integers(1, 256))
+    def test_bounded_by_half(self, c, k):
+        assert 0 < predicted_reduction(10, c, k) <= 0.5
+
+
+class TestChannelRatioSweep:
+    def test_reduction_peaks_at_equal_channels(self):
+        points = channel_ratio_sweep(hw=40, c=32)
+        by_k = {p.k: p.reduction for p in points}
+        peak = by_k[32]
+        assert all(peak >= r for r in by_k.values())
+
+    def test_measured_below_prediction(self):
+        """Fixed overheads can only lower the measured reduction."""
+        for p in channel_ratio_sweep(hw=40, c=32):
+            assert p.reduction <= predicted_reduction(p.hw, p.c, p.k) + 0.01
+
+    def test_monotone_in_ratio_on_each_side(self):
+        points = channel_ratio_sweep(hw=40, c=32)
+        below = [p for p in points if p.k <= 32]
+        above = [p for p in points if p.k >= 32]
+        reds_below = [p.reduction for p in below]  # k ascending toward c
+        reds_above = [p.reduction for p in above]  # k ascending away from c
+        assert reds_below == sorted(reds_below)
+        assert reds_above == sorted(reds_above, reverse=True)
+
+
+class TestImageSizeSweep:
+    def test_reduction_grows_with_image(self):
+        points = image_size_sweep(c=16, k=16)
+        reds = [p.reduction for p in points]
+        assert reds == sorted(reds)
+
+    def test_saturates_toward_half(self):
+        points = image_size_sweep(c=16, k=16, sizes=(80,))
+        assert points[0].reduction > 0.49
+
+    def test_small_image_compressed_by_overhead(self):
+        points = image_size_sweep(c=16, k=16, sizes=(6,))
+        assert points[0].reduction < 0.40
+
+    @given(
+        c=st.sampled_from([8, 16, 32]),
+        k=st.sampled_from([8, 16, 32]),
+        hw=st.integers(4, 60),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_vmcu_never_worse(self, c, k, hw):
+        from repro.analysis.sweep import _measure
+
+        p = _measure(hw, c, k)
+        assert p.vmcu_bytes <= p.tinyengine_bytes

@@ -1,0 +1,115 @@
+"""Tests for the TinyEngine-style baseline model."""
+
+import pytest
+
+from repro.baselines.tinyengine import (
+    IM2COL_PIXELS,
+    RUNTIME_OVERHEAD_BYTES,
+    TinyEnginePlanner,
+)
+from repro.graph.models import MCUNET_VWW_BLOCKS
+from repro.mcu.device import STM32F411RE, STM32F767ZI
+
+KB = 1024
+
+
+class TestSingleLayerRAM:
+    def setup_method(self):
+        self.te = TinyEnginePlanner()
+
+    def test_pointwise_is_in_plus_out(self):
+        ram = self.te.pointwise_ram(80, 80, 16, 16)
+        expect = 80 * 80 * 16 * 2 + IM2COL_PIXELS * 16 + RUNTIME_OVERHEAD_BYTES
+        assert ram == expect
+
+    def test_fig7_oom_cases(self):
+        """The paper: TinyEngine exceeds 128KB on cases 1, 2 and 4."""
+        cases = [(80, 16, 16), (56, 32, 32), (28, 64, 64), (80, 16, 8),
+                 (40, 32, 16), (20, 48, 24), (24, 16, 32), (12, 32, 64),
+                 (6, 64, 128)]
+        oom = [
+            self.te.pointwise_ram(hw, hw, c, k) > STM32F411RE.sram_bytes
+            for hw, c, k in cases
+        ]
+        assert oom == [True, True, False, True, False, False, False, False, False]
+
+    def test_depthwise_inplace(self):
+        ram = self.te.depthwise_ram(20, 20, 48, kernel=3, padding=1)
+        # max(in,out) + line buffer, NOT in + out
+        assert ram < 2 * 20 * 20 * 48
+        assert ram >= 20 * 20 * 48
+
+    def test_conv_im2col_buffer_scales_with_kernel(self):
+        r3 = self.te.conv2d_ram(20, 20, 16, 16, kernel=3, padding=1)
+        r5 = self.te.conv2d_ram(20, 20, 16, 16, kernel=5, padding=2)
+        assert r5 > r3
+
+    def test_fully_connected(self):
+        assert self.te.fully_connected_ram(2, 3, 2) == 10 + RUNTIME_OVERHEAD_BYTES
+
+
+class TestBlockRAM:
+    def setup_method(self):
+        self.te = TinyEnginePlanner()
+
+    def test_s1_near_paper(self):
+        """Paper: 36.0KB for S1; our model lands within 15%."""
+        ram = self.te.block_ram(MCUNET_VWW_BLOCKS[0])
+        assert abs(ram / KB - 36.0) / 36.0 < 0.15
+
+    def test_residual_keeps_input_alive(self):
+        s1 = MCUNET_VWW_BLOCKS[0]
+        steps = {s.name: s for s in self.te.block_steps(s1)}
+        # during project, A + C + D are all live
+        assert steps["project"].tensor_bytes == (
+            s1.in_bytes + s1.mid_bytes + s1.out_bytes
+        )
+
+    def test_bottleneck_step_is_project_for_s1(self):
+        step = self.te.block_bottleneck_step(MCUNET_VWW_BLOCKS[0])
+        assert step.name == "project"
+
+    def test_non_residual_block_cheaper(self):
+        from repro.core.multilayer import BottleneckSpec
+
+        res = BottleneckSpec("r", 10, 16, 48, 16, 3, (1, 1, 1))
+        nores = BottleneckSpec("n", 10, 16, 48, 24, 3, (1, 1, 1))
+        res_steps = {s.name: s for s in self.te.block_steps(res)}
+        nores_steps = {s.name: s for s in self.te.block_steps(nores)}
+        # without the residual the input dies after expand
+        assert (
+            nores_steps["depthwise"].tensor_bytes
+            < res_steps["depthwise"].tensor_bytes
+        )
+
+
+class TestCostModel:
+    def setup_method(self):
+        self.te = TinyEnginePlanner()
+
+    def test_im2col_charged(self):
+        cost = self.te.pointwise_cost(20, 20, 16, 16, device=STM32F767ZI)
+        # copies show up as extra SRAM traffic beyond compute loads/stores
+        assert cost.sram_bytes > 20 * 20 * 16 + 20 * 20 * 16
+
+    def test_slower_than_vmcu_kernel(self):
+        from repro.kernels.pointwise import PointwiseConvKernel
+
+        te_cost = self.te.pointwise_cost(40, 40, 32, 16, device=STM32F767ZI)
+        vm_cost = PointwiseConvKernel(40, 40, 32, 16).cost(STM32F767ZI)
+        assert te_cost.latency_ms > vm_cost.latency_ms
+        assert te_cost.energy_mj > vm_cost.energy_mj
+
+    def test_block_cost_sums_stages(self):
+        spec = MCUNET_VWW_BLOCKS[0]
+        block = self.te.block_cost(spec, device=STM32F411RE)
+        pw1 = self.te.pointwise_cost(20, 20, 16, 48, device=STM32F411RE)
+        assert block.macs > pw1.macs
+        assert block.latency_ms > pw1.latency_ms
+
+    def test_block_macs_match_graph(self):
+        from repro.graph.models import build_bottleneck_graph
+
+        spec = MCUNET_VWW_BLOCKS[0]
+        graph_macs = build_bottleneck_graph(spec).total_macs()
+        assert self.te.block_cost(spec).macs == graph_macs

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant import quantize_multiplier
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; tests that need different streams reseed locally."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def mult():
+    """A representative requantization multiplier."""
+    return quantize_multiplier(0.0135)
+
+
+@pytest.fixture
+def mults():
+    """Three distinct multipliers for the fused-block stages."""
+    return (
+        quantize_multiplier(0.021),
+        quantize_multiplier(0.033),
+        quantize_multiplier(0.017),
+    )
+
+
+def random_int8(rng: np.random.Generator, shape) -> np.ndarray:
+    return rng.integers(-128, 128, shape, dtype=np.int8)

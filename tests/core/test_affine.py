@@ -1,0 +1,150 @@
+"""Tests for the Section 4 affine formalism."""
+
+import numpy as np
+import pytest
+
+from repro.core.affine import (
+    AccessFunction,
+    IterationDomain,
+    RowMajorLayout,
+    TensorAccess,
+)
+from repro.errors import PlanError
+
+
+class TestIterationDomain:
+    def test_size_and_ndim(self):
+        d = IterationDomain(extents=(2, 3, 4))
+        assert d.size == 24
+        assert d.ndim == 3
+
+    def test_lex_order(self):
+        d = IterationDomain(extents=(2, 2))
+        assert list(d) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_instances_match_iteration(self):
+        d = IterationDomain(extents=(3, 2))
+        inst = d.instances()
+        assert inst.shape == (6, 2)
+        assert [tuple(r) for r in inst] == list(d)
+
+    def test_contains(self):
+        d = IterationDomain(extents=(2, 3))
+        assert (1, 2) in d
+        assert (2, 0) not in d
+        assert (0,) not in d
+
+    def test_corners(self):
+        d = IterationDomain(extents=(3, 4))
+        corners = {tuple(c) for c in d.corners()}
+        assert corners == {(0, 0), (0, 3), (2, 0), (2, 3)}
+
+    def test_rejects_bad_extents(self):
+        with pytest.raises(PlanError):
+            IterationDomain(extents=())
+        with pytest.raises(PlanError):
+            IterationDomain(extents=(3, 0))
+
+    def test_names_length_checked(self):
+        with pytest.raises(PlanError):
+            IterationDomain(extents=(2, 2), names=("m",))
+
+
+class TestAccessFunction:
+    def test_select(self):
+        f = AccessFunction.select(3, [0, 2])
+        assert f((5, 6, 7)) == (5, 7)
+
+    def test_select_bad_axis(self):
+        with pytest.raises(PlanError):
+            AccessFunction.select(2, [3])
+
+    def test_offsets(self):
+        f = AccessFunction(matrix=((1, 0), (0, 1)), offset=(-1, 2))
+        assert f((3, 4)) == (2, 6)
+
+    def test_strided(self):
+        f = AccessFunction(matrix=((2, 0),), offset=(1,))
+        assert f((3, 9)) == (7,)
+
+    def test_apply_vectorized_matches_scalar(self):
+        f = AccessFunction(matrix=((2, 1), (0, 3)), offset=(5, -2))
+        d = IterationDomain(extents=(3, 4))
+        inst = d.instances()
+        vec = f.apply(inst)
+        for row, point in zip(vec, d):
+            assert tuple(row) == f(point)
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(PlanError):
+            AccessFunction(matrix=((1, 0), (1,)))
+
+    def test_offset_rank_checked(self):
+        with pytest.raises(PlanError):
+            AccessFunction(matrix=((1, 0),), offset=(1, 2))
+
+
+class TestRowMajorLayout:
+    def test_strides_gemm_example(self):
+        # paper Figure 3: In[M,K] has mapping vector [K, 1]
+        layout = RowMajorLayout(shape=(4, 3))
+        assert layout.strides == (3, 1)
+
+    def test_address(self):
+        layout = RowMajorLayout(shape=(4, 3))
+        assert layout.address((2, 1)) == 7
+
+    def test_n_segments(self):
+        assert RowMajorLayout(shape=(4, 3, 2)).n_segments == 24
+
+    def test_rank3(self):
+        layout = RowMajorLayout(shape=(2, 3, 4))
+        assert layout.strides == (12, 4, 1)
+        assert layout.address((1, 2, 3)) == 23
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(PlanError):
+            RowMajorLayout(shape=(0, 2))
+
+
+class TestTensorAccess:
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            TensorAccess(
+                tensor="T",
+                access=AccessFunction.select(2, [0]),
+                layout=RowMajorLayout(shape=(2, 2)),
+            )
+
+    def test_addresses_unguarded(self):
+        acc = TensorAccess(
+            tensor="In",
+            access=AccessFunction.select(2, [0, 1]),
+            layout=RowMajorLayout(shape=(2, 3)),
+        )
+        d = IterationDomain(extents=(2, 3))
+        addr, mask = acc.addresses(d.instances())
+        assert addr.tolist() == list(range(6))
+        assert mask.all()
+
+    def test_addresses_guarded(self):
+        acc = TensorAccess(
+            tensor="In",
+            access=AccessFunction(matrix=((1, 0),), offset=(-1,)),
+            layout=RowMajorLayout(shape=(4,)),
+            guard=lambda inst: inst[:, 0] >= 1,
+        )
+        d = IterationDomain(extents=(3, 1))
+        addr, mask = acc.addresses(d.instances())
+        assert mask.tolist() == [False, True, True]
+
+    def test_guard_shape_validated(self):
+        acc = TensorAccess(
+            tensor="In",
+            access=AccessFunction.select(1, [0]),
+            layout=RowMajorLayout(shape=(4,)),
+            guard=lambda inst: np.ones((2, 2), dtype=bool),
+        )
+        d = IterationDomain(extents=(4,))
+        with pytest.raises(PlanError):
+            acc.addresses(d.instances())

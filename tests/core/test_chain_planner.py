@@ -1,0 +1,112 @@
+"""Tests for the generic streaming-chain planner (Eq. 2 beyond bottlenecks)."""
+
+import pytest
+
+from repro.core.multilayer import (
+    BottleneckSpec,
+    ConvStage,
+    InvertedBottleneckPlanner,
+    plan_streaming_chain,
+)
+from repro.errors import PlanError
+
+
+class TestAgainstBottleneckSpecialCase:
+    def test_matches_bottleneck_planner_distance(self):
+        """A chain equal to an inverted bottleneck solves to the same d."""
+        spec = BottleneckSpec("t", 12, 8, 24, 8, 3, (1, 1, 1))
+        fused = InvertedBottleneckPlanner().plan(spec)
+        chain = plan_streaming_chain(
+            spec.stages, in_hw=spec.hw, in_channels=spec.c_in,
+            residual=spec.has_residual,
+        )
+        assert chain.distance == fused.distance
+        assert chain.span_slots == fused.span_slots
+        assert chain.seg_bytes == fused.seg_bytes
+
+    def test_matches_on_strided_block(self):
+        spec = BottleneckSpec("t", 12, 8, 24, 8, 3, (1, 2, 1))
+        fused = InvertedBottleneckPlanner().plan(spec)
+        chain = plan_streaming_chain(
+            spec.stages, in_hw=spec.hw, in_channels=spec.c_in,
+            residual=spec.has_residual,
+        )
+        assert chain.distance == fused.distance
+        assert chain.span_slots == fused.span_slots
+
+
+class TestNovelChains:
+    def test_pw_pw_chain_streams_fully(self):
+        """Two pointwise stages, equal widths: pure streaming (d == 0)."""
+        stages = [
+            ConvStage("a", 1, 1, 0, 8),
+            ConvStage("b", 1, 1, 0, 8),
+        ]
+        plan = plan_streaming_chain(stages, in_hw=10, in_channels=8)
+        assert plan.distance == 0
+        assert plan.span_slots == plan.in_segments
+
+    def test_dw_pw_chain(self):
+        stages = [
+            ConvStage("dw", 3, 1, 1, 8),
+            ConvStage("pw", 1, 1, 0, 4),
+        ]
+        plan = plan_streaming_chain(stages, in_hw=10, in_channels=8)
+        # one-row halo, far below materializing the intermediate
+        assert plan.span_slots < plan.in_segments + plan.out_segments
+        assert plan.footprint_bytes < 10 * 10 * 8 * 2
+
+    def test_five_stage_chain(self):
+        stages = [
+            ConvStage("c1", 1, 1, 0, 8),
+            ConvStage("c2", 3, 1, 1, 16),
+            ConvStage("c3", 1, 1, 0, 8),
+            ConvStage("c4", 3, 1, 1, 16),
+            ConvStage("c5", 1, 1, 0, 8),
+        ]
+        plan = plan_streaming_chain(
+            stages, in_hw=12, in_channels=8, residual=True
+        )
+        # the composite window spans two dw stages: 5x5
+        assert plan.receptive_field.size == 5
+        assert plan.distance > 0
+        # all four intermediates eliminated from the pool
+        assert plan.pool_bytes < 12 * 12 * 8 + 12 * 12 * 16
+
+    def test_strided_chain_output_smaller(self):
+        stages = [
+            ConvStage("dw", 3, 2, 1, 8),
+        ]
+        plan = plan_streaming_chain(stages, in_hw=12, in_channels=8)
+        assert plan.out_segments < plan.in_segments
+        assert plan.span_slots <= plan.in_segments + plan.distance + 1
+
+    def test_workspace_grows_along_chain(self):
+        short = plan_streaming_chain(
+            [ConvStage("a", 3, 1, 1, 8)], in_hw=10, in_channels=8
+        )
+        long = plan_streaming_chain(
+            [ConvStage("a", 3, 1, 1, 8), ConvStage("b", 3, 1, 1, 8)],
+            in_hw=10, in_channels=8,
+        )
+        assert long.workspace_bytes > short.workspace_bytes
+
+
+class TestValidation:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PlanError):
+            plan_streaming_chain([], in_hw=8, in_channels=8)
+
+    def test_residual_requires_stride_one(self):
+        with pytest.raises(PlanError):
+            plan_streaming_chain(
+                [ConvStage("s", 3, 2, 1, 8)], in_hw=8, in_channels=8,
+                residual=True,
+            )
+
+    def test_residual_requires_matching_channels(self):
+        with pytest.raises(PlanError):
+            plan_streaming_chain(
+                [ConvStage("s", 3, 1, 1, 4)], in_hw=8, in_channels=8,
+                residual=True,
+            )

@@ -1,0 +1,80 @@
+"""Edge-case coverage for the fused-block planner and its access system."""
+
+import numpy as np
+import pytest
+
+from repro.core.multilayer import (
+    BottleneckSpec,
+    InvertedBottleneckPlanner,
+)
+from repro.errors import PlanError
+from repro.graph.models import MCUNET_IMAGENET_BLOCKS
+
+
+class TestAccessSystem:
+    def test_indivisible_segment_rejected(self):
+        spec = BottleneckSpec("t", 8, 6, 12, 4, 3, (1, 1, 1))
+        planner = InvertedBottleneckPlanner()
+        with pytest.raises(PlanError):
+            planner.accesses(spec, seg_bytes=4)  # 4 does not divide 6
+
+    def test_residual_adds_read_access(self):
+        planner = InvertedBottleneckPlanner()
+        res = BottleneckSpec("r", 8, 8, 16, 8, 3, (1, 1, 1))
+        nores = BottleneckSpec("n", 8, 8, 16, 4, 3, (1, 1, 1))
+        _, _, reads_res = planner.accesses(res, planner.segment_bytes(res))
+        _, _, reads_nores = planner.accesses(
+            nores, planner.segment_bytes(nores)
+        )
+        assert len(reads_res) == 9 + 1  # window taps + residual
+        assert len(reads_nores) == 9
+
+    def test_window_guard_masks_borders(self):
+        planner = InvertedBottleneckPlanner()
+        spec = BottleneckSpec("t", 6, 8, 16, 8, 3, (1, 1, 1))
+        domain, _, reads = planner.accesses(spec, 8)
+        top_left_tap = reads[0]  # dr=0, dc=0: offset (-1, -1)
+        _, mask = top_left_tap.addresses(domain.instances())
+        # the first output pixel's top-left tap is padding
+        assert not mask[0]
+        # interior pixels are unmasked
+        assert mask[domain.size // 2 + 1]
+
+
+class TestPlannerOnPaperBlocks:
+    def test_all_imagenet_blocks_plan(self):
+        """Every measured Table 2 block is fusable and plans cleanly."""
+        planner = InvertedBottleneckPlanner()
+        for spec in MCUNET_IMAGENET_BLOCKS:
+            plan = planner.plan(spec)
+            assert plan.span_slots >= max(plan.in_segments, plan.out_segments)
+            assert plan.footprint_bytes > 0
+
+    def test_stride2_expand_block_b1(self):
+        """B1's stride-2 expand: the composite window is 5 wide, jump 2."""
+        planner = InvertedBottleneckPlanner()
+        plan = planner.plan(MCUNET_IMAGENET_BLOCKS[0])
+        assert plan.receptive_field.jump == 2
+        assert plan.receptive_field.size == 5
+
+    def test_b2_seven_tap_window(self):
+        planner = InvertedBottleneckPlanner()
+        plan = planner.plan(MCUNET_IMAGENET_BLOCKS[1])
+        assert plan.receptive_field.size == 7
+
+    def test_eliminated_bytes_scale_with_expansion(self):
+        """Blocks with larger C_mid eliminate more intermediate memory."""
+        planner = InvertedBottleneckPlanner()
+        small = BottleneckSpec("s", 10, 8, 16, 8, 3, (1, 1, 1))
+        big = BottleneckSpec("b", 10, 8, 64, 8, 3, (1, 1, 1))
+        assert (
+            planner.plan(big).eliminated_bytes
+            > planner.plan(small).eliminated_bytes
+        )
+
+    def test_distance_scales_with_kernel(self):
+        """A wider depthwise window needs a larger safety distance."""
+        planner = InvertedBottleneckPlanner()
+        k3 = planner.plan(BottleneckSpec("a", 12, 8, 16, 8, 3, (1, 1, 1)))
+        k5 = planner.plan(BottleneckSpec("b", 12, 8, 16, 8, 5, (1, 1, 1)))
+        assert k5.distance > k3.distance

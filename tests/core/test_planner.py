@@ -1,0 +1,139 @@
+"""Tests for single-layer memory plans."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.planner import LayerPlan, SingleLayerPlanner
+from repro.errors import PlanError
+from tests.core.test_solver import gemm_system
+
+
+class TestLayerPlan:
+    def test_bases_realize_distance(self):
+        p = LayerPlan(
+            seg_bytes=4, distance=3, in_base=3, out_base=0,
+            in_segments=10, out_segments=8, span_slots=13,
+        )
+        assert p.in_base - p.out_base == 3
+        assert p.pool_bytes == 52
+        assert p.footprint_bytes == 52
+        assert p.saved_segments == 5
+
+    def test_negative_distance_bases(self):
+        p = LayerPlan(
+            seg_bytes=2, distance=-2, in_base=0, out_base=2,
+            in_segments=4, out_segments=10, span_slots=12,
+        )
+        assert p.out_base == 2
+
+    def test_workspace_adds_to_footprint(self):
+        p = LayerPlan(
+            seg_bytes=4, distance=0, in_base=0, out_base=0,
+            in_segments=4, out_segments=4, span_slots=4, workspace_bytes=100,
+        )
+        assert p.footprint_bytes == 116
+
+    def test_inconsistent_bases_rejected(self):
+        with pytest.raises(PlanError):
+            LayerPlan(
+                seg_bytes=4, distance=3, in_base=4, out_base=0,
+                in_segments=4, out_segments=4, span_slots=8,
+            )
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(PlanError):
+            LayerPlan(
+                seg_bytes=4, distance=3, in_base=1, out_base=-2,
+                in_segments=4, out_segments=4, span_slots=8,
+            )
+
+    def test_shifted_rotates_bases(self):
+        p = LayerPlan(
+            seg_bytes=4, distance=3, in_base=3, out_base=0,
+            in_segments=10, out_segments=8, span_slots=13,
+        )
+        s = p.shifted(5)
+        assert (s.in_base, s.out_base) == (8, 5)
+        assert s.distance == 3
+        assert s.span_slots == p.span_slots
+        with pytest.raises(PlanError):
+            p.shifted(-1)
+
+    def test_span_must_hold_larger_tensor(self):
+        with pytest.raises(PlanError):
+            LayerPlan(
+                seg_bytes=4, distance=0, in_base=0, out_base=0,
+                in_segments=9, out_segments=4, span_slots=8,
+            )
+
+
+class TestSingleLayerPlanner:
+    def test_plan_gemm(self):
+        domain, writes, reads = gemm_system(2, 2, 3)
+        plan = SingleLayerPlanner().plan(
+            domain, writes, reads, in_segments=6, out_segments=4, seg_bytes=1
+        )
+        assert plan.distance == 1
+        assert plan.span_slots == 7  # the Fig 1c result
+
+    def test_extra_distance_slack(self):
+        domain, writes, reads = gemm_system(2, 2, 3)
+        plan = SingleLayerPlanner().plan(
+            domain, writes, reads, in_segments=6, out_segments=4,
+            seg_bytes=1, extra_distance=2,
+        )
+        assert plan.distance == 3
+        assert plan.span_slots == 9
+
+    def test_negative_slack_rejected(self):
+        domain, writes, reads = gemm_system(2, 2, 3)
+        with pytest.raises(PlanError):
+            SingleLayerPlanner().plan(
+                domain, writes, reads, in_segments=6, out_segments=4,
+                seg_bytes=1, extra_distance=-1,
+            )
+
+    def test_bad_segment_counts_rejected(self):
+        domain, writes, reads = gemm_system(2, 2, 3)
+        with pytest.raises(PlanError):
+            SingleLayerPlanner().plan(
+                domain, writes, reads, in_segments=0, out_segments=4,
+                seg_bytes=1,
+            )
+
+    def test_prefer_exact_override(self):
+        domain, writes, reads = gemm_system(3, 3, 3)
+        exact = SingleLayerPlanner(prefer_exact=True).solve(
+            domain, writes, reads
+        )
+        vertex = SingleLayerPlanner(prefer_exact=False).solve(
+            domain, writes, reads
+        )
+        assert exact.method == "exact"
+        assert vertex.method == "vertex"
+        assert exact.distance == vertex.distance
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_plan_beats_or_ties_disjoint(self, m, n, k):
+        """Partial overlap never uses more pool than disjoint allocation."""
+        domain, writes, reads = gemm_system(m, n, k)
+        planner = SingleLayerPlanner()
+        plan = planner.plan(
+            domain, writes, reads,
+            in_segments=m * k, out_segments=m * n, seg_bytes=1,
+        )
+        disjoint = SingleLayerPlanner.disjoint_plan(
+            in_segments=m * k, out_segments=m * n, seg_bytes=1
+        )
+        assert plan.span_slots <= disjoint.span_slots
+        assert plan.saved_segments >= 0
+
+    def test_disjoint_plan_layout(self):
+        p = SingleLayerPlanner.disjoint_plan(
+            in_segments=5, out_segments=3, seg_bytes=2
+        )
+        assert p.out_base == 0
+        assert p.in_base == 3
+        assert p.span_slots == 8
+        assert p.solver_method == "disjoint"

@@ -1,0 +1,244 @@
+"""Tests for the circular segment pool: state machine, races, wrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pool import CircularSegmentPool, SlotState
+from repro.errors import (
+    OutOfMemoryError,
+    SegmentRaceError,
+    SegmentStateError,
+)
+from repro.mcu.device import STM32F411RE
+from repro.mcu.memory import SRAM
+from repro.mcu.profiler import Profiler
+
+
+def seg(value: int, size: int = 4) -> np.ndarray:
+    return np.full(size, value, dtype=np.uint8)
+
+
+class TestBasicOps:
+    def test_store_load_roundtrip(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(1, seg(7), "In")
+        np.testing.assert_array_equal(pool.load(1, "In"), seg(7))
+
+    def test_load_free_slot_rejected(self):
+        pool = CircularSegmentPool(4, 4)
+        with pytest.raises(SegmentStateError):
+            pool.load(0, "In")
+
+    def test_free_then_load_rejected(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "In")
+        assert pool.free(0, "In")
+        with pytest.raises(SegmentStateError):
+            pool.load(0, "In")
+
+    def test_double_free_rejected(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "In")
+        pool.free(0, "In")
+        with pytest.raises(SegmentStateError):
+            pool.free(0, "In")
+
+    def test_oversized_payload_rejected(self):
+        pool = CircularSegmentPool(4, 4)
+        with pytest.raises(SegmentStateError):
+            pool.store(0, np.zeros(5, dtype=np.uint8), "In")
+
+    def test_short_payload_allowed(self):
+        # partial segment at a tensor tail
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, np.zeros(2, dtype=np.uint8), "In")
+
+    def test_negative_address_rejected(self):
+        pool = CircularSegmentPool(4, 4)
+        with pytest.raises(SegmentStateError):
+            pool.slot_of(-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(OutOfMemoryError):
+            CircularSegmentPool(0, 4)
+
+
+class TestCircularAddressing:
+    def test_wrap(self):
+        pool = CircularSegmentPool(4, 4)
+        assert pool.slot_of(5) == 1
+        assert pool.stats.wraps == 1
+
+    def test_no_wrap_within_capacity(self):
+        pool = CircularSegmentPool(4, 4)
+        assert pool.slot_of(3) == 3
+        assert pool.stats.wraps == 0
+
+    def test_wrapped_store_load(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(6, seg(9), "T")
+        np.testing.assert_array_equal(pool.load(6, "T"), seg(9))
+        assert pool.owner_at(2) == "T"
+
+    def test_wrap_counts_modulo_in_profiler(self):
+        prof = Profiler(STM32F411RE)
+        pool = CircularSegmentPool(4, 4, profiler=prof)
+        pool.slot_of(9)
+        assert prof.modulo_ops == 1
+
+
+class TestOverlapSemantics:
+    def test_clobber_counted_not_fatal(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "In")
+        pool.store(0, seg(2), "Out")  # legal overlap
+        assert pool.stats.clobbers == 1
+
+    def test_read_after_clobber_races_strict(self):
+        pool = CircularSegmentPool(4, 4, strict=True)
+        pool.store(0, seg(1), "In")
+        pool.store(0, seg(2), "Out")
+        with pytest.raises(SegmentRaceError):
+            pool.load(0, "In")
+
+    def test_read_after_clobber_silent_permissive(self):
+        # Section 2.4's "silent error in correctness"
+        pool = CircularSegmentPool(4, 4, strict=False)
+        pool.store(0, seg(1), "In")
+        pool.store(0, seg(2), "Out")
+        corrupted = pool.load(0, "In")
+        np.testing.assert_array_equal(corrupted, seg(2))
+
+    def test_stale_free_is_noop(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "In")
+        pool.store(0, seg(2), "Out")
+        assert not pool.free(0, "In")  # stale: Out owns the slot now
+        np.testing.assert_array_equal(pool.load(0, "Out"), seg(2))
+
+    def test_same_owner_aliasing_detected(self):
+        # under-capacity wrap: addr 0 and addr 4 share slot 0
+        pool = CircularSegmentPool(4, 4, strict=True)
+        pool.store(0, seg(1), "In")
+        pool.store(4, seg(2), "In")
+        assert pool.stats.clobbers == 1
+        with pytest.raises(SegmentRaceError):
+            pool.load(0, "In")
+
+    def test_rewrite_same_logical_segment_ok(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "In")
+        pool.store(0, seg(2), "In")  # overwrite own data, same address
+        assert pool.stats.clobbers == 0
+        np.testing.assert_array_equal(pool.load(0, "In"), seg(2))
+
+
+class TestAccounting:
+    def test_live_and_peak(self):
+        pool = CircularSegmentPool(8, 4)
+        for i in range(5):
+            pool.store(i, seg(i), "T")
+        assert pool.live_slots == 5
+        pool.free(0, "T")
+        assert pool.live_slots == 4
+        assert pool.stats.peak_live == 5
+
+    def test_traffic_counters(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "T")
+        pool.load(0, "T")
+        assert pool.stats.bytes_stored == 4
+        assert pool.stats.bytes_loaded == 4
+        assert pool.stats.stores == 1
+        assert pool.stats.loads == 1
+
+    def test_reset(self):
+        pool = CircularSegmentPool(4, 4)
+        pool.store(0, seg(1), "T")
+        pool.reset()
+        assert pool.live_slots == 0
+        assert pool.stats.stores == 0
+        assert pool.state_at(0) == SlotState.FREE
+
+
+class TestTensorHelpers:
+    def test_store_read_tensor(self, rng):
+        pool = CircularSegmentPool(8, 4)
+        data = rng.integers(0, 255, 16, dtype=np.uint8)
+        pool.store_tensor(2, data, "T")
+        back = pool.read_tensor(2, 4, "T")
+        np.testing.assert_array_equal(back, data)
+
+    def test_store_tensor_must_tile(self):
+        pool = CircularSegmentPool(8, 4)
+        with pytest.raises(SegmentStateError):
+            pool.store_tensor(0, np.zeros(6, dtype=np.uint8), "T")
+
+    def test_store_tensor_int8_view(self):
+        pool = CircularSegmentPool(4, 4)
+        x = np.array([[-1, 2, -3, 4]], dtype=np.int8)
+        pool.store_tensor(0, x, "T")
+        back = pool.read_tensor(0, 1, "T").view(np.int8)
+        np.testing.assert_array_equal(back, x.ravel())
+
+
+class TestBackingSRAM:
+    def test_shared_sram_offset(self):
+        ram = SRAM(64)
+        pool = CircularSegmentPool(4, 4, sram=ram, base_addr=16)
+        pool.store(0, seg(9), "T")
+        np.testing.assert_array_equal(ram.read(16, 4), seg(9))
+
+    def test_pool_must_fit_sram(self):
+        ram = SRAM(8)
+        with pytest.raises(OutOfMemoryError):
+            CircularSegmentPool(4, 4, sram=ram)
+
+
+class TestPropertyTraces:
+    @given(
+        n_slots=st.integers(2, 16),
+        ops=st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 31)), max_size=60
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_state_machine_never_corrupts_silently(self, n_slots, ops):
+        """Random op traces: every load either errors or returns exactly the
+        bytes last stored at that logical address by that owner."""
+        pool = CircularSegmentPool(n_slots, 2, strict=True)
+        shadow: dict[int, int] = {}  # logical addr -> stored value
+        for kind, addr in ops:
+            if kind == 0:  # store
+                value = (addr * 37) % 251
+                pool.store(addr, np.full(2, value, dtype=np.uint8), "T")
+                shadow[addr] = value
+                # storing may invalidate an aliased logical address
+                for other in list(shadow):
+                    if other != addr and other % n_slots == addr % n_slots:
+                        del shadow[other]
+            elif kind == 1:  # load
+                try:
+                    got = pool.load(addr, "T")
+                except (SegmentStateError, SegmentRaceError):
+                    assert addr not in shadow
+                    continue
+                assert addr in shadow
+                assert got[0] == shadow[addr]
+            else:  # free
+                try:
+                    freed = pool.free(addr, "T")
+                except SegmentStateError:
+                    assert addr not in shadow
+                    continue
+                if freed:
+                    shadow.pop(addr, None)
+
+    @given(st.integers(2, 32), st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_peak_live_never_exceeds_capacity(self, n_slots, n_stores):
+        pool = CircularSegmentPool(n_slots, 1)
+        for i in range(n_stores):
+            pool.store(i, np.zeros(1, dtype=np.uint8), "T")
+        assert pool.stats.peak_live <= n_slots

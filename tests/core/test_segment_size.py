@@ -1,0 +1,54 @@
+"""Tests for the Section 5.3 segment-size policy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.segment_size import segment_size_candidates, select_segment_size
+from repro.errors import PlanError
+
+
+class TestSelectSegmentSize:
+    def test_min_when_dividing(self):
+        # paper policy: min of the two units
+        assert select_segment_size(16, 16) == 16
+        assert select_segment_size(48, 16) == 16
+        assert select_segment_size(16, 48) == 16
+
+    def test_gcd_fallback(self):
+        # min does not divide max: fall back to gcd for grid alignment
+        assert select_segment_size(24, 16) == 8
+        assert select_segment_size(10, 4) == 2
+
+    def test_coprime_degrades_to_one(self):
+        assert select_segment_size(7, 9) == 1
+
+    def test_elem_bytes(self):
+        assert select_segment_size(16, 8, elem_bytes=2) == 16
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(PlanError):
+            select_segment_size(0, 4)
+
+    @given(st.integers(1, 512), st.integers(1, 512))
+    def test_always_divides_both(self, a, b):
+        seg = select_segment_size(a, b)
+        assert a % seg == 0
+        assert b % seg == 0
+        assert 1 <= seg <= min(a, b)
+
+
+class TestCandidates:
+    def test_sorted_descending(self):
+        c = segment_size_candidates(16, 8)
+        assert c == sorted(c, reverse=True)
+        assert c[0] == 8
+        assert c[-1] == 1
+
+    def test_all_divide(self):
+        for seg in segment_size_candidates(24, 16):
+            assert 24 % seg == 0
+            assert 16 % seg == 0
+
+    def test_policy_choice_is_largest_candidate(self):
+        for a, b in ((16, 16), (48, 16), (24, 16), (7, 9)):
+            assert select_segment_size(a, b) == segment_size_candidates(a, b)[0]

@@ -1,0 +1,96 @@
+"""Tests for the DAG container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.ops import AddOp, PointwiseConv2dOp, TensorSpec
+
+
+def diamond() -> Graph:
+    """input -> a -> (b, c) -> add : the residual pattern."""
+    g = Graph(name="diamond")
+    g.add_input("x", TensorSpec((4, 4, 8)))
+    g.add_op(PointwiseConv2dOp(name="a", out_channels=8), ["x"], "t_a")
+    g.add_op(PointwiseConv2dOp(name="b", out_channels=8), ["t_a"], "t_b")
+    g.add_op(PointwiseConv2dOp(name="c", out_channels=8), ["t_a"], "t_c")
+    g.add_op(AddOp(name="add"), ["t_b", "t_c"], "t_out")
+    g.mark_output("t_out")
+    return g
+
+
+class TestConstruction:
+    def test_shape_inference_runs_at_insert(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((4, 4, 8)))
+        t = g.add_op(PointwiseConv2dOp(name="a", out_channels=16), ["x"])
+        assert t.spec.shape == (4, 4, 16)
+
+    def test_duplicate_tensor_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((4,)))
+        with pytest.raises(GraphError):
+            g.add_input("x", TensorSpec((4,)))
+
+    def test_duplicate_op_rejected(self):
+        g = Graph()
+        g.add_input("x", TensorSpec((4, 4, 8)))
+        g.add_op(PointwiseConv2dOp(name="a", out_channels=8), ["x"])
+        with pytest.raises(GraphError):
+            g.add_op(PointwiseConv2dOp(name="a", out_channels=8), ["x"])
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_op(PointwiseConv2dOp(name="a", out_channels=8), ["ghost"])
+
+    def test_mark_unknown_output_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.mark_output("ghost")
+
+
+class TestQueries:
+    def test_consumers(self):
+        g = diamond()
+        assert sorted(g.consumers("t_a")) == ["b", "c"]
+        assert g.consumers("t_out") == []
+
+    def test_topological_order_valid(self):
+        g = diamond()
+        order = g.topological_order()
+        assert order.index("a") < order.index("b")
+        assert order.index("b") < order.index("add")
+        assert order.index("c") < order.index("add")
+
+    def test_all_topological_orders(self):
+        g = diamond()
+        orders = g.all_topological_orders()
+        assert len(orders) == 2  # b/c commute
+
+    def test_linear_chain_detection(self):
+        g = diamond()
+        assert not g.is_linear_chain()
+        lin = Graph()
+        lin.add_input("x", TensorSpec((4, 4, 8)))
+        lin.add_op(PointwiseConv2dOp(name="a", out_channels=8), ["x"], "t1")
+        lin.add_op(PointwiseConv2dOp(name="b", out_channels=8), ["t1"], "t2")
+        assert lin.is_linear_chain()
+
+    def test_predecessors_successors(self):
+        g = diamond()
+        assert g.predecessors("add") == sorted(["b", "c"]) or set(
+            g.predecessors("add")
+        ) == {"b", "c"}
+        assert set(g.successors("a")) == {"b", "c"}
+
+    def test_total_macs_positive(self):
+        assert diamond().total_macs() > 0
+
+    def test_total_weight_bytes(self):
+        g = diamond()
+        # four ops; add has no weights
+        assert g.total_weight_bytes() == 3 * 8 * 8
+
+    def test_n_ops(self):
+        assert diamond().n_ops == 4

@@ -1,0 +1,106 @@
+"""Tests for the Table 2 model configurations."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.models import (
+    MCUNET_IMAGENET_BLOCKS,
+    MCUNET_VWW_BLOCKS,
+    build_bottleneck_graph,
+    build_network_graph,
+    table2_specs,
+)
+
+KB = 1024
+
+
+class TestTable2Transcription:
+    def test_block_counts(self):
+        # 8 VWW blocks, 17 measured ImageNet blocks (the 18th is excluded)
+        assert len(MCUNET_VWW_BLOCKS) == 8
+        assert len(MCUNET_IMAGENET_BLOCKS) == 17
+
+    def test_s1_row(self):
+        s1 = MCUNET_VWW_BLOCKS[0]
+        assert (s1.hw, s1.c_in, s1.c_mid, s1.c_out) == (20, 16, 48, 16)
+        assert s1.kernel == 3
+        assert s1.strides == (1, 1, 1)
+
+    def test_b1_row(self):
+        b1 = MCUNET_IMAGENET_BLOCKS[0]
+        assert (b1.hw, b1.c_in, b1.c_mid, b1.c_out) == (176, 3, 16, 8)
+        assert b1.strides == (2, 1, 1)
+
+    def test_b2_large_kernel(self):
+        b2 = MCUNET_IMAGENET_BLOCKS[1]
+        assert b2.kernel == 7
+        assert b2.strides == (1, 2, 1)
+
+    def test_names_sequential(self):
+        assert [s.name for s in MCUNET_VWW_BLOCKS] == [
+            f"S{i}" for i in range(1, 9)
+        ]
+        assert [s.name for s in MCUNET_IMAGENET_BLOCKS] == [
+            f"B{i}" for i in range(1, 18)
+        ]
+
+    def test_lookup(self):
+        assert table2_specs("MCUNet-5fps-VWW") == MCUNET_VWW_BLOCKS
+        assert table2_specs("imagenet") == MCUNET_IMAGENET_BLOCKS
+        with pytest.raises(GraphError):
+            table2_specs("cifar")
+
+    def test_spatial_chain_consistency_vww(self):
+        """Each block's output reaches the next via an integer stride."""
+        for prev, nxt in zip(MCUNET_VWW_BLOCKS, MCUNET_VWW_BLOCKS[1:]):
+            out = prev.spatial_out()
+            stride = max((out + nxt.hw - 1) // nxt.hw, 1)
+            assert (out - 1) // stride + 1 == nxt.hw
+
+    def test_residual_blocks_identified(self):
+        # stride-1 equal-channel blocks carry the skip connection
+        assert MCUNET_VWW_BLOCKS[0].has_residual  # S1
+        assert not MCUNET_IMAGENET_BLOCKS[0].has_residual  # B1 (stride 2)
+
+    def test_s1_tensor_sizes_match_paper_discussion(self):
+        """S1's expanded tensor is ~19.2KB, input ~6.4KB — the sizes behind
+        the Figure 9 bars."""
+        s1 = MCUNET_VWW_BLOCKS[0]
+        assert s1.in_bytes == 6400
+        assert s1.mid_bytes == 19200
+
+
+class TestGraphBuilders:
+    def test_residual_block_graph(self):
+        g = build_bottleneck_graph(MCUNET_VWW_BLOCKS[0])
+        assert g.n_ops == 4  # expand, dw, project, add
+        assert "E" in g.tensors
+        assert g.tensors["B"].spec.shape == (20, 20, 48)
+
+    def test_non_residual_block_graph(self):
+        g = build_bottleneck_graph(MCUNET_IMAGENET_BLOCKS[0])
+        assert g.n_ops == 3
+        assert g.outputs == ["D"]
+
+    def test_block_graph_is_valid_dag(self):
+        for spec in MCUNET_VWW_BLOCKS:
+            build_bottleneck_graph(spec).validate()
+
+    def test_network_graph_vww(self):
+        g = build_network_graph("vww")
+        g.validate()
+        # 8 blocks x 3-4 ops plus transitions
+        assert g.n_ops >= 8 * 3
+        assert len(g.outputs) == 1
+
+    def test_network_graph_imagenet(self):
+        g = build_network_graph("imagenet")
+        g.validate()
+        assert g.n_ops >= 17 * 3
+
+    def test_network_tensors_match_block_specs(self):
+        g = build_network_graph("vww")
+        for spec in MCUNET_VWW_BLOCKS:
+            b = g.tensors[f"{spec.name}.B"]
+            assert b.spec.shape[2] == spec.c_mid
+            assert b.spec.shape[0] == spec.mid_spatial()

@@ -1,0 +1,111 @@
+"""Tests for operator shape inference and cost properties."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.ops import (
+    AddOp,
+    Conv2dOp,
+    DenseOp,
+    DepthwiseConv2dOp,
+    PointwiseConv2dOp,
+    TensorSpec,
+)
+
+
+class TestTensorSpec:
+    def test_nbytes(self):
+        assert TensorSpec((4, 4, 8)).nbytes == 128
+        assert TensorSpec((10,), elem_bytes=4).nbytes == 40
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphError):
+            TensorSpec(())
+        with pytest.raises(GraphError):
+            TensorSpec((3, 0))
+
+
+class TestPointwise:
+    def test_infer(self):
+        op = PointwiseConv2dOp(name="pw", out_channels=16)
+        out = op.infer([TensorSpec((8, 8, 4))])
+        assert out.shape == (8, 8, 16)
+
+    def test_strided(self):
+        op = PointwiseConv2dOp(name="pw", out_channels=16, stride=2)
+        assert op.infer([TensorSpec((9, 9, 4))]).shape == (5, 5, 16)
+
+    def test_macs(self):
+        op = PointwiseConv2dOp(name="pw", out_channels=16)
+        assert op.macs([TensorSpec((8, 8, 4))]) == 64 * 4 * 16
+
+    def test_weight_bytes(self):
+        op = PointwiseConv2dOp(name="pw", out_channels=16)
+        assert op.weight_bytes_for(4) == 64
+
+    def test_not_inplace(self):
+        assert not PointwiseConv2dOp(name="pw", out_channels=4).inplace_capable
+
+    def test_rank_checked(self):
+        op = PointwiseConv2dOp(name="pw", out_channels=4)
+        with pytest.raises(GraphError):
+            op.infer([TensorSpec((8, 8))])
+
+
+class TestConv2d:
+    def test_infer_padding_stride(self):
+        op = Conv2dOp(name="c", out_channels=8, kernel=3, stride=2, padding=1)
+        assert op.infer([TensorSpec((9, 9, 4))]).shape == (5, 5, 8)
+
+    def test_collapse_rejected(self):
+        op = Conv2dOp(name="c", out_channels=8, kernel=7)
+        with pytest.raises(GraphError):
+            op.infer([TensorSpec((4, 4, 4))])
+
+    def test_macs(self):
+        op = Conv2dOp(name="c", out_channels=8, kernel=3, padding=1)
+        assert op.macs([TensorSpec((8, 8, 4))]) == 64 * 9 * 4 * 8
+
+
+class TestDepthwise:
+    def test_preserves_channels(self):
+        op = DepthwiseConv2dOp(name="dw", kernel=3, padding=1)
+        assert op.infer([TensorSpec((8, 8, 12))]).shape == (8, 8, 12)
+
+    def test_inplace_capable(self):
+        assert DepthwiseConv2dOp(name="dw").inplace_capable
+
+    def test_macs(self):
+        op = DepthwiseConv2dOp(name="dw", kernel=3, padding=1)
+        assert op.macs([TensorSpec((8, 8, 12))]) == 64 * 9 * 12
+
+
+class TestDense:
+    def test_rank1_and_rank2(self):
+        op = DenseOp(name="fc", out_features=10)
+        assert op.infer([TensorSpec((64,))]).shape == (10,)
+        assert op.infer([TensorSpec((4, 64))]).shape == (4, 10)
+
+    def test_rank3_rejected(self):
+        op = DenseOp(name="fc", out_features=10)
+        with pytest.raises(GraphError):
+            op.infer([TensorSpec((2, 2, 2))])
+
+    def test_macs(self):
+        op = DenseOp(name="fc", out_features=10)
+        assert op.macs([TensorSpec((4, 64))]) == 4 * 64 * 10
+
+
+class TestAdd:
+    def test_same_shape(self):
+        op = AddOp(name="add")
+        out = op.infer([TensorSpec((4, 4, 8)), TensorSpec((4, 4, 8))])
+        assert out.shape == (4, 4, 8)
+
+    def test_mismatch_rejected(self):
+        op = AddOp(name="add")
+        with pytest.raises(GraphError):
+            op.infer([TensorSpec((4, 4, 8)), TensorSpec((4, 4, 4))])
+
+    def test_inplace_capable(self):
+        assert AddOp(name="add").inplace_capable

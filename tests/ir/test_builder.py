@@ -1,0 +1,116 @@
+"""Tests for the KernelBuilder DSL."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import For, RAMLoad, RegAlloc
+from repro.quant import quantize_multiplier
+
+
+def make_builder():
+    b = KernelBuilder("k", seg_bytes=4)
+    b.int_params("N", "in_base", "out_base")
+    b.ram_tensor("In", base="in_base")
+    b.ram_tensor("Out", base="out_base")
+    b.flash_tensor("W")
+    return b
+
+
+class TestDeclarations:
+    def test_duplicate_param_rejected(self):
+        b = KernelBuilder("k", seg_bytes=4)
+        b.int_param("N")
+        with pytest.raises(IRError):
+            b.int_param("N")
+
+    def test_ram_tensor_requires_declared_base(self):
+        b = KernelBuilder("k", seg_bytes=4)
+        with pytest.raises(IRError):
+            b.ram_tensor("In", base="nope")
+
+    def test_duplicate_tensor_rejected(self):
+        b = make_builder()
+        with pytest.raises(IRError):
+            b.flash_tensor("W")
+
+    def test_bad_seg_bytes(self):
+        with pytest.raises(IRError):
+            KernelBuilder("k", seg_bytes=0)
+
+
+class TestStructure:
+    def test_loop_nesting(self):
+        b = make_builder()
+        with b.loop("i", 4) as i:
+            with b.loop("j", 2) as j:
+                b.ram_load("a", "In", i * 2 + j)
+        prog = b.finish()
+        assert len(prog.body) == 1
+        outer = prog.body[0]
+        assert isinstance(outer, For) and outer.var == "i"
+        inner = outer.body[0]
+        assert isinstance(inner, For) and inner.var == "j"
+        assert isinstance(inner.body[0], RAMLoad)
+
+    def test_loop_shadowing_rejected(self):
+        b = make_builder()
+        with pytest.raises(IRError):
+            with b.loop("i", 4):
+                with b.loop("i", 2):
+                    pass
+
+    def test_finish_inside_loop_rejected(self):
+        b = make_builder()
+        cm = b.loop("i", 4)
+        cm.__enter__()
+        with pytest.raises(IRError):
+            b.finish()
+
+    def test_emit_after_finish_rejected(self):
+        b = make_builder()
+        b.finish()
+        with pytest.raises(IRError):
+            b.reg_alloc("acc", 4)
+
+    def test_fresh_register_names_unique(self):
+        b = make_builder()
+        r1 = b.reg_alloc("acc", 4)
+        r2 = b.reg_alloc("acc", 4)
+        assert r1 != r2
+
+
+class TestIntrinsics:
+    def test_ram_ops_check_tensor_space(self):
+        b = make_builder()
+        with pytest.raises(IRError):
+            b.ram_load("a", "W", 0)  # W is flash
+        with pytest.raises(IRError):
+            b.flash_load("w", "In", 0, 4)  # In is ram
+        with pytest.raises(IRError):
+            b.ram_store("Nope", 0, "x")
+
+    def test_requantize_embeds_multiplier(self):
+        b = make_builder()
+        acc = b.reg_alloc("acc", 4)
+        mult = quantize_multiplier(0.25)
+        b.requantize("o", acc, mult)
+        prog = b.finish()
+        req = prog.body[-1]
+        assert req.multiplier == mult.multiplier
+        assert req.shift == mult.shift
+
+    def test_program_metadata(self):
+        b = make_builder()
+        prog = b.finish()
+        assert prog.name == "k"
+        assert prog.params == ("N", "in_base", "out_base")
+        assert {t.name for t in prog.tensors} == {"In", "Out", "W"}
+        assert prog.seg_bytes == 4
+
+    def test_broadcast(self):
+        b = make_builder()
+        r = b.broadcast("z", 4, 7)
+        prog = b.finish()
+        assert prog.body[-1].dst == r
+        assert prog.body[-1].size == 4

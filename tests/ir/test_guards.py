@@ -1,0 +1,192 @@
+"""Tests for the If guard statement, MulAcc, and the DSL depthwise kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import IRError
+from repro.ir.builder import KernelBuilder
+from repro.ir.codegen_c import CCodegen
+from repro.ir.interpreter import Interpreter
+from repro.ir.library import build_depthwise_kernel
+from repro.ir.nodes import Const, If, Var
+from repro.ir.passes import constant_fold, unroll_loops, validate_program
+from repro.kernels import reference as ref
+from repro.kernels.depthwise import DepthwiseConvKernel
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+def guarded_fill_program():
+    """Store i+1 at segments where i >= 2 (others untouched)."""
+    b = KernelBuilder("g", seg_bytes=2)
+    n = b.int_param("N")
+    b.int_param("base")
+    b.ram_tensor("T", base="base")
+    with b.loop("i", n) as i:
+        with b.guard(i, ">=", 2):
+            r = b.broadcast("v", 2, i + 1)
+            b.ram_store("T", i, r)
+    return b.finish()
+
+
+class TestIfNode:
+    def test_bad_operator_rejected(self):
+        with pytest.raises(IRError):
+            If(lhs=Const(1), op="!=", rhs=Const(2), body=())
+
+    def test_builder_guard_scopes_statements(self):
+        prog = guarded_fill_program()
+        loop = prog.body[0]
+        assert isinstance(loop.body[0], If)
+        assert loop.body[0].op == ">="
+
+
+class TestIfInterpretation:
+    def test_guard_filters_execution(self):
+        prog = guarded_fill_program()
+        pool = CircularSegmentPool(8, 2)
+        it = Interpreter(prog, pool=pool, flash={}, params={"N": 5, "base": 0})
+        it.execute()
+        # segments 0, 1 untouched; 2..4 stored
+        assert pool.live_slots == 3
+        for i in (2, 3, 4):
+            assert pool.load(i, "T")[0] == i + 1
+
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,expect",
+        [("<", 1, 2, True), ("<=", 2, 2, True), (">", 1, 2, False),
+         (">=", 3, 2, True), ("==", 2, 2, True), ("==", 1, 2, False)],
+    )
+    def test_all_comparisons(self, op, lhs, rhs, expect):
+        b = KernelBuilder("c", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.guard(lhs, op, rhs):
+            r = b.broadcast("v", 2, 9)
+            b.ram_store("T", 0, r)
+        prog = b.finish()
+        pool = CircularSegmentPool(2, 2)
+        Interpreter(prog, pool=pool, flash={}, params={"base": 0}).execute()
+        assert (pool.live_slots == 1) == expect
+
+
+class TestIfPasses:
+    def test_constant_fold_reaches_guard_exprs(self):
+        b = KernelBuilder("c", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.guard(Const(1) + Const(1), "==", 2):
+            pass
+        prog = constant_fold(b.finish())
+        assert prog.body[0].lhs == Const(2)
+
+    def test_unroll_resolves_static_guards(self):
+        """After unrolling, constant guards fold away entirely."""
+        b = KernelBuilder("c", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", 4, unroll=True) as i:
+            with b.guard(i, ">=", 2):
+                r = b.broadcast("v", 2, 1)
+                b.ram_store("T", i, r)
+        prog = unroll_loops(b.finish())
+        # guards decided at compile time: only the two taken bodies remain
+        from repro.ir.nodes import Broadcast
+
+        broadcasts = [s for s in prog.body if isinstance(s, Broadcast)]
+        assert len(broadcasts) == 2
+        assert not any(isinstance(s, If) for s in prog.body)
+
+    def test_validate_checks_guard_vars(self):
+        from repro.ir.nodes import Program, TensorDecl
+
+        prog = Program(
+            name="bad", params=(), tensors=(),
+            body=(If(lhs=Var("ghost"), op="<", rhs=Const(1), body=()),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_validate_mulacc_registers(self):
+        from repro.ir.nodes import MulAcc, Program
+
+        prog = Program(
+            name="bad", params=(), tensors=(),
+            body=(MulAcc(dst="a", a="b", b="c"),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+
+class TestIfCodegen:
+    def test_guard_lowered_to_c_if(self):
+        src = CCodegen().generate(guarded_fill_program())
+        assert "if ((i >= 2)) {" in src or "if (i >= 2) {" in src
+
+    def test_mulacc_helper_present(self):
+        prog = build_depthwise_kernel(4, quantize_multiplier(0.02))
+        src = CCodegen().generate(prog)
+        assert "vmcu_mulacc" in src
+        assert src.count("{") == src.count("}")
+
+
+class TestDSLDepthwise:
+    @pytest.mark.parametrize(
+        "h,c,k,st,pad",
+        [(7, 4, 3, 1, 1), (8, 6, 3, 2, 1), (9, 2, 5, 1, 2), (9, 3, 3, 3, 1)],
+    )
+    def test_bit_exact_and_leak_free(self, rng, h, c, k, st, pad):
+        mult = quantize_multiplier(0.02)
+        kern = DepthwiseConvKernel(h, h, c, kernel=k, stride=st, padding=pad)
+        plan = kern.plan()
+        prog = build_depthwise_kernel(plan.seg_bytes, mult)
+        validate_program(prog)
+        x = random_int8(rng, (h, h, c))
+        w = random_int8(rng, (k, k, c))
+        pool = CircularSegmentPool(plan.span_slots, plan.seg_bytes)
+        pool.store_tensor(plan.in_base, x, "In")
+        packed = w.reshape(k, k, 1, c)
+        Interpreter(
+            prog,
+            pool=pool,
+            flash={"Weight": packed.view(np.uint8).ravel()},
+            params=dict(
+                P=kern.p, Q=kern.q, H=h, W=h, CA=1, R=k, ST=st, PAD=pad,
+                in_base=plan.in_base, out_base=plan.out_base,
+            ),
+        ).execute()
+        out = pool.read_tensor(plan.out_base, kern.out_segments, "Out")
+        golden = ref.depthwise_conv(x, w, mult, stride=st, padding=pad)
+        np.testing.assert_array_equal(
+            out.view(np.int8).reshape(kern.p, kern.q, c), golden
+        )
+        # every input segment freed: only the output remains live
+        assert pool.live_slots == kern.out_segments
+
+    def test_matches_handwritten_kernel(self, rng):
+        """The DSL depthwise and the Python kernel agree bit for bit."""
+        mult = quantize_multiplier(0.017)
+        h, c = 7, 4
+        kern = DepthwiseConvKernel(h, h, c, kernel=3, padding=1)
+        x = random_int8(rng, (h, h, c))
+        w = random_int8(rng, (3, 3, c))
+        handwritten = kern.run(x, w, mult)
+        plan = kern.plan()
+        prog = build_depthwise_kernel(plan.seg_bytes, mult)
+        pool = CircularSegmentPool(plan.span_slots, plan.seg_bytes)
+        pool.store_tensor(plan.in_base, x, "In")
+        Interpreter(
+            prog, pool=pool,
+            flash={"Weight": w.reshape(3, 3, 1, c).view(np.uint8).ravel()},
+            params=dict(
+                P=kern.p, Q=kern.q, H=h, W=h, CA=1, R=3, ST=1, PAD=1,
+                in_base=plan.in_base, out_base=plan.out_base,
+            ),
+        ).execute()
+        out = pool.read_tensor(plan.out_base, kern.out_segments, "Out")
+        np.testing.assert_array_equal(
+            out.view(np.int8).reshape(kern.p, kern.q, c), handwritten.output
+        )

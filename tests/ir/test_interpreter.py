@@ -1,0 +1,205 @@
+"""Tests for the IR interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import InterpreterError
+from repro.ir.builder import KernelBuilder
+from repro.ir.interpreter import Interpreter
+from repro.ir.nodes import Const, Max, Min, Var
+from repro.quant import quantize_multiplier, requantize
+
+
+def run_program(prog, params, *, n_slots=16, seg=4, flash=None, setup=None):
+    pool = CircularSegmentPool(n_slots, seg)
+    if setup:
+        setup(pool)
+    interp = Interpreter(prog, pool=pool, flash=flash or {}, params=params)
+    interp.execute()
+    return pool, interp
+
+
+class TestExpressionEval:
+    def _interp(self):
+        b = KernelBuilder("k", seg_bytes=4)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 4)
+        return Interpreter(prog, pool=pool, flash={}, params={"base": 0})
+
+    def test_arith(self):
+        it = self._interp()
+        e = (Var("base") + 3) * 2 - 1
+        assert it.eval_expr(e) == 5
+
+    def test_div_mod(self):
+        it = self._interp()
+        assert it.eval_expr(Const(7) // Const(2)) == 3
+        assert it.eval_expr(Const(7) % Const(2)) == 1
+
+    def test_min_max(self):
+        it = self._interp()
+        assert it.eval_expr(Min(Const(3), Const(5))) == 3
+        assert it.eval_expr(Max(Const(3), Const(5))) == 5
+
+    def test_unbound_variable(self):
+        it = self._interp()
+        with pytest.raises(InterpreterError):
+            it.eval_expr(Var("ghost"))
+
+    def test_division_by_zero(self):
+        it = self._interp()
+        with pytest.raises(InterpreterError):
+            it.eval_expr(Const(1) // Const(0))
+
+
+class TestExecution:
+    def test_loop_and_store(self):
+        b = KernelBuilder("fill", seg_bytes=2)
+        n = b.int_param("N")
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", n) as i:
+            r = b.broadcast("v", 2, i + 1)
+            b.ram_store("T", i, r)
+        prog = b.finish()
+        pool, _ = run_program(prog, {"N": 3, "base": 1}, seg=2)
+        for i in range(3):
+            assert pool.load(1 + i, "T")[0] == i + 1
+
+    def test_loop_restores_shadowed_param(self):
+        # a loop var that collides with a param is restored afterwards
+        b = KernelBuilder("k", seg_bytes=2)
+        n = b.int_param("N")
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", n):
+            pass
+        r = b.broadcast("v", 2, n)  # must still see the param value
+        b.ram_store("T", 0, r)
+        prog = b.finish()
+        pool, _ = run_program(prog, {"N": 3, "base": 0}, seg=2)
+        assert pool.load(0, "T")[0] == 3
+
+    def test_dot_accumulates(self):
+        b = KernelBuilder("dot", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("In", base="base")
+        b.flash_tensor("W")
+        acc = b.reg_alloc("acc", 2)
+        a = b.ram_load("a", "In", 0)
+        w = b.flash_load("w", "W", 0, 4)
+        b.dot(acc, a, w)
+        b.dot(acc, a, w)  # accumulate twice
+        mult = quantize_multiplier(0.5)
+        out = b.requantize("o", acc, mult)
+        b.ram_store("In", 1, out)
+        prog = b.finish()
+
+        x = np.array([2, 3], dtype=np.int8)
+        wmat = np.array([[1, 2], [3, 4]], dtype=np.int8)
+
+        def setup(pool):
+            pool.store(0, x.view(np.uint8), "In")
+
+        pool, _ = run_program(
+            prog, {"base": 0}, seg=2,
+            flash={"W": wmat.view(np.uint8).ravel()}, setup=setup,
+        )
+        got = pool.load(1, "In").view(np.int8)
+        acc_expected = 2 * (x.astype(np.int32) @ wmat.astype(np.int32))
+        np.testing.assert_array_equal(got, requantize(acc_expected, mult))
+
+    def test_vector_add_saturates(self):
+        b = KernelBuilder("add", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        x = b.broadcast("x", 2, 100)
+        y = b.broadcast("y", 2, 100)
+        z = b.vector_add("z", x, y)
+        b.ram_store("T", 0, z)
+        prog = b.finish()
+        pool, _ = run_program(prog, {"base": 0}, seg=2)
+        assert pool.load(0, "T").view(np.int8)[0] == 127
+
+    def test_free(self):
+        b = KernelBuilder("free", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        r = b.broadcast("v", 2, 1)
+        b.ram_store("T", 0, r)
+        b.ram_free("T", 0)
+        prog = b.finish()
+        pool, _ = run_program(prog, {"base": 0}, seg=2)
+        assert pool.live_slots == 0
+
+    def test_intrinsic_counts(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", 4) as i:
+            r = b.broadcast("v", 2, 0)
+            b.ram_store("T", i, r)
+        prog = b.finish()
+        _, interp = run_program(prog, {"base": 0}, seg=2)
+        assert interp.intrinsic_counts["Broadcast"] == 4
+        assert interp.intrinsic_counts["RAMStore"] == 4
+
+
+class TestValidationAtRuntime:
+    def test_missing_param_rejected(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_params("N", "base")
+        b.ram_tensor("T", base="base")
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 2)
+        with pytest.raises(InterpreterError):
+            Interpreter(prog, pool=pool, flash={}, params={"N": 1})
+
+    def test_missing_flash_region_rejected(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        b.flash_tensor("W")
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 2)
+        with pytest.raises(InterpreterError):
+            Interpreter(prog, pool=pool, flash={}, params={"base": 0})
+
+    def test_segment_size_mismatch_rejected(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 8)
+        with pytest.raises(InterpreterError):
+            Interpreter(prog, pool=pool, flash={}, params={"base": 0})
+
+    def test_store_of_int32_register_rejected(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        acc = b.reg_alloc("acc", 2)
+        b.ram_store("T", 0, acc)  # int32 accumulator, not requantized
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 2)
+        interp = Interpreter(prog, pool=pool, flash={}, params={"base": 0})
+        with pytest.raises(InterpreterError):
+            interp.execute()
+
+    def test_flash_out_of_range(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        b.flash_tensor("W")
+        b.flash_load("w", "W", 100, 4)
+        prog = b.finish()
+        pool = CircularSegmentPool(4, 2)
+        interp = Interpreter(
+            prog, pool=pool, flash={"W": np.zeros(8, dtype=np.uint8)},
+            params={"base": 0},
+        )
+        with pytest.raises(InterpreterError):
+            interp.execute()

@@ -1,0 +1,91 @@
+"""Tests for IR node construction and expression algebra."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.nodes import (
+    Add,
+    Const,
+    For,
+    FloorDiv,
+    Mod,
+    Mul,
+    Program,
+    RAMLoad,
+    Sub,
+    TensorDecl,
+    Var,
+    as_expr,
+)
+
+
+class TestExpressions:
+    def test_operator_sugar(self):
+        m = Var("m")
+        e = m * 4 + 1
+        assert isinstance(e, Add)
+        assert isinstance(e.a, Mul)
+        assert e.b == Const(1)
+
+    def test_right_ops(self):
+        m = Var("m")
+        assert isinstance(2 + m, Add)
+        assert isinstance(2 * m, Mul)
+        assert isinstance(2 - m, Sub)
+
+    def test_div_mod(self):
+        m = Var("m")
+        assert isinstance(m // 2, FloorDiv)
+        assert isinstance(m % 2, Mod)
+
+    def test_as_expr(self):
+        assert as_expr(5) == Const(5)
+        v = Var("x")
+        assert as_expr(v) is v
+
+    def test_as_expr_rejects_bool_and_float(self):
+        with pytest.raises(IRError):
+            as_expr(True)
+        with pytest.raises(IRError):
+            as_expr(1.5)
+
+    def test_equality_structural(self):
+        assert Var("m") + 1 == Var("m") + 1
+        assert Var("m") + 1 != Var("m") + 2
+        assert Add(Const(1), Const(2)) != Sub(Const(1), Const(2))
+
+    def test_repr_readable(self):
+        e = Var("m") * 4 + 1
+        assert repr(e) == "((m * 4) + 1)"
+
+
+class TestStatements:
+    def test_for_validates_step(self):
+        with pytest.raises(IRError):
+            For(var="i", extent=Const(4), body=(), step=0)
+
+    def test_tensor_decl_space(self):
+        with pytest.raises(IRError):
+            TensorDecl(name="T", space="rom")
+
+    def test_program_tensor_lookup(self):
+        p = Program(
+            name="k",
+            params=("M",),
+            tensors=(TensorDecl(name="In", space="ram", base="M"),),
+            body=(),
+            seg_bytes=4,
+        )
+        assert p.tensor("In").space == "ram"
+        with pytest.raises(IRError):
+            p.tensor("Out")
+
+    def test_nodes_hashable(self):
+        # frozen dataclasses: usable as dict keys (the passes rely on this)
+        d = {Const(1): "a", Var("m"): "b"}
+        assert d[Const(1)] == "a"
+
+    def test_ramload_immutable(self):
+        stmt = RAMLoad(dst="a", tensor="In", addr=Const(0))
+        with pytest.raises(AttributeError):
+            stmt.dst = "b"

@@ -1,0 +1,171 @@
+"""Tests for the IR passes: folding, unrolling, validation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import Add, Const, For, Mul, RAMLoad, Var
+from repro.ir.passes import (
+    constant_fold,
+    fold_expr,
+    substitute,
+    unroll_loops,
+    validate_program,
+)
+
+
+class TestFoldExpr:
+    def test_constants_fold(self):
+        assert fold_expr(Const(2) + Const(3)) == Const(5)
+        assert fold_expr(Const(7) * Const(6)) == Const(42)
+        assert fold_expr(Const(7) // Const(2)) == Const(3)
+        assert fold_expr(Const(7) % Const(2)) == Const(1)
+
+    def test_identities(self):
+        m = Var("m")
+        assert fold_expr(m + 0) == m
+        assert fold_expr(0 + m) == m
+        assert fold_expr(m * 1) == m
+        assert fold_expr(m * 0) == Const(0)
+        assert fold_expr(m - 0) == m
+
+    def test_nested_fold(self):
+        m = Var("m")
+        e = (m * 1 + (Const(2) * Const(3))) * 1
+        assert fold_expr(e) == Add(m, Const(6))
+
+    def test_constant_division_by_zero(self):
+        with pytest.raises(IRError):
+            fold_expr(Const(1) // Const(0))
+
+    def test_substitute(self):
+        e = Var("m") * 4 + Var("k")
+        assert fold_expr(substitute(e, {"m": 2, "k": 1})) == Const(9)
+
+    def test_substitute_partial(self):
+        e = Var("m") + Var("k")
+        got = substitute(e, {"m": 2})
+        assert got == Add(Const(2), Var("k"))
+
+
+def _simple_program(unroll=True, extent=3):
+    b = KernelBuilder("k", seg_bytes=2)
+    b.int_param("base")
+    b.ram_tensor("T", base="base")
+    with b.loop("i", extent, unroll=unroll) as i:
+        b.ram_load("a", "T", i * 2)
+    return b.finish()
+
+
+class TestUnroll:
+    def test_unroll_expands_body(self):
+        prog = unroll_loops(_simple_program())
+        assert len(prog.body) == 3
+        assert all(isinstance(s, RAMLoad) for s in prog.body)
+        addrs = [s.addr for s in prog.body]
+        assert addrs == [Const(0), Const(2), Const(4)]
+
+    def test_non_marked_loops_kept(self):
+        prog = unroll_loops(_simple_program(unroll=False))
+        assert len(prog.body) == 1
+        assert isinstance(prog.body[0], For)
+
+    def test_unroll_requires_const_extent(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        n = b.int_param("N")
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", n, unroll=True) as i:
+            b.ram_load("a", "T", i)
+        prog = b.finish()
+        with pytest.raises(IRError):
+            unroll_loops(prog)
+
+    def test_nested_unroll(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", 2, unroll=True) as i:
+            with b.loop("j", 2, unroll=True) as j:
+                b.ram_load("a", "T", i * 2 + j)
+        prog = unroll_loops(b.finish())
+        assert [s.addr for s in prog.body] == [Const(t) for t in range(4)]
+
+    def test_unroll_with_step(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", 6, step=2, unroll=True) as i:
+            b.ram_load("a", "T", i)
+        prog = unroll_loops(b.finish())
+        assert [s.addr for s in prog.body] == [Const(0), Const(2), Const(4)]
+
+
+class TestConstantFoldPass:
+    def test_folds_inside_loops(self):
+        b = KernelBuilder("k", seg_bytes=2)
+        b.int_param("base")
+        b.ram_tensor("T", base="base")
+        with b.loop("i", 4) as i:
+            b.ram_load("a", "T", i * 1 + 0)
+        prog = constant_fold(b.finish())
+        inner = prog.body[0].body[0]
+        assert inner.addr == Var("i")
+
+
+class TestValidate:
+    def test_valid_program_passes(self):
+        validate_program(_simple_program())
+
+    def test_unbound_loop_var_detected(self):
+        # hand-build a program whose address escapes its loop scope
+        from repro.ir.nodes import Program, RAMLoad, TensorDecl
+
+        prog = Program(
+            name="bad",
+            params=("base",),
+            tensors=(TensorDecl(name="T", space="ram", base="base"),),
+            body=(RAMLoad(dst="a", tensor="T", addr=Var("i")),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_undefined_register_detected(self):
+        from repro.ir.nodes import Dot, Program, TensorDecl
+
+        prog = Program(
+            name="bad",
+            params=(),
+            tensors=(),
+            body=(Dot(dst="acc", a="x", b="y"),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_unknown_tensor_detected(self):
+        from repro.ir.nodes import Program, RAMFree
+
+        prog = Program(
+            name="bad",
+            params=(),
+            tensors=(),
+            body=(RAMFree(tensor="ghost", addr=Const(0)),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_store_of_undefined_register(self):
+        from repro.ir.nodes import Program, RAMStore, TensorDecl
+
+        prog = Program(
+            name="bad",
+            params=("base",),
+            tensors=(TensorDecl(name="T", space="ram", base="base"),),
+            body=(RAMStore(tensor="T", addr=Const(0), src="ghost"),),
+            seg_bytes=2,
+        )
+        with pytest.raises(IRError):
+            validate_program(prog)

@@ -1,0 +1,179 @@
+"""Tests for the fused inverted-bottleneck kernel (Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.multilayer import BottleneckSpec
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels import reference as ref
+from repro.kernels.bottleneck import FusedBottleneckKernel
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+def make_weights(rng, spec):
+    return (
+        random_int8(rng, (spec.c_in, spec.c_mid)),
+        random_int8(rng, (spec.kernel, spec.kernel, spec.c_mid)),
+        random_int8(rng, (spec.c_mid, spec.c_out)),
+    )
+
+
+def golden(x, weights, spec, mults):
+    w1, wd, w2 = weights
+    return ref.inverted_bottleneck(
+        x, w1, wd, w2, mults, kernel=spec.kernel, strides=spec.strides,
+        padding=spec.padding, residual=spec.has_residual,
+    )
+
+
+SPECS = [
+    BottleneckSpec("residual", 8, 8, 12, 8, 3, (1, 1, 1)),
+    BottleneckSpec("project", 8, 8, 12, 4, 3, (1, 1, 1)),
+    BottleneckSpec("dw-stride", 9, 6, 10, 4, 3, (1, 2, 1)),
+    BottleneckSpec("expand-stride", 8, 4, 8, 4, 3, (2, 1, 1)),
+    BottleneckSpec("project-stride", 8, 4, 8, 4, 3, (1, 1, 2)),
+    BottleneckSpec("k5", 10, 4, 8, 4, 5, (1, 1, 1)),
+]
+
+
+class TestRunExactness:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("halo_mode", ["cache_rows", "recompute"])
+    def test_bit_exact(self, rng, mults, spec, halo_mode):
+        kern = FusedBottleneckKernel(spec, halo_mode=halo_mode)
+        x = random_int8(rng, (spec.hw, spec.hw, spec.c_in))
+        weights = make_weights(rng, spec)
+        run = kern.run(x, *weights, mults)
+        np.testing.assert_array_equal(run.output, golden(x, weights, spec, mults))
+
+    def test_intermediates_never_in_pool(self, rng, mults):
+        """Only A and E own pool slots — B, C, D live in workspace."""
+        spec = SPECS[0]
+        kern = FusedBottleneckKernel(spec)
+        x = random_int8(rng, (spec.hw, spec.hw, spec.c_in))
+        run = kern.run(x, *make_weights(rng, spec), mults)
+        # stores: placing A + producing E; nothing else touches the pool
+        ca = spec.c_in // run.plan.seg_bytes
+        ce = spec.c_out // run.plan.seg_bytes
+        expected_stores = spec.hw**2 * ca + spec.spatial_out() ** 2 * ce
+        assert run.pool_stats.stores == expected_stores
+
+    def test_span_tightness_residual(self, rng, mults):
+        spec = SPECS[0]
+        kern = FusedBottleneckKernel(spec)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(
+                random_int8(rng, (spec.hw, spec.hw, spec.c_in)),
+                *make_weights(rng, spec), mults, plan=plan, pool=pool,
+            )
+
+    def test_silent_corruption_permissive(self, rng, mults):
+        spec = SPECS[0]
+        kern = FusedBottleneckKernel(spec)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 2, plan.seg_bytes, strict=False
+        )
+        x = random_int8(rng, (spec.hw, spec.hw, spec.c_in))
+        weights = make_weights(rng, spec)
+        run = kern.run(x, *weights, mults, plan=plan, pool=pool)
+        assert not np.array_equal(run.output, golden(x, weights, spec, mults))
+
+    def test_weight_shape_validation(self, rng, mults):
+        spec = SPECS[0]
+        kern = FusedBottleneckKernel(spec)
+        x = random_int8(rng, (spec.hw, spec.hw, spec.c_in))
+        w1, wd, w2 = make_weights(rng, spec)
+        with pytest.raises(ShapeError):
+            kern.run(x, w1.T.copy(), wd, w2, mults)
+
+    @given(
+        hw=st.integers(5, 9),
+        c_in=st.sampled_from([4, 8]),
+        c_mid=st.sampled_from([6, 10]),
+        c_out=st.sampled_from([4, 8]),
+        s2=st.integers(1, 2),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_bit_exact_property(self, hw, c_in, c_mid, c_out, s2, seed):
+        rng = np.random.default_rng(seed)
+        mults = (
+            quantize_multiplier(0.02),
+            quantize_multiplier(0.01 + (seed % 20) / 1000.0),
+            quantize_multiplier(0.03),
+        )
+        spec = BottleneckSpec("p", hw, c_in, c_mid, c_out, 3, (1, s2, 1))
+        kern = FusedBottleneckKernel(spec)
+        x = random_int8(rng, (hw, hw, c_in))
+        weights = make_weights(rng, spec)
+        run = kern.run(x, *weights, mults)
+        np.testing.assert_array_equal(
+            run.output, golden(x, weights, spec, mults)
+        )
+
+
+class TestRecomputeAccounting:
+    def test_cache_rows_computes_each_b_once(self, rng, mults):
+        spec = BottleneckSpec("t", 8, 8, 12, 8, 3, (1, 1, 1))
+        kern = FusedBottleneckKernel(spec, halo_mode="cache_rows")
+        run = kern.run(
+            random_int8(rng, (8, 8, 8)), *make_weights(rng, spec), mults
+        )
+        # pw-expand MACs = exactly one compute per B pixel
+        pw1_macs = 8 * 8 * spec.c_in * spec.c_mid
+        assert kern.recompute_count() == 64
+        assert run.report.macs >= pw1_macs
+
+    def test_recompute_mode_costs_more_macs(self, rng, mults):
+        spec = BottleneckSpec("t", 8, 8, 12, 8, 3, (1, 1, 1))
+        x = random_int8(rng, (8, 8, 8))
+        weights = make_weights(rng, spec)
+        cheap = FusedBottleneckKernel(spec, halo_mode="cache_rows").run(
+            x, *weights, mults
+        )
+        costly = FusedBottleneckKernel(spec, halo_mode="recompute").run(
+            x, *weights, mults
+        )
+        assert costly.report.macs > cheap.report.macs
+        # both bit-exact regardless
+        np.testing.assert_array_equal(cheap.output, costly.output)
+
+    def test_recompute_count_analytic_vs_simulated(self, rng, mults):
+        """The analytic recompute count matches the simulated MAC total."""
+        spec = BottleneckSpec("t", 8, 8, 12, 8, 3, (1, 1, 1))
+        for mode in ("cache_rows", "recompute"):
+            kern = FusedBottleneckKernel(spec, halo_mode=mode)
+            run = kern.run(
+                random_int8(rng, (8, 8, 8)), *make_weights(rng, spec), mults
+            )
+            px = spec.spatial_out() ** 2
+            dw_macs_max = px * 9 * spec.c_mid
+            pw2_macs = px * spec.c_mid * spec.c_out
+            pw1_macs = kern.recompute_count() * spec.c_in * spec.c_mid
+            # dw windows at borders are clipped, so simulated <= analytic
+            assert run.report.macs <= pw1_macs + dw_macs_max + pw2_macs
+            assert run.report.macs >= pw1_macs + pw2_macs
+
+
+class TestWorkspaceModel:
+    def test_footprint_components(self):
+        spec = BottleneckSpec("t", 8, 8, 12, 8, 3, (1, 1, 1))
+        kern = FusedBottleneckKernel(spec, halo_mode="recompute")
+        plan = kern.plan()
+        assert plan.workspace_bytes == 9 * 12 + 12 + 8
+        assert plan.footprint_bytes == plan.pool_bytes + plan.workspace_bytes
+
+    def test_fused_beats_unfused_footprint(self):
+        """Fusion eliminates the expanded intermediate entirely."""
+        spec = BottleneckSpec("t", 16, 8, 48, 8, 3, (1, 1, 1))
+        plan = FusedBottleneckKernel(spec).plan()
+        unfused_floor = spec.in_bytes + spec.mid_bytes  # A + B live together
+        assert plan.footprint_bytes < unfused_floor

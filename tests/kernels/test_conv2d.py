@@ -1,0 +1,139 @@
+"""Tests for the segment-aware 2D convolution kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels import reference as ref
+from repro.kernels.conv2d import Conv2dKernel, pack_conv_weights
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestPackConvWeights:
+    def test_layout(self, rng):
+        w = random_int8(rng, (3, 3, 4, 8))
+        packed = pack_conv_weights(w, 4)
+        assert packed.shape == (3, 3, 1, 2, 4, 4)
+        np.testing.assert_array_equal(packed[2, 1, 0, 1], w[2, 1, :, 4:8])
+
+    def test_seg_must_tile(self, rng):
+        with pytest.raises(ShapeError):
+            pack_conv_weights(random_int8(rng, (3, 3, 4, 8)), 3)
+
+
+class TestPlan:
+    def test_valid_conv_window_halo(self):
+        """Valid (unpadded) conv: reads run ahead of writes, small halo."""
+        kern = Conv2dKernel(8, 8, 4, 4, kernel=3)
+        plan = kern.plan()
+        assert plan.span_slots < kern.in_segments + kern.out_segments
+
+    def test_padded_conv_needs_distance(self):
+        """Same padding: output pixel (0,0) writes before input row 1 dies."""
+        kern = Conv2dKernel(8, 8, 4, 4, kernel=3, padding=1)
+        plan = kern.plan()
+        assert plan.distance > 0
+
+    def test_output_shape_math(self):
+        kern = Conv2dKernel(9, 9, 2, 4, kernel=3, stride=2, padding=1)
+        assert (kern.p, kern.q) == (5, 5)
+
+    def test_collapse_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2dKernel(2, 2, 4, 4, kernel=5)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "h,w,c,k,kernel,stride,padding",
+        [
+            (7, 7, 2, 2, 3, 1, 0),
+            (7, 7, 2, 2, 3, 1, 1),
+            (9, 9, 4, 8, 3, 2, 1),
+            (8, 6, 2, 4, 3, 1, 1),
+            (10, 10, 2, 2, 5, 1, 2),
+            (9, 9, 2, 2, 3, 3, 0),
+        ],
+    )
+    def test_bit_exact(self, rng, mult, h, w, c, k, kernel, stride, padding):
+        kern = Conv2dKernel(
+            h, w, c, k, kernel=kernel, stride=stride, padding=padding
+        )
+        x = random_int8(rng, (h, w, c))
+        wt = random_int8(rng, (kernel, kernel, c, k))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output,
+            ref.conv2d(x, wt, mult, stride=stride, padding=padding),
+        )
+
+    def test_span_tightness(self, rng, mult):
+        kern = Conv2dKernel(7, 7, 2, 2, kernel=3, padding=1)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(
+                random_int8(rng, (7, 7, 2)),
+                random_int8(rng, (3, 3, 2, 2)),
+                mult, plan=plan, pool=pool,
+            )
+
+    def test_empirical_min_equals_plan(self, rng, mult):
+        """Binary probe: the smallest working pool is exactly the plan."""
+        kern = Conv2dKernel(6, 6, 2, 2, kernel=3, stride=2, padding=1)
+        plan = kern.plan()
+        x = random_int8(rng, (6, 6, 2))
+        wt = random_int8(rng, (3, 3, 2, 2))
+        expect = ref.conv2d(x, wt, mult, stride=2, padding=1)
+
+        def works(slots: int) -> bool:
+            pool = CircularSegmentPool(slots, plan.seg_bytes, strict=True)
+            try:
+                run = kern.run(x, wt, mult, plan=plan, pool=pool)
+            except MemoryError_:
+                return False
+            return np.array_equal(run.output, expect)
+
+        assert works(plan.span_slots)
+        assert not works(plan.span_slots - 1)
+
+    def test_shape_validation(self, rng, mult):
+        kern = Conv2dKernel(6, 6, 2, 2, kernel=3)
+        with pytest.raises(ShapeError):
+            kern.run(
+                random_int8(rng, (6, 6, 2)),
+                random_int8(rng, (3, 3, 2, 4)),
+                mult,
+            )
+
+    @given(
+        h=st.integers(4, 8),
+        c=st.sampled_from([2, 4]),
+        k=st.sampled_from([2, 4]),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bit_exact_property(self, h, c, k, stride, padding, seed):
+        rng = np.random.default_rng(seed)
+        mult = quantize_multiplier(0.008 + (seed % 30) / 1000.0)
+        kern = Conv2dKernel(h, h, c, k, kernel=3, stride=stride, padding=padding)
+        x = random_int8(rng, (h, h, c))
+        wt = random_int8(rng, (3, 3, c, k))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output, ref.conv2d(x, wt, mult, stride=stride, padding=padding)
+        )
+
+
+class TestCost:
+    def test_macs_upper_bound(self):
+        kern = Conv2dKernel(8, 8, 4, 4, kernel=3, padding=1)
+        # analytic model counts full windows (ignores border clipping)
+        assert kern.cost().macs == 64 * 9 * 16

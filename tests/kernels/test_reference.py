@@ -1,0 +1,180 @@
+"""Tests for the NumPy reference operators themselves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels import reference as ref
+from repro.quant import quantize_multiplier
+from tests.conftest import random_int8
+
+
+class TestFullyConnected:
+    def test_known_values(self):
+        m = quantize_multiplier(0.5)
+        x = np.array([[2, 0], [0, 4]], dtype=np.int8)
+        w = np.array([[1, -1], [1, 1]], dtype=np.int8)
+        out = ref.fully_connected(x, w, m)
+        # acc = [[2,-2],[4,4]] * 0.5
+        np.testing.assert_array_equal(out, [[1, -1], [2, 2]])
+
+    def test_shape_checks(self):
+        m = quantize_multiplier(0.5)
+        with pytest.raises(ShapeError):
+            ref.fully_connected(
+                np.zeros((2, 3), dtype=np.int8),
+                np.zeros((4, 2), dtype=np.int8),
+                m,
+            )
+
+    def test_dtype_enforced(self):
+        m = quantize_multiplier(0.5)
+        with pytest.raises(ShapeError):
+            ref.fully_connected(
+                np.zeros((2, 2), dtype=np.int32),
+                np.zeros((2, 2), dtype=np.int8),
+                m,
+            )
+
+    def test_saturation(self):
+        m = quantize_multiplier(0.999)
+        x = np.full((1, 64), 127, dtype=np.int8)
+        w = np.full((64, 1), 127, dtype=np.int8)
+        assert ref.fully_connected(x, w, m)[0, 0] == 127
+
+
+class TestPointwise:
+    def test_equals_fc_on_flattened_pixels(self, rng, mult):
+        x = random_int8(rng, (5, 7, 8))
+        w = random_int8(rng, (8, 4))
+        conv = ref.pointwise_conv(x, w, mult)
+        fc = ref.fully_connected(x.reshape(-1, 8), w, mult).reshape(5, 7, 4)
+        np.testing.assert_array_equal(conv, fc)
+
+    def test_stride_subsamples(self, rng, mult):
+        x = random_int8(rng, (6, 6, 4))
+        w = random_int8(rng, (4, 4))
+        s2 = ref.pointwise_conv(x, w, mult, stride=2)
+        full = ref.pointwise_conv(x, w, mult)
+        np.testing.assert_array_equal(s2, full[::2, ::2])
+
+    def test_bad_stride(self, rng, mult):
+        with pytest.raises(ShapeError):
+            ref.pointwise_conv(
+                random_int8(rng, (4, 4, 2)), random_int8(rng, (2, 2)),
+                mult, stride=0,
+            )
+
+
+class TestConv2d:
+    def test_pointwise_special_case(self, rng, mult):
+        x = random_int8(rng, (5, 5, 6))
+        w = random_int8(rng, (1, 1, 6, 3))
+        conv = ref.conv2d(x, w, mult)
+        pw = ref.pointwise_conv(x, w[0, 0], mult)
+        np.testing.assert_array_equal(conv, pw)
+
+    def test_output_shape(self, rng, mult):
+        x = random_int8(rng, (9, 9, 2))
+        w = random_int8(rng, (3, 3, 2, 4))
+        assert ref.conv2d(x, w, mult).shape == (7, 7, 4)
+        assert ref.conv2d(x, w, mult, padding=1).shape == (9, 9, 4)
+        assert ref.conv2d(x, w, mult, stride=2, padding=1).shape == (5, 5, 4)
+
+    def test_identity_kernel(self, mult_half=quantize_multiplier(0.5)):
+        x = np.full((3, 3, 1), 10, dtype=np.int8)
+        w = np.zeros((3, 3, 1, 1), dtype=np.int8)
+        w[1, 1, 0, 0] = 2  # center tap x2, requant x0.5 -> identity
+        out = ref.conv2d(x, w, mult_half, padding=1)
+        np.testing.assert_array_equal(out, x)
+
+    def test_brute_force_small(self, rng, mult):
+        """Element-level brute force agrees with the vectorized reference."""
+        x = random_int8(rng, (4, 5, 3))
+        w = random_int8(rng, (3, 3, 3, 2))
+        got = ref.conv2d(x, w, mult, stride=2, padding=1)
+        from repro.quant import requantize
+
+        h, wid, c = x.shape
+        p, q, k = got.shape
+        for pi in range(p):
+            for qi in range(q):
+                for ki in range(k):
+                    acc = 0
+                    for dr in range(3):
+                        for ds in range(3):
+                            hh, ww = pi * 2 + dr - 1, qi * 2 + ds - 1
+                            if 0 <= hh < h and 0 <= ww < wid:
+                                acc += int(
+                                    np.dot(
+                                        x[hh, ww].astype(np.int64),
+                                        w[dr, ds, :, ki].astype(np.int64),
+                                    )
+                                )
+                    expect = requantize(np.array([acc], dtype=np.int32), mult)[0]
+                    assert got[pi, qi, ki] == expect
+
+
+class TestDepthwise:
+    def test_output_shape(self, rng, mult):
+        x = random_int8(rng, (8, 8, 5))
+        w = random_int8(rng, (3, 3, 5))
+        assert ref.depthwise_conv(x, w, mult, padding=1).shape == (8, 8, 5)
+
+    def test_channels_independent(self, rng, mult):
+        x = random_int8(rng, (6, 6, 4))
+        w = random_int8(rng, (3, 3, 4))
+        full = ref.depthwise_conv(x, w, mult, padding=1)
+        for c in range(4):
+            solo = ref.depthwise_conv(
+                x[:, :, c : c + 1], w[:, :, c : c + 1], mult, padding=1
+            )
+            np.testing.assert_array_equal(full[:, :, c : c + 1], solo)
+
+    def test_shape_mismatch(self, rng, mult):
+        with pytest.raises(ShapeError):
+            ref.depthwise_conv(
+                random_int8(rng, (4, 4, 3)), random_int8(rng, (3, 3, 5)), mult
+            )
+
+
+class TestSaturatingAdd:
+    def test_saturates_both_ends(self):
+        a = np.array([127, -128, 10], dtype=np.int8)
+        b = np.array([127, -128, -30], dtype=np.int8)
+        out = ref.saturating_add(a, b)
+        assert out.tolist() == [127, -128, -20]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ref.saturating_add(
+                np.zeros(3, dtype=np.int8), np.zeros(4, dtype=np.int8)
+            )
+
+
+class TestInvertedBottleneck:
+    def test_composition(self, rng, mults):
+        """The fused reference equals the explicit stage-by-stage chain."""
+        x = random_int8(rng, (6, 6, 4))
+        w1 = random_int8(rng, (4, 8))
+        wd = random_int8(rng, (3, 3, 8))
+        w2 = random_int8(rng, (8, 4))
+        out = ref.inverted_bottleneck(
+            x, w1, wd, w2, mults, kernel=3, strides=(1, 1, 1), padding=1,
+            residual=True,
+        )
+        b = ref.pointwise_conv(x, w1, mults[0])
+        c = ref.depthwise_conv(b, wd, mults[1], padding=1)
+        d = ref.pointwise_conv(c, w2, mults[2])
+        np.testing.assert_array_equal(out, ref.saturating_add(d, x))
+
+    def test_residual_shape_guard(self, rng, mults):
+        x = random_int8(rng, (6, 6, 4))
+        w1 = random_int8(rng, (4, 8))
+        wd = random_int8(rng, (3, 3, 8))
+        w2 = random_int8(rng, (8, 6))  # c_out != c_in
+        with pytest.raises(ShapeError):
+            ref.inverted_bottleneck(
+                x, w1, wd, w2, mults, kernel=3, strides=(1, 1, 1), padding=1,
+                residual=True,
+            )

@@ -1,0 +1,70 @@
+"""Tests for device profiles and the ISA cost tables."""
+
+import pytest
+
+from repro.mcu.device import DEVICES, STM32F411RE, STM32F767ZI, get_device
+from repro.mcu.isa import CORTEX_M4_ISA, CORTEX_M7_ISA
+
+
+class TestDeviceProfiles:
+    def test_paper_capacities(self):
+        # Table 1 / Section 7.1 figures
+        assert STM32F411RE.sram_kb == 128
+        assert STM32F411RE.flash_kb == 512
+        assert STM32F767ZI.sram_kb == 512
+
+    def test_cores(self):
+        assert "M4" in STM32F411RE.core
+        assert "M7" in STM32F767ZI.core
+
+    def test_usable_sram_excludes_runtime(self):
+        assert STM32F411RE.usable_sram_bytes < STM32F411RE.sram_bytes
+
+    def test_fits(self):
+        assert STM32F411RE.fits(100 * 1024)
+        assert not STM32F411RE.fits(200 * 1024)
+
+    def test_cycle_conversion(self):
+        assert STM32F411RE.cycles_to_ms(STM32F411RE.clock_hz) == 1000.0
+        assert STM32F767ZI.cycles_to_seconds(STM32F767ZI.clock_hz) == 1.0
+
+    def test_lookup_aliases(self):
+        assert get_device("F411RE") is STM32F411RE
+        assert get_device("STM32-F767ZI") is STM32F767ZI
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("ESP32")
+
+    def test_registry_consistency(self):
+        assert DEVICES["F411RE"].isa is CORTEX_M4_ISA
+        assert DEVICES["F767ZI"].isa is CORTEX_M7_ISA
+
+
+class TestISA:
+    def test_smlad_present_on_both(self):
+        assert "SMLAD" in CORTEX_M4_ISA
+        assert "SMLAD" in CORTEX_M7_ISA
+
+    def test_m7_is_dual_issue(self):
+        assert CORTEX_M7_ISA.cycles("SMLAD") < CORTEX_M4_ISA.cycles("SMLAD")
+
+    def test_flash_slower_than_sram(self):
+        for isa in (CORTEX_M4_ISA, CORTEX_M7_ISA):
+            assert isa.cycles("LDR_FLASH") > isa.cycles("LDR")
+
+    def test_cycles_scale_with_count(self):
+        assert CORTEX_M4_ISA.cycles("LDR", 10) == 10 * CORTEX_M4_ISA.cycles("LDR")
+
+    def test_unknown_mnemonic_fails_loudly(self):
+        with pytest.raises(KeyError):
+            CORTEX_M4_ISA.cycles("VMUL")
+
+    def test_paper_instructions_modeled(self):
+        # the intrinsics of Section 6.1 lower to these
+        for mnemonic in ("SMLAD", "SADD16", "PKHBT"):
+            assert mnemonic in CORTEX_M4_ISA.mnemonics
+
+    def test_general_modulo_costlier_than_pow2(self):
+        for isa in (CORTEX_M4_ISA, CORTEX_M7_ISA):
+            assert isa.cycles("UDIV") + isa.cycles("MLS") > isa.cycles("AND")

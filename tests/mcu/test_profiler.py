@@ -1,0 +1,122 @@
+"""Tests for the profiler and cost reports."""
+
+import pytest
+
+from repro.mcu.device import STM32F411RE, STM32F767ZI
+from repro.mcu.energy import EnergyBreakdown, EnergyModel
+from repro.mcu.profiler import CostReport, Profiler
+
+
+class TestProfiler:
+    def test_macs_charge_smlad(self):
+        p = Profiler(STM32F411RE)
+        p.count_macs(1000)
+        assert p.macs == 1000
+        # 2 MACs per SMLAD, 1 cycle each on M4
+        assert p.cycles == pytest.approx(500)
+
+    def test_sram_traffic(self):
+        p = Profiler(STM32F411RE)
+        p.count_sram(400, store=False)
+        p.count_sram(100, store=True)
+        assert p.sram_bytes == 500
+        # 100 LDR at 2 cycles + 25 STR at 1 cycle
+        assert p.cycles == pytest.approx(225)
+
+    def test_flash_traffic(self):
+        p = Profiler(STM32F411RE)
+        p.count_flash(40)
+        assert p.flash_bytes == 40
+        assert p.cycles == pytest.approx(30)  # 10 issues x 3 cycles
+
+    def test_modulo_pow2_vs_general(self):
+        p1 = Profiler(STM32F411RE)
+        p1.count_modulo(10, power_of_two=True)
+        p2 = Profiler(STM32F411RE)
+        p2.count_modulo(10, power_of_two=False)
+        assert p2.cycles > p1.cycles
+        assert p1.modulo_ops == p2.modulo_ops == 10
+
+    def test_unknown_instruction_rejected(self):
+        p = Profiler(STM32F411RE)
+        with pytest.raises(KeyError):
+            p.count_instr("FMA", 1)
+
+    def test_report_latency_consistent(self):
+        p = Profiler(STM32F767ZI)
+        p.count_macs(216_000 * 2)  # 216k SMLAD -> 108k cycles on M7
+        r = p.report()
+        assert r.latency_ms == pytest.approx(
+            1e3 * r.cycles / STM32F767ZI.clock_hz
+        )
+        assert r.device == STM32F767ZI.name
+
+    def test_requantize_epilogue(self):
+        p = Profiler(STM32F411RE)
+        p.count_requantize(64)
+        assert p.cycles > 0
+
+
+class TestCostReport:
+    def _report(self, device=STM32F411RE, macs=1000):
+        p = Profiler(device)
+        p.count_macs(macs)
+        p.count_sram(100)
+        return p.report()
+
+    def test_combine_sums(self):
+        a = self._report(macs=1000)
+        b = self._report(macs=3000)
+        c = CostReport.combine([a, b])
+        assert c.macs == 4000
+        assert c.cycles == pytest.approx(a.cycles + b.cycles)
+        assert c.energy.total_nj == pytest.approx(
+            a.energy.total_nj + b.energy.total_nj
+        )
+
+    def test_combine_rejects_mixed_devices(self):
+        a = self._report(STM32F411RE)
+        b = self._report(STM32F767ZI)
+        with pytest.raises(ValueError):
+            CostReport.combine([a, b])
+
+    def test_combine_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CostReport.combine([])
+
+    def test_scaled(self):
+        a = self._report()
+        b = a.scaled(2.0)
+        assert b.macs == 2 * a.macs
+        assert b.latency_ms == pytest.approx(2 * a.latency_ms)
+
+    def test_throughput(self):
+        a = self._report()
+        assert a.throughput_inferences_per_s == pytest.approx(
+            1000.0 / a.latency_ms
+        )
+
+
+class TestEnergyModel:
+    def test_breakdown_sums(self):
+        e = EnergyBreakdown(core_nj=10, sram_nj=5, flash_nj=5)
+        assert e.total_nj == 20
+        assert e.memory_fraction == pytest.approx(0.5)
+        assert e.total_mj == pytest.approx(2e-5)
+
+    def test_zero_energy_fraction(self):
+        e = EnergyBreakdown(0, 0, 0)
+        assert e.memory_fraction == 0.0
+
+    def test_model_uses_device_coefficients(self):
+        m = EnergyModel(STM32F411RE)
+        e = m.energy(cycles=100, sram_bytes=10, flash_bytes=10)
+        d = STM32F411RE
+        assert e.core_nj == pytest.approx(100 * d.energy_per_cycle_nj)
+        assert e.sram_nj == pytest.approx(10 * d.energy_per_sram_byte_nj)
+        assert e.flash_nj == pytest.approx(10 * d.energy_per_flash_byte_nj)
+
+    def test_combine(self):
+        parts = [EnergyBreakdown(1, 2, 3), EnergyBreakdown(4, 5, 6)]
+        e = EnergyBreakdown.combine(parts)
+        assert (e.core_nj, e.sram_nj, e.flash_nj) == (5, 7, 9)

@@ -1,0 +1,85 @@
+"""Tests for the VirtualMCU deployment facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.kernels.pooling import fold_mean
+from repro.mcu.device import STM32F411RE
+from repro.mcu.virtual import VirtualMCU
+from repro.quant import quantize_multiplier
+from repro.runtime import (
+    BottleneckStage,
+    DenseStage,
+    GlobalAvgPoolStage,
+    Pipeline,
+    PointwiseStage,
+)
+from tests.conftest import random_int8
+
+q = quantize_multiplier
+
+
+def small_pipeline(rng, hw=8, c=4):
+    pipe = Pipeline(hw, c, device=STM32F411RE)
+    pipe.add(PointwiseStage("stem", random_int8(rng, (c, 8)), q(0.02)))
+    pipe.add(
+        BottleneckStage(
+            "b", c_mid=12, c_out=8, kernel=3,
+            w_expand=random_int8(rng, (8, 12)),
+            w_dw=random_int8(rng, (3, 3, 12)),
+            w_project=random_int8(rng, (12, 8)),
+            mults=(q(0.02), q(0.015), q(0.03)),
+        )
+    )
+    pipe.add(GlobalAvgPoolStage("gap", fold_mean(q(0.9), hw * hw)))
+    pipe.add(DenseStage("head", random_int8(rng, (8, 2)), q(0.03)))
+    return pipe
+
+
+class TestDeploy:
+    def test_deploy_and_infer(self, rng):
+        mcu = VirtualMCU(STM32F411RE)
+        pipe = small_pipeline(rng)
+        model = mcu.deploy(pipe)
+        res = model.infer(random_int8(rng, (8, 8, 4)))
+        assert res.output.size == 2
+        assert model.weight_bytes == mcu.flash_used
+
+    def test_weight_accounting(self, rng):
+        pipe = small_pipeline(rng)
+        wb = VirtualMCU.pipeline_weight_bytes(pipe)
+        assert wb == 4 * 8 + (8 * 12 + 9 * 12 + 12 * 8) + 8 * 2
+
+    def test_flash_exhaustion_rejected(self, rng):
+        from dataclasses import replace
+
+        tiny_flash = replace(
+            STM32F411RE, name="tiny-flash", flash_bytes=64
+        )
+        mcu = VirtualMCU(tiny_flash)
+        with pytest.raises(OutOfMemoryError):
+            mcu.deploy(small_pipeline(rng))
+
+    def test_sram_exhaustion_rejected(self, rng):
+        from dataclasses import replace
+
+        tiny_sram = replace(
+            STM32F411RE, name="tiny-sram", sram_bytes=1024,
+            reserved_ram_bytes=256,
+        )
+        mcu = VirtualMCU(tiny_sram)
+        with pytest.raises(OutOfMemoryError):
+            mcu.deploy(small_pipeline(rng, hw=16, c=8))
+
+    def test_two_models_share_flash(self, rng):
+        mcu = VirtualMCU(STM32F411RE)
+        m1 = mcu.deploy(small_pipeline(rng))
+        m2 = mcu.deploy(small_pipeline(rng))
+        assert mcu.flash_used == m1.weight_bytes + m2.weight_bytes
+
+    def test_flash_free(self, rng):
+        mcu = VirtualMCU(STM32F411RE)
+        before = mcu.flash_free
+        model = mcu.deploy(small_pipeline(rng))
+        assert mcu.flash_free == before - model.weight_bytes

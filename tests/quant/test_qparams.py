@@ -1,0 +1,115 @@
+"""Tests for affine int8 quantization parameters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    INT8_MAX,
+    INT8_MIN,
+    QuantParams,
+    choose_qparams,
+    dequantize,
+    quantize,
+)
+
+
+class TestQuantParams:
+    def test_valid_construction(self):
+        p = QuantParams(scale=0.5, zero_point=3)
+        assert p.scale == 0.5
+        assert p.zero_point == 3
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=-1.0)
+
+    def test_rejects_nan_scale(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=float("nan"))
+
+    def test_rejects_out_of_range_zero_point(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, zero_point=128)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, zero_point=-129)
+
+    def test_methods_roundtrip(self):
+        p = QuantParams(scale=0.1, zero_point=-4)
+        x = np.array([0.0, 0.1, -0.3, 1.7])
+        assert np.array_equal(p.quantize(x), quantize(x, p))
+
+
+class TestQuantizeDequantize:
+    def test_zero_maps_to_zero_point(self):
+        p = QuantParams(scale=0.07, zero_point=11)
+        assert quantize(np.array([0.0]), p)[0] == 11
+
+    def test_saturation(self):
+        p = QuantParams(scale=0.01, zero_point=0)
+        q = quantize(np.array([1e6, -1e6]), p)
+        assert q[0] == INT8_MAX
+        assert q[1] == INT8_MIN
+
+    def test_dtype_is_int8(self):
+        p = QuantParams(scale=1.0)
+        assert quantize(np.zeros(4), p).dtype == np.int8
+
+    def test_round_half_to_even(self):
+        p = QuantParams(scale=1.0, zero_point=0)
+        # 0.5 rounds to 0, 1.5 rounds to 2 under banker's rounding
+        q = quantize(np.array([0.5, 1.5]), p)
+        assert q.tolist() == [0, 2]
+
+    def test_dequantize_inverts_on_grid(self):
+        p = QuantParams(scale=0.25, zero_point=-3)
+        grid = (np.arange(-128, 128) + 3) * 0.25
+        q = quantize(grid, p)
+        back = dequantize(q, p)
+        np.testing.assert_allclose(back, grid, atol=1e-12)
+
+
+class TestChooseQParams:
+    def test_symmetric_zero_point_is_zero(self):
+        x = np.array([-3.0, 2.0])
+        p = choose_qparams(x, symmetric=True)
+        assert p.zero_point == 0
+        assert p.scale == pytest.approx(3.0 / 127)
+
+    def test_asymmetric_covers_range(self):
+        x = np.array([-1.0, 3.0])
+        p = choose_qparams(x)
+        q = quantize(x, p)
+        err = np.abs(dequantize(q, p) - x)
+        assert np.all(err <= p.scale)
+
+    def test_constant_tensor(self):
+        p = choose_qparams(np.zeros(5))
+        assert p.scale == 1.0
+
+    def test_all_zero_symmetric(self):
+        p = choose_qparams(np.zeros(3), symmetric=True)
+        assert p.scale > 0
+
+    def test_empty_raises(self):
+        import pytest as _pytest
+
+        with _pytest.raises(QuantizationError):
+            choose_qparams(np.array([]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_roundtrip_error_bounded_by_scale(self, values):
+        x = np.asarray(values)
+        p = choose_qparams(x)
+        back = dequantize(quantize(x, p), p)
+        # one quantization step of error at most (plus fp slack)
+        assert np.all(np.abs(back - x) <= p.scale * (0.5 + 1e-9) + 1e-9)

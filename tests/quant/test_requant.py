@@ -1,0 +1,147 @@
+"""Tests for the fixed-point requantization arithmetic (gemmlowp semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    FixedPointMultiplier,
+    quantize_multiplier,
+    requantize,
+    rounding_divide_by_pot,
+    saturating_rounding_doubling_high_mul,
+)
+
+INT32_MIN = -(2**31)
+INT32_MAX = 2**31 - 1
+
+
+class TestQuantizeMultiplier:
+    def test_normalized_mantissa(self):
+        m = quantize_multiplier(0.25)
+        assert 2**30 <= m.multiplier <= 2**31 - 1 or m.multiplier == 2**30
+
+    def test_real_value_close(self):
+        for real in (0.9, 0.5, 0.1, 0.013, 1e-4):
+            m = quantize_multiplier(real)
+            assert m.real_value == pytest.approx(real, rel=1e-6)
+
+    def test_exact_half(self):
+        m = quantize_multiplier(0.5)
+        assert m.real_value == pytest.approx(0.5, rel=1e-9)
+
+    def test_rejects_out_of_range(self):
+        for bad in (0.0, 1.0, 1.5, -0.1):
+            with pytest.raises(QuantizationError):
+                quantize_multiplier(bad)
+
+    def test_multiplier_validation(self):
+        with pytest.raises(QuantizationError):
+            FixedPointMultiplier(multiplier=0, shift=0)
+        with pytest.raises(QuantizationError):
+            FixedPointMultiplier(multiplier=1 << 30, shift=-1)
+
+    @given(st.floats(min_value=1e-6, max_value=0.999999))
+    def test_encoding_accuracy(self, real):
+        m = quantize_multiplier(real)
+        assert m.real_value == pytest.approx(real, rel=2e-9)
+
+
+class TestSqrdmulh:
+    def test_correctly_rounded(self):
+        a = np.array([123456, -98765, 0, 1], dtype=np.int32)
+        b = (1 << 30) + 12345
+        got = saturating_rounding_doubling_high_mul(a, b).astype(np.float64)
+        true = a.astype(np.float64) * b * 2 / 2**32
+        # correctly rounded to nearest (tie direction is away from zero)
+        assert np.all(np.abs(got - true) <= 0.5 + 1e-9)
+
+    def test_tie_rounds_away_from_zero(self):
+        # a*b*2 = 2**31 exactly -> high half 0.5 -> rounds to 1
+        got = saturating_rounding_doubling_high_mul(1, 1 << 30)
+        assert int(got) == 1
+
+    def test_overflow_saturates(self):
+        got = saturating_rounding_doubling_high_mul(
+            np.array([INT32_MIN], dtype=np.int32), INT32_MIN
+        )
+        assert got[0] == INT32_MAX
+
+    def test_scalar_input(self):
+        got = saturating_rounding_doubling_high_mul(1 << 20, 1 << 30)
+        assert got == 1 << 19
+
+    @given(
+        st.integers(min_value=INT32_MIN, max_value=INT32_MAX),
+        st.integers(min_value=1, max_value=INT32_MAX),
+    )
+    def test_result_in_int32(self, a, b):
+        got = int(saturating_rounding_doubling_high_mul(a, b))
+        assert INT32_MIN <= got <= INT32_MAX
+
+
+class TestRoundingDivide:
+    def test_exponent_zero_identity(self):
+        x = np.array([5, -7], dtype=np.int32)
+        np.testing.assert_array_equal(rounding_divide_by_pot(x, 0), x)
+
+    def test_rounds_half_away_from_zero(self):
+        assert int(rounding_divide_by_pot(3, 1)) == 2  # 1.5 -> 2
+        assert int(rounding_divide_by_pot(-3, 1)) == -2  # -1.5 -> -2
+        assert int(rounding_divide_by_pot(5, 2)) == 1  # 1.25 -> 1
+        assert int(rounding_divide_by_pot(-5, 2)) == -1  # -1.25 -> -1
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(QuantizationError):
+            rounding_divide_by_pot(4, -1)
+
+    @given(
+        st.integers(min_value=-(2**30), max_value=2**30),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_close_to_true_division(self, x, e):
+        got = int(rounding_divide_by_pot(x, e))
+        true = x / 2**e
+        assert abs(got - true) <= 0.5 + 1e-9
+
+
+class TestRequantize:
+    def test_matches_float_pipeline(self):
+        m = quantize_multiplier(0.0123)
+        acc = np.array([0, 100, -100, 5000, -5000, 100000], dtype=np.int32)
+        got = requantize(acc, m)
+        expect = np.clip(np.rint(acc * m.real_value), -128, 127)
+        np.testing.assert_allclose(got, expect, atol=1)  # 1 ulp rounding slack
+
+    def test_zero_point_shift(self):
+        m = quantize_multiplier(0.5)
+        got = requantize(np.array([2], dtype=np.int32), m, out_zero_point=10)
+        assert got[0] == 11
+
+    def test_saturates_to_int8(self):
+        m = quantize_multiplier(0.999)
+        got = requantize(np.array([10**6, -(10**6)], dtype=np.int32), m)
+        assert got.tolist() == [127, -128]
+
+    def test_custom_clamp_range(self):
+        m = quantize_multiplier(0.9)
+        got = requantize(
+            np.array([200, -200], dtype=np.int32), m, out_min=0, out_max=6
+        )
+        assert got.tolist() == [6, 0]
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**20), max_value=2**20),
+            min_size=1,
+            max_size=32,
+        ),
+        st.floats(min_value=1e-4, max_value=0.99),
+    )
+    def test_within_one_ulp_of_float(self, accs, real):
+        m = quantize_multiplier(real)
+        acc = np.array(accs, dtype=np.int32)
+        got = requantize(acc, m).astype(np.int32)
+        expect = np.clip(np.rint(acc * m.real_value), -128, 127).astype(np.int32)
+        assert np.all(np.abs(got - expect) <= 1)

@@ -1,0 +1,222 @@
+"""Tests for chained whole-network execution in one circular pool."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.kernels import reference as ref
+from repro.kernels.pooling import fold_mean, global_avg_pool_reference
+from repro.mcu.device import STM32F411RE
+from repro.quant import quantize_multiplier
+from repro.runtime import (
+    BottleneckStage,
+    DenseStage,
+    GlobalAvgPoolStage,
+    Pipeline,
+    PointwiseStage,
+)
+from tests.conftest import random_int8
+
+q = quantize_multiplier
+
+
+def build_classifier(rng, hw=12, c=8, classes=4):
+    """A small MCUNet-shaped classifier plus its NumPy reference closure."""
+    m1, m2, m3 = q(0.02), q(0.015), q(0.03)
+    w_stem = random_int8(rng, (c, 8))
+    b = dict(
+        c_mid=16, c_out=8, kernel=3,
+        w_expand=random_int8(rng, (8, 16)),
+        w_dw=random_int8(rng, (3, 3, 16)),
+        w_project=random_int8(rng, (16, 8)),
+    )
+    w_head = random_int8(rng, (8, classes))
+    gap_mult = fold_mean(q(0.9), hw * hw)
+
+    pipe = Pipeline(hw, c)
+    pipe.add(PointwiseStage("stem", w_stem, m1))
+    pipe.add(BottleneckStage("b1", mults=(m1, m2, m3), **b))
+    pipe.add(GlobalAvgPoolStage("gap", gap_mult))
+    pipe.add(DenseStage("head", w_head, m3))
+
+    def reference(x):
+        a = ref.pointwise_conv(x, w_stem, m1)
+        a = ref.inverted_bottleneck(
+            a, b["w_expand"], b["w_dw"], b["w_project"], (m1, m2, m3),
+            kernel=3, strides=(1, 1, 1), padding=1, residual=True,
+        )
+        a = global_avg_pool_reference(a, gap_mult)
+        return ref.fully_connected(a.reshape(1, -1), w_head, m3)
+
+    return pipe, reference
+
+
+class TestPlanning:
+    def test_shared_segment_is_chain_gcd(self, rng):
+        pipe, _ = build_classifier(rng, classes=4)
+        plan = pipe.plan()
+        assert plan.seg_bytes == 4  # gcd(8, 8, 8, 4)
+
+    def test_capacity_is_worst_stage(self, rng):
+        pipe, _ = build_classifier(rng)
+        plan = pipe.plan()
+        assert plan.capacity_slots == max(
+            sp.plan.span_slots for sp in plan.stages
+        )
+
+    def test_bases_chain_exactly(self, rng):
+        """Stage i+1's input base equals stage i's output base (the
+        activation genuinely stays in place)."""
+        pipe, _ = build_classifier(rng)
+        plan = pipe.plan()
+        for a, b in zip(plan.stages, plan.stages[1:]):
+            assert b.plan.in_base == a.plan.out_base
+
+    def test_all_bases_non_negative(self, rng):
+        pipe, _ = build_classifier(rng)
+        plan = pipe.plan()
+        for sp in plan.stages:
+            assert sp.plan.in_base >= 0
+            assert sp.plan.out_base >= 0
+
+    def test_channel_mismatch_rejected(self, rng):
+        pipe = Pipeline(8, 4)
+        pipe.add(PointwiseStage("bad", random_int8(rng, (8, 8)), q(0.02)))
+        with pytest.raises(PlanError):
+            pipe.plan()
+
+    def test_dense_requires_pooled_vector(self, rng):
+        pipe = Pipeline(8, 4)
+        pipe.add(DenseStage("head", random_int8(rng, (4, 2)), q(0.02)))
+        with pytest.raises(PlanError):
+            pipe.plan()
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PlanError):
+            Pipeline(8, 4).plan()
+
+
+class TestExecution:
+    def test_classifier_bit_exact(self, rng):
+        pipe, reference = build_classifier(rng)
+        x = random_int8(rng, (12, 12, 8))
+        res = pipe.run(x)
+        np.testing.assert_array_equal(
+            res.output.reshape(1, -1), reference(x)
+        )
+
+    def test_activations_never_copied(self, rng):
+        """place_input runs only for the network input: total pool stores
+        equal the input placement plus each stage's own output stores."""
+        pipe, _ = build_classifier(rng)
+        x = random_int8(rng, (12, 12, 8))
+        res = pipe.run(x)
+        # every stage ran in the same pool object
+        assert len(res.stage_runs) == 4
+        assert res.plan.footprint_bytes < 4 * 1024  # tiny
+
+    def test_strided_chain(self, rng):
+        m1, m2, m3 = q(0.02), q(0.015), q(0.03)
+        w_stem = random_int8(rng, (4, 8))
+        b = dict(
+            c_mid=12, c_out=8, kernel=3,
+            w_expand=random_int8(rng, (8, 12)),
+            w_dw=random_int8(rng, (3, 3, 12)),
+            w_project=random_int8(rng, (12, 8)),
+        )
+        pipe = Pipeline(9, 4)
+        pipe.add(PointwiseStage("stem", w_stem, m1, stride=1))
+        pipe.add(
+            BottleneckStage("b1", mults=(m1, m2, m3), strides=(1, 2, 1), **b)
+        )
+        x = random_int8(rng, (9, 9, 4))
+        res = pipe.run(x)
+        a = ref.pointwise_conv(x, w_stem, m1)
+        a = ref.inverted_bottleneck(
+            a, b["w_expand"], b["w_dw"], b["w_project"], (m1, m2, m3),
+            kernel=3, strides=(1, 2, 1), padding=1, residual=False,
+        )
+        np.testing.assert_array_equal(res.output, a)
+
+    def test_report_combines_stages(self, rng):
+        pipe, _ = build_classifier(rng)
+        res = pipe.run(random_int8(rng, (12, 12, 8)))
+        assert res.report.macs == sum(
+            r.report.macs for r in res.stage_runs
+        )
+        assert res.report.latency_ms > 0
+
+    def test_too_small_device_rejected(self, rng):
+        from dataclasses import replace
+
+        tiny = replace(
+            STM32F411RE, name="tiny", sram_bytes=1024, reserved_ram_bytes=512
+        )
+        pipe, _ = build_classifier(rng)
+        pipe.device = tiny
+        with pytest.raises(PlanError):
+            pipe.run(random_int8(rng, (12, 12, 8)))
+
+    def test_deep_chain(self, rng):
+        """Five bottlenecks back to back in one pool, still bit-exact."""
+        m1, m2, m3 = q(0.02), q(0.015), q(0.03)
+        pipe = Pipeline(8, 8)
+        blocks = []
+        for i in range(5):
+            b = dict(
+                c_mid=12 + 4 * (i % 2), c_out=8, kernel=3,
+                w_expand=random_int8(rng, (8, 12 + 4 * (i % 2))),
+                w_dw=random_int8(rng, (3, 3, 12 + 4 * (i % 2))),
+                w_project=random_int8(rng, (12 + 4 * (i % 2), 8)),
+            )
+            blocks.append(b)
+            pipe.add(BottleneckStage(f"b{i}", mults=(m1, m2, m3), **b))
+        x = random_int8(rng, (8, 8, 8))
+        res = pipe.run(x)
+        a = x
+        for b in blocks:
+            a = ref.inverted_bottleneck(
+                a, b["w_expand"], b["w_dw"], b["w_project"], (m1, m2, m3),
+                kernel=3, strides=(1, 1, 1), padding=1, residual=True,
+            )
+        np.testing.assert_array_equal(res.output, a)
+
+
+class TestPipelineProperties:
+    """Property-based coverage: random chains stay bit-exact in one pool."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(
+        depth=st.integers(1, 4),
+        hw=st.integers(6, 10),
+        c=st.sampled_from([4, 8]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_bottleneck_chains_bit_exact(self, depth, hw, c, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        m = (q(0.02), q(0.015), q(0.03))
+        pipe = Pipeline(hw, c)
+        blocks = []
+        for i in range(depth):
+            c_mid = int(rng.choice([8, 12, 16]))
+            b = dict(
+                c_mid=c_mid, c_out=c, kernel=3,
+                w_expand=random_int8(rng, (c, c_mid)),
+                w_dw=random_int8(rng, (3, 3, c_mid)),
+                w_project=random_int8(rng, (c_mid, c)),
+            )
+            blocks.append(b)
+            pipe.add(BottleneckStage(f"b{i}", mults=m, **b))
+        x = random_int8(rng, (hw, hw, c))
+        res = pipe.run(x)
+        a = x
+        for b in blocks:
+            a = ref.inverted_bottleneck(
+                a, b["w_expand"], b["w_dw"], b["w_project"], m,
+                kernel=3, strides=(1, 1, 1), padding=1, residual=True,
+            )
+        np.testing.assert_array_equal(res.output, a)
