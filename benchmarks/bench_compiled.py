@@ -1,0 +1,16 @@
+"""Compiler path: whole models through ``repro.compile`` with plan caching."""
+
+from repro.eval.experiments import compiled_networks
+from repro.eval.reporting import render_experiment
+
+
+def test_compiled_networks(benchmark, emit):
+    result = benchmark(compiled_networks)
+    headers, rows, notes = result
+    assert len(rows) == 3
+    # every model must lower and plan; the ImageNet row must fit 128 KB
+    assert all(row[5] == "yes" for row in rows)
+    emit(
+        "compiled",
+        render_experiment("Compiler — graph-to-pipeline with plan cache", result),
+    )

@@ -1,6 +1,11 @@
-"""Setup shim: lets `pip install -e .` work on this offline toolchain
-(setuptools 65 without the `wheel` package cannot build PEP-660 editable
-wheels, so pip falls back to the legacy `setup.py develop` path)."""
+"""Setup shim for offline toolchains.
+
+Package metadata lives in pyproject.toml.  With a modern toolchain (CI,
+any networked env) use `pip install -e ".[dev]"`.  On an offline image
+whose setuptools lacks PEP-660 editable-wheel support (no `wheel`
+package), pip can no longer fall back automatically once pyproject.toml
+declares a build backend — run `python setup.py develop` directly, or
+skip installing and use `PYTHONPATH=src`."""
 from setuptools import setup
 
 setup()

@@ -8,6 +8,8 @@ Public API highlights:
 * :class:`repro.core.InvertedBottleneckPlanner` — Equation 2 fused blocks.
 * :mod:`repro.kernels` — segment-aware kernels with simulated execution.
 * :mod:`repro.runtime` — whole-network chained execution in one pool.
+* :mod:`repro.compiler` — graph-to-pipeline compiler with plan caching;
+  :func:`repro.compile` is the one-call entry point.
 * :mod:`repro.baselines` — TinyEngine / HMCOS / Serenity memory managers.
 * :mod:`repro.eval` — drivers that regenerate every figure and table.
 """
@@ -15,6 +17,7 @@ Public API highlights:
 from repro import (
     analysis,
     baselines,
+    compiler,
     core,
     eval,
     graph,
@@ -24,13 +27,16 @@ from repro import (
     quant,
     runtime,
 )
+from repro.compiler import compile_model as compile
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "baselines",
+    "compile",
+    "compiler",
     "core",
     "eval",
     "graph",

@@ -13,6 +13,11 @@ from dataclasses import dataclass
 
 from repro.baselines.hmcos import HMCOSScheduler
 from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.compiler.cache import (
+    DEFAULT_PLAN_CACHE,
+    PlanCache,
+    cached_block_plan,
+)
 from repro.core.multilayer import BottleneckSpec, InvertedBottleneckPlanner
 from repro.graph.models import table2_specs
 from repro.mcu.device import DeviceProfile
@@ -76,10 +81,18 @@ def vmcu_block_ram(
     planner: InvertedBottleneckPlanner | None = None,
     *,
     runtime_overhead: int = TinyEnginePlanner.runtime_overhead_bytes,
+    cache: PlanCache | None = DEFAULT_PLAN_CACHE,
 ) -> int:
-    """vMCU footprint of one block including the shared runtime overhead."""
+    """vMCU footprint of one block including the shared runtime overhead.
+
+    Planning goes through the compiler's plan cache (the process-wide one
+    by default; ``cache=None`` disables memoization), so network
+    comparisons and the NAS headroom sweeps solve each block geometry
+    once per process.
+    """
     planner = planner or InvertedBottleneckPlanner()
-    return planner.plan(spec).footprint_bytes + runtime_overhead
+    plan = cached_block_plan(spec, planner, cache=cache)
+    return plan.footprint_bytes + runtime_overhead
 
 
 def compare_network(

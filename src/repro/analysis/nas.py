@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.analysis.bottleneck import vmcu_block_ram
 from repro.baselines.tinyengine import TinyEnginePlanner
+from repro.compiler.cache import DEFAULT_PLAN_CACHE, PlanCache
 from repro.core.multilayer import BottleneckSpec, InvertedBottleneckPlanner
 from repro.errors import PlanError
 
@@ -69,13 +70,18 @@ def image_headroom(
     *,
     planner: InvertedBottleneckPlanner | None = None,
     max_ratio: float = 4.0,
+    cache: PlanCache | None = DEFAULT_PLAN_CACHE,
 ) -> HeadroomResult:
     """Largest H/W (as a ratio of the original) vMCU affords in the
-    TinyEngine budget for the original block."""
+    TinyEngine budget for the original block.
+
+    Every candidate plan is solved through the compiler's plan cache, so
+    re-running the sweep (or sweeping overlapping block sets) re-solves
+    nothing."""
     te_budget = TinyEnginePlanner().block_ram(spec)
     planner = planner or InvertedBottleneckPlanner()
     best = spec.hw
-    best_bytes = vmcu_block_ram(spec, planner)
+    best_bytes = vmcu_block_ram(spec, planner, cache=cache)
     if best_bytes > te_budget:
         raise PlanError(
             f"block {spec.name}: vMCU at base size already exceeds the "
@@ -85,7 +91,7 @@ def image_headroom(
         candidate = scale_image(spec, hw)
         if not candidate.fusable():
             continue
-        b = vmcu_block_ram(candidate, planner)
+        b = vmcu_block_ram(candidate, planner, cache=cache)
         if b <= te_budget:
             best, best_bytes = hw, b
         else:
@@ -101,6 +107,7 @@ def channel_headroom(
     *,
     planner: InvertedBottleneckPlanner | None = None,
     max_ratio: float = 6.0,
+    cache: PlanCache | None = DEFAULT_PLAN_CACHE,
 ) -> HeadroomResult:
     """Largest channel multiple vMCU affords in the TinyEngine budget.
 
@@ -112,7 +119,7 @@ def channel_headroom(
     base = spec.c_in
     step = max(base // 8, 1)
     best_c = base
-    best_bytes = vmcu_block_ram(spec, planner)
+    best_bytes = vmcu_block_ram(spec, planner, cache=cache)
     if best_bytes > te_budget:
         raise PlanError(
             f"block {spec.name}: vMCU at base width already exceeds the "
@@ -121,7 +128,7 @@ def channel_headroom(
     c = base + step
     while c <= int(base * max_ratio):
         candidate = scale_channels(spec, c / base)
-        b = vmcu_block_ram(candidate, planner)
+        b = vmcu_block_ram(candidate, planner, cache=cache)
         if b <= te_budget:
             best_c, best_bytes = c, b
         else:

@@ -1,0 +1,65 @@
+"""Graph-to-pipeline model compiler.
+
+This package closes the gap between the model definitions
+(:mod:`repro.graph`) and the whole-network runtime (:mod:`repro.runtime`):
+any supported graph — the Table 2 backbones, full classifiers, synthetic
+chains — lowers automatically into a planned :class:`repro.runtime.Pipeline`
+executing in one circular segment pool.
+
+Passes, in order: lowering (pattern matching ops onto stage descriptors),
+legalization (actionable rejection of unsupported shapes), parameter
+binding, and planning through a memoizing :class:`PlanCache` so sweeps and
+NAS searches amortize the constraint solving.
+
+The one-call entry point is :func:`compile_model`, also exported as
+``repro.compile``.
+"""
+
+from repro.compiler.cache import (
+    DEFAULT_PLAN_CACHE,
+    CacheStats,
+    PlanCache,
+    block_plan_key,
+    cached_block_plan,
+    device_signature,
+    pipeline_plan_key,
+)
+from repro.compiler.compile import (
+    CompiledModel,
+    CompiledRun,
+    CompiledSegment,
+    compile_model,
+)
+from repro.compiler.legalize import legalize_program, shared_segment_bytes
+from repro.compiler.lowering import (
+    LoweredProgram,
+    LoweredSegment,
+    StageSpec,
+    lower_graph,
+)
+from repro.compiler.params import ModelParams, random_params
+from repro.compiler.reference import reference_output, run_reference
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "block_plan_key",
+    "cached_block_plan",
+    "device_signature",
+    "pipeline_plan_key",
+    "CompiledModel",
+    "CompiledRun",
+    "CompiledSegment",
+    "compile_model",
+    "legalize_program",
+    "shared_segment_bytes",
+    "LoweredProgram",
+    "LoweredSegment",
+    "StageSpec",
+    "lower_graph",
+    "ModelParams",
+    "random_params",
+    "reference_output",
+    "run_reference",
+]

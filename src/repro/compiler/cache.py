@@ -1,0 +1,167 @@
+"""Plan caching: amortize constraint solving across repeated compiles.
+
+Planning a pipeline solves one Eq. 1/Eq. 2 constraint system per stage.
+Sweeps and NAS searches re-plan structurally identical stages thousands of
+times (scale a block, re-plan, compare, repeat); the solver output depends
+only on the stage geometry, the device's memory geometry and the segment
+policy — never on weights — so the result is perfectly memoizable.
+
+:class:`PlanCache` is a small insertion-ordered memo with hit/miss
+accounting and an optional capacity bound (oldest entry evicted first).
+Keys are built by :func:`pipeline_plan_key` (whole-segment plans, used by
+``repro.compile``) and :func:`block_plan_key` (single fused-block plans,
+used by the Figure 9-12 analyses and the NAS headroom sweeps).  A module
+level :data:`DEFAULT_PLAN_CACHE` is shared by default so independent sweeps
+in one process benefit from each other's planning work.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.multilayer import (
+    BottleneckSpec,
+    FusedBlockPlan,
+    InvertedBottleneckPlanner,
+)
+from repro.errors import CompileError
+from repro.mcu.device import DeviceProfile
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "DEFAULT_PLAN_CACHE",
+    "device_signature",
+    "pipeline_plan_key",
+    "block_plan_key",
+    "cached_block_plan",
+]
+
+#: the one segment-size policy the runtime implements: a single shared
+#: segment that tiles every stage boundary (gcd; Section 5.3 chain-wide)
+SHARED_GCD_POLICY = "shared-gcd"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters at one point in time."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """Memoized plans keyed by (stage specs, device, segment policy)."""
+
+    def __init__(self, maxsize: int | None = None):
+        if maxsize is not None and maxsize <= 0:
+            raise CompileError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits, misses=self._misses, size=len(self._entries)
+        )
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_build(self, key: tuple, build: Callable[[], object]) -> object:
+        """Return the cached plan for ``key``, building it on first use."""
+        try:
+            plan = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            plan = build()
+            self._entries[key] = plan
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return plan
+        self._hits += 1
+        return plan
+
+
+#: process-wide default so independent sweeps share planning work
+DEFAULT_PLAN_CACHE = PlanCache()
+
+
+def device_signature(device: DeviceProfile) -> tuple:
+    """The device fields a memory plan can depend on.
+
+    Plans are geometry-only (latency/energy coefficients never affect
+    them), so the signature is the memory geometry — plus the profile
+    name, kept deliberately so distinctly-named profiles never share
+    entries even if their geometry happens to coincide today.
+    """
+    return (device.name, device.sram_bytes, device.reserved_ram_bytes)
+
+
+def pipeline_plan_key(
+    segment_signature: tuple, device: DeviceProfile,
+    policy: str = SHARED_GCD_POLICY,
+) -> tuple:
+    """Cache key for one pipeline segment's whole-chain plan."""
+    return ("pipeline", segment_signature, device_signature(device), policy)
+
+
+def block_plan_key(
+    spec: BottleneckSpec, *, halo_mode: str, prefer_exact: bool | None,
+    policy: str = SHARED_GCD_POLICY,
+) -> tuple:
+    """Cache key for one fused inverted-bottleneck plan."""
+    return (
+        "block",
+        (spec.hw, spec.c_in, spec.c_mid, spec.c_out, spec.kernel,
+         spec.strides),
+        halo_mode,
+        prefer_exact,
+        policy,
+    )
+
+
+def cached_block_plan(
+    spec: BottleneckSpec,
+    planner: InvertedBottleneckPlanner | None = None,
+    *,
+    cache: PlanCache | None = DEFAULT_PLAN_CACHE,
+) -> FusedBlockPlan:
+    """Plan a fused block through the shared cache.
+
+    The analyses and NAS sweeps call this instead of ``planner.plan`` so
+    repeated sweeps over the same Table 2 blocks are solved once.  As
+    everywhere in the compiler, ``cache=None`` disables memoization and
+    re-solves.  The key carries the planner configuration; the block
+    *name* is deliberately excluded (S1 and an identically-shaped
+    candidate share the entry), so callers must treat the returned plan's
+    ``spec.name`` as arbitrary.
+    """
+    planner = planner or InvertedBottleneckPlanner()
+    if cache is None:
+        return planner.plan(spec)
+    key = block_plan_key(
+        spec, halo_mode=planner.halo_mode, prefer_exact=planner.prefer_exact
+    )
+    return cache.get_or_build(key, lambda: planner.plan(spec))

@@ -1,0 +1,118 @@
+"""Legalization: shape/feasibility checks on a lowered program.
+
+Lowering (:mod:`repro.compiler.lowering`) guarantees *structure* — the graph
+matched the runtime's stage vocabulary.  Legalization guarantees the matched
+stages can actually be *planned and executed*:
+
+* chain arithmetic: each stage's input geometry equals the previous stage's
+  output geometry (a safety net over the graph's own shape inference);
+* fused bottlenecks must satisfy the paper's fusability condition (§7.3:
+  the depthwise window must fit the same-padded image — the reason Table 2
+  omits the 18th ImageNet block);
+* a dense head must consume a pooled vector (hw == 1), i.e. follow a
+  global-average-pool stage or a rank-1 input.
+
+All failures raise :class:`~repro.errors.CompileError` naming the stage.
+(:func:`shared_segment_bytes` predicts the chain-wide segment size — the
+gcd of all boundary channel counts, Section 5.3 applied chain-wide — for
+callers that want to inspect it; with positive channel counts it is always
+>= 1, so it is diagnostic, not a legality condition.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.multilayer import BottleneckSpec, ConvStage
+from repro.errors import CompileError
+from repro.compiler.lowering import LoweredProgram, LoweredSegment, StageSpec
+
+__all__ = ["legalize_program", "shared_segment_bytes"]
+
+
+def shared_segment_bytes(segment: LoweredSegment) -> int:
+    """The chain-wide segment size: gcd over every stage boundary.
+
+    Mirrors ``Pipeline._common_segment`` — the legalizer predicts what the
+    runtime will pick so its diagnostics describe the real plan.
+    """
+    seg = 0
+    for st in segment.stages:
+        seg = math.gcd(seg, math.gcd(st.c_in, st.c_out))
+    return seg
+
+
+def _stage_out_geometry(st: StageSpec) -> tuple[int, int]:
+    """(hw, c) a stage hands to its successor.
+
+    Spatial arithmetic is delegated to the core's :class:`ConvStage` /
+    :class:`BottleneckSpec` so the legalizer and the runtime planner can
+    never disagree about stage geometry.
+    """
+    if st.kind == "pointwise":
+        pw = ConvStage(st.name, 1, st.stride, 0, st.c_out)
+        return pw.out_extent(st.hw), st.c_out
+    if st.kind == "bottleneck":
+        spec = _bottleneck_spec(st)
+        return spec.spatial_out(), st.c_out
+    if st.kind == "avgpool":
+        return 1, st.c_out
+    if st.kind == "dense":
+        return 1, st.c_out
+    raise CompileError(f"stage {st.name!r}: unknown kind {st.kind!r}")
+
+
+def _bottleneck_spec(st: StageSpec) -> BottleneckSpec:
+    return BottleneckSpec(
+        name=st.name, hw=st.hw, c_in=st.c_in, c_mid=st.c_mid,
+        c_out=st.c_out, kernel=st.kernel, strides=st.strides,
+    )
+
+
+def _legalize_segment(graph_name: str, segment: LoweredSegment) -> None:
+    if not segment.stages:
+        raise CompileError(
+            f"graph {graph_name!r}: input {segment.input_name!r} produced "
+            "an empty pipeline segment"
+        )
+    hw, c = segment.input_hw, segment.input_c
+    pooled = hw == 1
+    for st in segment.stages:
+        if (st.hw, st.c_in) != (hw, c):
+            raise CompileError(
+                f"stage {st.name!r} expects input {st.hw}x{st.hw}x{st.c_in} "
+                f"but the chain provides {hw}x{hw}x{c}"
+            )
+        if st.kind == "bottleneck":
+            spec = _bottleneck_spec(st)
+            if not spec.fusable():
+                raise CompileError(
+                    f"block {st.name!r}: depthwise kernel {st.kernel} "
+                    f"exceeds the same-padded {spec.mid_spatial()}x"
+                    f"{spec.mid_spatial()} image; the block cannot stream "
+                    "(paper §7.3 — split it or shrink the kernel)"
+                )
+            if spec.has_residual != st.residual:
+                raise CompileError(
+                    f"block {st.name!r}: residual mismatch between the "
+                    f"matched graph ({st.residual}) and the MobileNetV2 "
+                    f"shape rule ({spec.has_residual})"
+                )
+        if st.kind == "dense" and not pooled:
+            raise CompileError(
+                f"stage {st.name!r}: dense head on an unpooled "
+                f"{hw}x{hw}x{c} image; insert a GlobalAvgPoolOp first"
+            )
+        hw, c = _stage_out_geometry(st)
+        pooled = hw == 1
+
+
+def legalize_program(program: LoweredProgram) -> LoweredProgram:
+    """Validate every segment; returns the program unchanged on success."""
+    if not program.segments:
+        raise CompileError(
+            f"graph {program.graph_name!r} lowered to zero segments"
+        )
+    for segment in program.segments:
+        _legalize_segment(program.graph_name, segment)
+    return program

@@ -1,0 +1,379 @@
+"""Lowering pass: pattern-match an operator graph into pipeline stages.
+
+The runtime executes four stage kinds (pointwise convolution, fused
+inverted bottleneck, global average pooling, dense head) chained in one
+circular segment pool.  This pass walks a :class:`repro.graph.Graph` from
+its inputs and greedily matches operator patterns onto those stages:
+
+* ``pw-expand -> dw -> pw-project [-> add(input)]`` becomes one fused
+  :data:`bottleneck` stage — the Figure 6 kernel, with the residual add
+  folded in when the skip edge targets the block input;
+* a lone 1x1 convolution (``PointwiseConv2dOp``, or ``Conv2dOp`` with
+  ``kernel == 1`` and no padding) becomes a :data:`pointwise` stage;
+* ``GlobalAvgPoolOp`` and ``DenseOp`` become the classifier tail stages.
+
+Graphs with several weakly-connected components (e.g. the ImageNet model,
+where Table 2 omits unmeasured blocks and the spine restarts from a fresh
+input) lower to one pipeline *segment* per component; the compiler executes
+the segments in sequence, each in its own circular pool.
+
+Anything the runtime cannot express — standalone depthwise, large-kernel
+dense convolutions, branch-and-join adds outside the bottleneck skip
+pattern — raises :class:`~repro.errors.CompileError` with a message that
+names the offending op and suggests a path forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.graph.graph import Graph
+from repro.graph.ops import (
+    AddOp,
+    Conv2dOp,
+    DenseOp,
+    DepthwiseConv2dOp,
+    GlobalAvgPoolOp,
+    OpBase,
+    PointwiseConv2dOp,
+)
+
+__all__ = ["StageSpec", "LoweredSegment", "LoweredProgram", "lower_graph"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One lowered stage: structural shape plus the graph ops it folds.
+
+    ``signature()`` deliberately excludes the op names so that two stages
+    with identical geometry share plan-cache entries across models.
+    """
+
+    kind: str  # "pointwise" | "bottleneck" | "avgpool" | "dense"
+    name: str
+    hw: int  # input spatial extent (1 for dense)
+    c_in: int
+    c_out: int
+    stride: int = 1  # pointwise
+    c_mid: int = 0  # bottleneck
+    kernel: int = 0  # bottleneck
+    strides: tuple[int, int, int] = (1, 1, 1)  # bottleneck
+    residual: bool = False  # bottleneck
+    ops: tuple[str, ...] = ()  # graph op names folded into this stage
+
+    def signature(self) -> tuple:
+        """Structural identity used for plan-cache keys (names excluded)."""
+        return (
+            self.kind, self.hw, self.c_in, self.c_out, self.stride,
+            self.c_mid, self.kernel, self.strides, self.residual,
+        )
+
+
+@dataclass(frozen=True)
+class LoweredSegment:
+    """A maximal chain of stages fed by one graph input tensor."""
+
+    input_name: str
+    input_hw: int
+    input_c: int
+    stages: tuple[StageSpec, ...]
+    output_name: str
+
+    def signature(self) -> tuple:
+        return (
+            self.input_hw, self.input_c,
+            tuple(s.signature() for s in self.stages),
+        )
+
+
+@dataclass(frozen=True)
+class LoweredProgram:
+    """The whole lowered model: pipeline segments in execution order."""
+
+    graph_name: str
+    segments: tuple[LoweredSegment, ...]
+    outputs: tuple[str, ...] = field(default=())
+
+    @property
+    def n_stages(self) -> int:
+        return sum(len(s.stages) for s in self.segments)
+
+    def signature(self) -> tuple:
+        return tuple(s.signature() for s in self.segments)
+
+
+# --------------------------------------------------------------------------- #
+# pattern matching helpers
+# --------------------------------------------------------------------------- #
+def _image_shape(g: Graph, tensor: str, context: str) -> tuple[int, int]:
+    """(hw, c) of a square HWC tensor, or a CompileError naming the site."""
+    shape = g.tensors[tensor].spec.shape
+    if len(shape) != 3 or shape[0] != shape[1]:
+        raise CompileError(
+            f"{context}: tensor {tensor!r} has shape {shape}; the pipeline "
+            "runtime addresses square HWC images only"
+        )
+    return shape[0], shape[2]
+
+
+def _sole_consumer(g: Graph, tensor: str, context: str) -> OpBase:
+    cons = g.consumers(tensor)
+    if len(cons) != 1:
+        raise CompileError(
+            f"{context}: tensor {tensor!r} feeds {len(cons)} ops "
+            f"({', '.join(cons) or 'none'}); the fused bottleneck pattern "
+            "needs a straight pw->dw->pw chain"
+        )
+    return g.ops[cons[0]]
+
+
+def _block_name(expand_name: str) -> str:
+    """Derive a stage name from the expand op (``S1.expand`` -> ``S1``)."""
+    return expand_name.rsplit(".", 1)[0] if "." in expand_name else expand_name
+
+
+def _is_pointwise(op: OpBase) -> bool:
+    if isinstance(op, PointwiseConv2dOp):
+        return True
+    return isinstance(op, Conv2dOp) and op.kernel == 1 and op.padding == 0
+
+
+def _pw_fields(op: OpBase) -> tuple[int, int]:
+    """(out_channels, stride) of a pointwise-compatible conv op."""
+    return op.out_channels, op.stride
+
+
+def _match_bottleneck(
+    g: Graph, cur: str, expand: OpBase, add_op: OpBase | None
+) -> tuple[StageSpec, str]:
+    """Match ``cur -> expand(pw) -> dw -> project(pw) [-> add]``.
+
+    Returns the fused stage and the tensor the chain continues from.
+    Raises a CompileError describing the first structural mismatch.
+    """
+    block = _block_name(expand.name)
+    ctx = f"block {block!r}"
+    hw, c_in = _image_shape(g, cur, ctx)
+    b = g.op_output[expand.name]
+    dw = _sole_consumer(g, b, ctx)
+    if not isinstance(dw, DepthwiseConv2dOp):
+        raise CompileError(
+            f"{ctx}: expected a DepthwiseConv2dOp after {expand.name!r}, "
+            f"found {type(dw).__name__} {dw.name!r}"
+        )
+    c = g.op_output[dw.name]
+    project = _sole_consumer(g, c, ctx)
+    if not _is_pointwise(project):
+        raise CompileError(
+            f"{ctx}: expected a 1x1 projection after {dw.name!r}, found "
+            f"{type(project).__name__} {project.name!r}; standalone "
+            "depthwise output cannot live in the segment pool"
+        )
+    if dw.padding != (dw.kernel - 1) // 2:
+        raise CompileError(
+            f"{ctx}: depthwise padding {dw.padding} is not same-style "
+            f"((k-1)//2 = {(dw.kernel - 1) // 2}); the fused kernel streams "
+            "same-padded windows only — adjust the graph's padding"
+        )
+    c_mid, s1 = _pw_fields(expand)
+    c_out, s3 = _pw_fields(project)
+    d = g.op_output[project.name]
+    ops = (expand.name, dw.name, project.name)
+    out = d
+    residual_shaped = (s1 == 1 and dw.stride == 1 and s3 == 1 and c_in == c_out)
+    if add_op is not None:
+        terminal = _sole_consumer(g, d, ctx)
+        if terminal.name != add_op.name:
+            raise CompileError(
+                f"{ctx}: the skip add {add_op.name!r} does not consume the "
+                f"projection output {d!r}; only the inverted-bottleneck "
+                "skip pattern is supported"
+            )
+        if set(g.op_inputs[add_op.name]) != {d, cur}:
+            raise CompileError(
+                f"{ctx}: add {add_op.name!r} reads "
+                f"{g.op_inputs[add_op.name]}; the fused kernel only "
+                f"supports the skip from the block input {cur!r}"
+            )
+        ops = ops + (add_op.name,)
+        out = g.op_output[add_op.name]
+    elif residual_shaped:
+        raise CompileError(
+            f"{ctx}: the block preserves shape (stride 1, c_in == c_out "
+            f"== {c_in}) but has no skip add; the fused runtime kernel "
+            "always applies the MobileNetV2 skip on shape-preserving "
+            "blocks — add the AddOp or change the channel counts"
+        )
+    stage = StageSpec(
+        kind="bottleneck",
+        name=block,
+        hw=hw,
+        c_in=c_in,
+        c_out=c_out,
+        c_mid=c_mid,
+        kernel=dw.kernel,
+        strides=(s1, dw.stride, s3),
+        residual=add_op is not None,
+        ops=ops,
+    )
+    return stage, out
+
+
+def _match_stage(g: Graph, cur: str) -> tuple[StageSpec, str]:
+    """Match one stage starting at tensor ``cur``; return (stage, next)."""
+    consumers = [g.ops[name] for name in g.consumers(cur)]
+
+    if len(consumers) == 2:
+        # the only legal fan-out: a bottleneck skip (expand + residual add)
+        pws = [op for op in consumers if _is_pointwise(op)]
+        adds = [op for op in consumers if isinstance(op, AddOp)]
+        if len(pws) == 1 and len(adds) == 1:
+            return _match_bottleneck(g, cur, pws[0], adds[0])
+        raise CompileError(
+            f"tensor {cur!r} fans out to {[op.name for op in consumers]}; "
+            "the pipeline runtime executes a single chain — only the "
+            "inverted-bottleneck skip (1x1 expand + residual add) may "
+            "branch.  For irregular topologies use the repro.baselines "
+            "schedulers instead of the compiler"
+        )
+    if len(consumers) > 2:
+        raise CompileError(
+            f"tensor {cur!r} fans out to {len(consumers)} consumers "
+            f"({[op.name for op in consumers]}); general branching cannot "
+            "run in one circular segment pool — use the repro.baselines "
+            "schedulers for irregularly wired graphs"
+        )
+
+    (op,) = consumers
+    if _is_pointwise(op):
+        out = g.op_output[op.name]
+        nxt = g.consumers(out)
+        if len(nxt) == 1 and isinstance(g.ops[nxt[0]], DepthwiseConv2dOp):
+            return _match_bottleneck(g, cur, op, None)
+        hw, c_in = _image_shape(g, cur, f"op {op.name!r}")
+        c_out, stride = _pw_fields(op)
+        return (
+            StageSpec(
+                kind="pointwise", name=op.name, hw=hw, c_in=c_in,
+                c_out=c_out, stride=stride, ops=(op.name,),
+            ),
+            out,
+        )
+    if isinstance(op, DepthwiseConv2dOp):
+        raise CompileError(
+            f"op {op.name!r}: standalone depthwise convolution is not "
+            "supported — the runtime fuses depthwise only inside a "
+            "pw->dw->pw inverted bottleneck (Figure 6).  Wrap it with 1x1 "
+            "expand/project convolutions"
+        )
+    if isinstance(op, Conv2dOp):
+        raise CompileError(
+            f"op {op.name!r}: general {op.kernel}x{op.kernel} convolution "
+            "has no segment-aware kernel; only 1x1 convolutions and "
+            "depthwise-inside-bottleneck are supported.  Decompose it or "
+            "extend repro.kernels first"
+        )
+    if isinstance(op, GlobalAvgPoolOp):
+        hw, c = _image_shape(g, cur, f"op {op.name!r}")
+        return (
+            StageSpec(
+                kind="avgpool", name=op.name, hw=hw, c_in=c, c_out=c,
+                ops=(op.name,),
+            ),
+            g.op_output[op.name],
+        )
+    if isinstance(op, DenseOp):
+        shape = g.tensors[cur].spec.shape
+        if len(shape) != 1:
+            raise CompileError(
+                f"op {op.name!r}: dense head needs a pooled rank-1 vector, "
+                f"got {shape}; insert a GlobalAvgPoolOp before it"
+            )
+        return (
+            StageSpec(
+                kind="dense", name=op.name, hw=1, c_in=shape[0],
+                c_out=op.out_features, ops=(op.name,),
+            ),
+            g.op_output[op.name],
+        )
+    if isinstance(op, AddOp):
+        raise CompileError(
+            f"op {op.name!r}: elementwise add outside the "
+            "inverted-bottleneck skip pattern joins two branches; the "
+            "single-chain pipeline cannot express it.  Use the "
+            "repro.baselines schedulers for branch-and-join graphs"
+        )
+    raise CompileError(
+        f"op {op.name!r}: no lowering rule for {type(op).__name__}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the pass
+# --------------------------------------------------------------------------- #
+def lower_graph(graph: Graph) -> LoweredProgram:
+    """Lower a model graph into pipeline segments.
+
+    One segment is produced per graph input, following the op chain until
+    no consumer remains.  Every op must be claimed by exactly one stage;
+    leftovers indicate structure the patterns cannot reach (e.g. ops hanging
+    off an intermediate tensor) and raise a CompileError.
+    """
+    graph.validate()
+    if not graph.ops:
+        raise CompileError(
+            f"graph {graph.name!r} has no ops; nothing to compile"
+        )
+    segments: list[LoweredSegment] = []
+    claimed: set[str] = set()
+    for input_name in graph.inputs:
+        if not graph.consumers(input_name):
+            raise CompileError(
+                f"graph {graph.name!r}: input {input_name!r} is unused; "
+                "remove it or wire it into the graph"
+            )
+        stages: list[StageSpec] = []
+        cur = input_name
+        while graph.consumers(cur):
+            stage, cur = _match_stage(graph, cur)
+            stages.append(stage)
+            claimed.update(stage.ops)
+        in_shape = graph.tensors[input_name].spec.shape
+        if len(in_shape) == 3 and in_shape[0] == in_shape[1]:
+            hw, c = in_shape[0], in_shape[2]
+        elif len(in_shape) == 1:
+            hw, c = 1, in_shape[0]
+        else:
+            raise CompileError(
+                f"graph {graph.name!r}: input {input_name!r} has shape "
+                f"{in_shape}; the pool addresses square HWC images or "
+                "rank-1 vectors"
+            )
+        segments.append(
+            LoweredSegment(
+                input_name=input_name, input_hw=hw, input_c=c,
+                stages=tuple(stages), output_name=cur,
+            )
+        )
+    unclaimed = sorted(set(graph.ops) - claimed)
+    if unclaimed:
+        raise CompileError(
+            f"graph {graph.name!r}: ops {unclaimed} were not reached from "
+            "any input chain; the compiler lowers straight pipelines only"
+        )
+    terminals = {seg.output_name for seg in segments}
+    for out in graph.outputs:
+        if out not in terminals:
+            raise CompileError(
+                f"graph {graph.name!r}: marked output {out!r} is consumed "
+                "mid-pipeline; the circular pool overwrites interior "
+                "tensors, so only chain terminals "
+                f"({sorted(terminals)}) can be outputs — re-mark the "
+                "terminal or split the graph"
+            )
+    return LoweredProgram(
+        graph_name=graph.name,
+        segments=tuple(segments),
+        outputs=tuple(graph.outputs),
+    )

@@ -1,0 +1,103 @@
+"""Model parameters: weights and requantization multipliers per graph op.
+
+The graph layer is shape-only (it drives planners and cost models); actual
+execution needs int8 weights and fixed-point requantization multipliers.
+:class:`ModelParams` binds both to op names, and :func:`random_params`
+synthesizes a deterministic set for any graph — the compiler's default when
+the caller has no trained checkpoint, and what the bit-exactness tests use.
+
+Multiplier conventions match the kernel test-suite: small per-kind scales
+(all in the valid ``(0, 1)`` range), and the global-average-pool multiplier
+has the ``1/(H*W)`` averaging factor folded in (CMSIS-NN style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.graph.graph import Graph
+from repro.graph.ops import (
+    AddOp,
+    Conv2dOp,
+    DenseOp,
+    DepthwiseConv2dOp,
+    GlobalAvgPoolOp,
+    PointwiseConv2dOp,
+)
+from repro.kernels.pooling import fold_mean
+from repro.quant import FixedPointMultiplier, quantize_multiplier
+
+__all__ = ["ModelParams", "random_params"]
+
+#: per-kind requantization scales (arbitrary but fixed; tests rely on
+#: determinism, not on any particular value)
+_SCALES = {"pointwise": 0.02, "depthwise": 0.015, "dense": 0.03, "pool": 0.9}
+
+
+@dataclass
+class ModelParams:
+    """Weights and multipliers keyed by graph op name."""
+
+    weights: dict[str, np.ndarray] = field(default_factory=dict)
+    mults: dict[str, FixedPointMultiplier] = field(default_factory=dict)
+
+    def weight(self, op_name: str) -> np.ndarray:
+        try:
+            return self.weights[op_name]
+        except KeyError:
+            raise CompileError(
+                f"no weights bound for op {op_name!r}; pass a ModelParams "
+                "covering every parametric op, or let the compiler "
+                "synthesize them (params=None)"
+            ) from None
+
+    def mult(self, op_name: str) -> FixedPointMultiplier:
+        try:
+            return self.mults[op_name]
+        except KeyError:
+            raise CompileError(
+                f"no requantization multiplier bound for op {op_name!r}"
+            ) from None
+
+
+def random_params(graph: Graph, *, seed: int = 0) -> ModelParams:
+    """Deterministic int8 weights + multipliers for every op of ``graph``."""
+    rng = np.random.default_rng(seed)
+
+    def w(shape: tuple[int, ...]) -> np.ndarray:
+        return rng.integers(-128, 128, shape, dtype=np.int8)
+
+    params = ModelParams()
+    for name, op in graph.ops.items():
+        in_spec = graph.tensors[graph.op_inputs[name][0]].spec
+        if isinstance(op, PointwiseConv2dOp):
+            params.weights[name] = w((in_spec.shape[-1], op.out_channels))
+            params.mults[name] = quantize_multiplier(_SCALES["pointwise"])
+        elif isinstance(op, DepthwiseConv2dOp):
+            params.weights[name] = w(
+                (op.kernel, op.kernel, in_spec.shape[-1])
+            )
+            params.mults[name] = quantize_multiplier(_SCALES["depthwise"])
+        elif isinstance(op, Conv2dOp):
+            params.weights[name] = w(
+                (op.kernel, op.kernel, in_spec.shape[-1], op.out_channels)
+            )
+            params.mults[name] = quantize_multiplier(_SCALES["pointwise"])
+        elif isinstance(op, DenseOp):
+            params.weights[name] = w((in_spec.shape[-1], op.out_features))
+            params.mults[name] = quantize_multiplier(_SCALES["dense"])
+        elif isinstance(op, GlobalAvgPoolOp):
+            pixels = in_spec.shape[0] * in_spec.shape[1]
+            params.mults[name] = fold_mean(
+                quantize_multiplier(_SCALES["pool"]), pixels
+            )
+        elif isinstance(op, AddOp):
+            pass  # same-scale saturating add carries no parameters
+        else:
+            raise CompileError(
+                f"op {name!r}: no parameter rule for {type(op).__name__}"
+            )
+    return params

@@ -1,0 +1,99 @@
+"""Layer-by-layer NumPy execution of a model graph.
+
+This is the golden model at graph granularity: every op runs through the
+reference kernels of :mod:`repro.kernels.reference`, one materialized tensor
+per edge, no segment pool, no fusion.  The compiled pipeline must match it
+bit for bit — that equivalence is the compiler's correctness contract, and
+works for *any* graph the ops support (including the irregular synthetic
+graphs the pipeline itself cannot run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.graph.graph import Graph
+from repro.graph.ops import (
+    AddOp,
+    Conv2dOp,
+    DenseOp,
+    DepthwiseConv2dOp,
+    GlobalAvgPoolOp,
+    PointwiseConv2dOp,
+)
+from repro.kernels import reference as ref
+from repro.kernels.pooling import global_avg_pool_reference
+from repro.compiler.params import ModelParams
+
+__all__ = ["run_reference", "reference_output"]
+
+
+def run_reference(
+    graph: Graph, params: ModelParams, feeds: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Execute every op of ``graph``; return all tensors by name."""
+    missing = [n for n in graph.inputs if n not in feeds]
+    if missing:
+        raise CompileError(
+            f"graph {graph.name!r}: missing feeds for inputs {missing}"
+        )
+    env: dict[str, np.ndarray] = {}
+    for name in graph.inputs:
+        x = np.asarray(feeds[name])
+        spec = graph.tensors[name].spec
+        if x.shape != spec.shape or x.dtype != np.int8:
+            raise CompileError(
+                f"feed {name!r} must be int8{list(spec.shape)}, got "
+                f"{x.dtype}{list(x.shape)}"
+            )
+        env[name] = x
+
+    # graph.topological_order() covers ops with graph-input producers too:
+    # every op is a node; edges only order producer/consumer pairs.
+    for op_name in graph.topological_order():
+        op = graph.ops[op_name]
+        ins = [env[t] for t in graph.op_inputs[op_name]]
+        if isinstance(op, PointwiseConv2dOp):
+            out = ref.pointwise_conv(
+                ins[0], params.weight(op_name), params.mult(op_name),
+                stride=op.stride,
+            )
+        elif isinstance(op, DepthwiseConv2dOp):
+            out = ref.depthwise_conv(
+                ins[0], params.weight(op_name), params.mult(op_name),
+                stride=op.stride, padding=op.padding,
+            )
+        elif isinstance(op, Conv2dOp):
+            out = ref.conv2d(
+                ins[0], params.weight(op_name), params.mult(op_name),
+                stride=op.stride, padding=op.padding,
+            )
+        elif isinstance(op, DenseOp):
+            x = ins[0]
+            flat = x.reshape(1, -1) if x.ndim == 1 else x
+            out = ref.fully_connected(
+                flat, params.weight(op_name), params.mult(op_name)
+            )
+            if x.ndim == 1:
+                out = out.reshape(-1)
+        elif isinstance(op, GlobalAvgPoolOp):
+            out = global_avg_pool_reference(ins[0], params.mult(op_name))
+        elif isinstance(op, AddOp):
+            out = ref.saturating_add(ins[0], ins[1])
+        else:
+            raise CompileError(
+                f"op {op_name!r}: no reference rule for {type(op).__name__}"
+            )
+        env[graph.op_output[op_name]] = out
+    return env
+
+
+def reference_output(
+    graph: Graph, params: ModelParams, feeds: dict[str, np.ndarray]
+) -> np.ndarray:
+    """The graph's (single) marked output under reference execution."""
+    env = run_reference(graph, params, feeds)
+    if not graph.outputs:
+        raise CompileError(f"graph {graph.name!r} has no marked outputs")
+    return env[graph.outputs[-1]]

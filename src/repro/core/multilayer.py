@@ -15,7 +15,6 @@ This module computes that composition and solves it with the Eq.-1 solvers.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -215,7 +214,6 @@ class FusedBlockPlan:
     @property
     def eliminated_bytes(self) -> int:
         """Intermediate tensor bytes that never materialize (B, C, D)."""
-        m = self.spec.mid_spatial()
         d_bytes = self.spec.spatial_out() ** 2 * self.spec.c_out
         return 2 * self.spec.mid_bytes + d_bytes - self.workspace_bytes
 
@@ -241,6 +239,7 @@ class InvertedBottleneckPlanner:
         if halo_mode not in ("recompute", "cache_rows"):
             raise PlanError(f"unknown halo mode {halo_mode!r}")
         self.halo_mode: HaloMode = halo_mode
+        self.prefer_exact = prefer_exact
         self._planner = SingleLayerPlanner(prefer_exact=prefer_exact)
 
     # ------------------------------------------------------------------ #

@@ -17,6 +17,7 @@ __all__ = [
     "SegmentStateError",
     "PlanError",
     "InfeasiblePlanError",
+    "CompileError",
     "KernelError",
     "ShapeError",
     "IRError",
@@ -81,6 +82,16 @@ class PlanError(ReproError):
 
 class InfeasiblePlanError(PlanError):
     """No base-pointer offset satisfies the Eq. 1 / Eq. 2 constraints."""
+
+
+class CompileError(PlanError):
+    """The model compiler cannot lower a graph to the segment-pool runtime.
+
+    Raised by the lowering/legalization passes with an actionable message:
+    which op or block is unsupported, why the runtime cannot express it, and
+    what the caller can do about it (restructure the graph, or fall back to
+    the scheduling baselines for irregular topologies).
+    """
 
 
 class KernelError(ReproError):

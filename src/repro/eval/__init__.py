@@ -9,6 +9,7 @@ structured rows; :mod:`repro.eval.reporting` renders them as text tables
 
 from repro.eval.workloads import FIG7_CASES, SingleLayerCase
 from repro.eval.experiments import (
+    compiled_networks,
     figure7,
     figure8,
     figure9,
@@ -25,6 +26,7 @@ from repro.eval.reporting import format_table, render_experiment
 __all__ = [
     "FIG7_CASES",
     "SingleLayerCase",
+    "compiled_networks",
     "figure7",
     "figure8",
     "figure9",

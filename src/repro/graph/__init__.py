@@ -10,6 +10,7 @@ from repro.graph.ops import (
     Conv2dOp,
     DepthwiseConv2dOp,
     DenseOp,
+    GlobalAvgPoolOp,
     OpBase,
     PointwiseConv2dOp,
     TensorSpec,
@@ -20,6 +21,7 @@ from repro.graph.models import (
     MCUNET_IMAGENET_BLOCKS,
     table2_specs,
     build_bottleneck_graph,
+    build_classifier_graph,
     build_network_graph,
 )
 
@@ -28,6 +30,7 @@ __all__ = [
     "Conv2dOp",
     "DepthwiseConv2dOp",
     "DenseOp",
+    "GlobalAvgPoolOp",
     "OpBase",
     "PointwiseConv2dOp",
     "TensorSpec",
@@ -37,5 +40,6 @@ __all__ = [
     "MCUNET_IMAGENET_BLOCKS",
     "table2_specs",
     "build_bottleneck_graph",
+    "build_classifier_graph",
     "build_network_graph",
 ]

@@ -19,7 +19,9 @@ from repro.errors import GraphError
 from repro.graph.graph import Graph
 from repro.graph.ops import (
     AddOp,
+    DenseOp,
     DepthwiseConv2dOp,
+    GlobalAvgPoolOp,
     PointwiseConv2dOp,
     TensorSpec,
 )
@@ -29,6 +31,7 @@ __all__ = [
     "MCUNET_IMAGENET_BLOCKS",
     "table2_specs",
     "build_bottleneck_graph",
+    "build_classifier_graph",
     "build_network_graph",
 ]
 
@@ -197,5 +200,30 @@ def build_network_graph(network: str) -> Graph:
         else:
             prev = f"{spec.name}.D"
     g.mark_output(prev)
+    g.validate()
+    return g
+
+
+def build_classifier_graph(
+    network: str, *, classes: int = 10
+) -> Graph:
+    """A complete classifier: backbone blocks + global pool + dense head.
+
+    Extends :func:`build_network_graph` with the classification tail the
+    deployed MCUNet models carry (global average pooling into a dense
+    layer), so the full set of runtime stage kinds — pointwise, fused
+    bottleneck, pooling, dense — appears in one compilable model.
+    """
+    if classes <= 0:
+        raise GraphError(f"classifier needs positive classes, got {classes}")
+    g = build_network_graph(network)
+    g.name = f"{network}-classifier"
+    backbone_out = g.outputs[-1]
+    g.add_op(GlobalAvgPoolOp(name="gap"), [backbone_out], output_name="pooled")
+    g.add_op(
+        DenseOp(name="head", out_features=classes), ["pooled"],
+        output_name="logits",
+    )
+    g.outputs = ["logits"]
     g.validate()
     return g

@@ -21,6 +21,7 @@ __all__ = [
     "DepthwiseConv2dOp",
     "DenseOp",
     "AddOp",
+    "GlobalAvgPoolOp",
 ]
 
 
@@ -199,6 +200,28 @@ class DenseOp(OpBase):
 
     def weight_bytes_for(self, in_features: int) -> int:
         return in_features * self.out_features
+
+
+@dataclass(frozen=True)
+class GlobalAvgPoolOp(OpBase):
+    """Global average pooling: HWC image down to a per-channel vector.
+
+    MCUNet-style classifiers end with this before the dense head; the
+    averaging factor ``1/(H*W)`` is folded into the requantization
+    multiplier at execution time (CMSIS-NN style, no division).
+    """
+
+    def infer(self, inputs: list[TensorSpec]) -> TensorSpec:
+        (x,) = inputs
+        self._expect_rank(x, 3)
+        return TensorSpec((x.shape[2],))
+
+    def macs(self, inputs: list[TensorSpec]) -> int:
+        return 0  # adds only
+
+    @property
+    def inplace_capable(self) -> bool:
+        return True
 
 
 @dataclass(frozen=True)

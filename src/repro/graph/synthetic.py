@@ -110,7 +110,6 @@ def random_cell(
         if rng.random() < join_probability and len(produced) >= 2:
             other = produced[int(rng.integers(0, len(produced)))]
             if other != src:
-                same = g.tensors[src].spec.shape
                 # adds need matching shapes; project both to a fresh width
                 width = rand_channels()
                 g.add_op(

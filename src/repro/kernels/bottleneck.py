@@ -114,8 +114,6 @@ class FusedBottleneckKernel:
         k = spec.kernel
         hb = spec.mid_spatial()  # spatial extent of B (and C before stride s3)
         p_out = spec.spatial_out()
-        # C's spatial extent (after depthwise, before the pw-project stride)
-        hc = (hb + 2 * pad - k) // s2 + 1
         rf = compose_receptive_field(spec.stages)
         h = w = spec.hw
 

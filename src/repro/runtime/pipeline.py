@@ -34,7 +34,7 @@ from repro.kernels.fully_connected import FullyConnectedKernel
 from repro.kernels.pointwise import PointwiseConvKernel
 from repro.kernels.pooling import GlobalAvgPoolKernel
 from repro.mcu.device import DeviceProfile, STM32F411RE
-from repro.mcu.profiler import CostReport, Profiler
+from repro.mcu.profiler import CostReport
 from repro.quant import FixedPointMultiplier
 
 __all__ = [
@@ -299,11 +299,66 @@ class Pipeline:
             seg_bytes=seg, capacity_slots=capacity, stages=tuple(shifted)
         )
 
+    def _validate_plan(self, plan: PipelinePlan) -> None:
+        """Check a caller-supplied plan matches this chain's geometry.
+
+        Recomputes only arithmetic (shapes, shared segment, per-stage
+        segment counts) — never the constraint solve — so cached plans
+        stay cheap while stale ones are rejected instead of executed.
+        """
+        if len(plan.stages) != len(self.stages):
+            raise PlanError(
+                f"cached plan has {len(plan.stages)} stages, "
+                f"pipeline has {len(self.stages)}"
+            )
+        traces = self._trace_shapes()
+        seg = self._common_segment(traces)
+        if plan.seg_bytes != seg:
+            raise PlanError(
+                f"cached plan uses {plan.seg_bytes}-byte segments, "
+                f"this chain requires {seg}"
+            )
+        for sp, st, tr in zip(plan.stages, self.stages, traces):
+            kind = tr[0]
+            if kind == "pointwise":
+                _, hw, c_in, c_out = tr[:4]
+                p = (hw - 1) // st.stride + 1
+                expect = (hw * hw * (c_in // seg), p * p * (c_out // seg))
+            elif kind == "bottleneck":
+                spec = tr[4]
+                expect = (spec.in_bytes // seg, spec.out_bytes // seg)
+            elif kind == "avgpool":
+                _, hw, c = tr[:3]
+                expect = (hw * hw * (c // seg), c // seg)
+            else:  # dense
+                _, _, c, n = tr[:4]
+                expect = (c // seg, n // seg)
+            got = (sp.plan.in_segments, sp.plan.out_segments)
+            if got != expect:
+                raise PlanError(
+                    f"cached plan stage {sp.name!r} covers {got} "
+                    f"in/out segments, this chain's stage needs {expect} — "
+                    "the plan belongs to a different pipeline"
+                )
+
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def run(self, x: np.ndarray, *, strict: bool = True) -> PipelineResult:
-        plan = self.plan()
+    def run(
+        self, x: np.ndarray, *, plan: PipelinePlan | None = None,
+        strict: bool = True,
+    ) -> PipelineResult:
+        """Execute the chain; ``plan`` may be a cached result of :meth:`plan`.
+
+        Passing a plan skips re-solving the per-stage constraint systems —
+        the amortization the compiler's plan cache relies on in sweeps.  The
+        plan is validated against this chain's geometry (arithmetic only);
+        a plan from a differently-shaped pipeline is rejected.
+        """
+        if plan is None:
+            plan = self.plan()
+        else:
+            self._validate_plan(plan)
         if not self.device.fits(plan.footprint_bytes):
             raise PlanError(
                 f"pipeline needs {plan.footprint_bytes} B but "

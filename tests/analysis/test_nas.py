@@ -1,7 +1,5 @@
 """Tests for the Figure 11/12 NAS headroom search."""
 
-import pytest
-
 from repro.analysis.nas import (
     channel_headroom,
     image_headroom,

@@ -1,7 +1,5 @@
 """Tests for the TinyEngine-style baseline model."""
 
-import pytest
-
 from repro.baselines.tinyengine import (
     IM2COL_PIXELS,
     RUNTIME_OVERHEAD_BYTES,

@@ -1,0 +1,190 @@
+"""End-to-end compiled execution: bit-exact against the NumPy reference."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.compiler import (
+    ModelParams,
+    compile_model,
+    random_params,
+    run_reference,
+)
+from repro.errors import CompileError, PlanError
+from repro.graph.graph import Graph
+from repro.graph.models import (
+    MCUNET_VWW_BLOCKS,
+    build_bottleneck_graph,
+    build_classifier_graph,
+    build_network_graph,
+)
+from repro.graph.ops import PointwiseConv2dOp, TensorSpec
+from repro.graph.synthetic import linear_chain, random_cell
+from repro.mcu.device import STM32F411RE
+from tests.conftest import random_int8
+
+
+def feed_for(graph, rng):
+    return {
+        name: random_int8(rng, graph.tensors[name].spec.shape)
+        for name in graph.inputs
+    }
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize(
+        "spec", MCUNET_VWW_BLOCKS[2:6], ids=lambda s: s.name
+    )
+    def test_single_block_bit_exact(self, rng, spec):
+        """Residual and non-residual Table 2 blocks, compiled and run."""
+        g = build_bottleneck_graph(spec)
+        cm = repro.compile(g)
+        x = random_int8(rng, (spec.hw, spec.hw, spec.c_in))
+        np.testing.assert_array_equal(cm.run(x).output, cm.reference(x))
+
+    def test_full_vww_network_bit_exact(self, rng):
+        """The whole MCUNet-5fps-VWW backbone in one circular pool."""
+        g = build_network_graph("vww")
+        cm = repro.compile(g)
+        x = random_int8(rng, (20, 20, 16))
+        np.testing.assert_array_equal(cm.run(x).output, cm.reference(x))
+
+    def test_classifier_bit_exact_all_stage_kinds(self, rng):
+        """pointwise + bottleneck + avgpool + dense, end to end."""
+        g = build_classifier_graph("vww", classes=4)
+        cm = repro.compile(g)
+        x = random_int8(rng, (20, 20, 16))
+        res = cm.run(x)
+        np.testing.assert_array_equal(res.output, cm.reference(x))
+        assert res.output.shape == (4,)
+
+    def test_linear_chain_bit_exact(self, rng):
+        g = linear_chain(4)
+        cm = repro.compile(g)
+        x = random_int8(rng, (8, 8, 8))
+        np.testing.assert_array_equal(cm.run(x).output, cm.reference(x))
+
+    def test_multi_input_model_runs_all_segments(self, rng):
+        """Disconnected components execute as separate pool segments."""
+        g = Graph(name="two-part")
+        g.add_input("a", TensorSpec((6, 6, 4)))
+        g.add_op(PointwiseConv2dOp(name="p1", out_channels=8), ["a"], "u")
+        g.add_input("b", TensorSpec((4, 4, 2)))
+        g.add_op(PointwiseConv2dOp(name="p2", out_channels=4), ["b"], "v")
+        g.mark_output("v")
+        cm = repro.compile(g)
+        feeds = feed_for(g, rng)
+        res = cm.run(feeds=feeds)
+        env = run_reference(g, cm.params, feeds)
+        np.testing.assert_array_equal(res.outputs["u"], env["u"])
+        np.testing.assert_array_equal(res.outputs["v"], env["v"])
+        np.testing.assert_array_equal(res.output, env["v"])
+
+    def test_intermediate_tensors_match_reference(self, rng):
+        """Per-segment outputs line up with the reference environment."""
+        g = build_network_graph("vww")
+        cm = repro.compile(g)
+        feeds = feed_for(g, rng)
+        res = cm.run(feeds=feeds)
+        env = cm.reference_tensors(feeds)
+        for name, value in res.outputs.items():
+            np.testing.assert_array_equal(value, env[name])
+
+
+class TestCompiledModelAPI:
+    def test_repro_compile_is_the_entry_point(self):
+        assert repro.compile is compile_model
+
+    def test_run_rejects_ambiguous_arguments(self, rng):
+        cm = repro.compile(linear_chain(2))
+        x = random_int8(rng, (8, 8, 8))
+        with pytest.raises(CompileError):
+            cm.run()
+        with pytest.raises(CompileError):
+            cm.run(x, feeds={"x": x})
+
+    def test_multi_input_requires_feeds(self, rng):
+        g = build_network_graph("imagenet")
+        from repro.mcu.device import STM32F767ZI
+
+        cm = repro.compile(g, device=STM32F767ZI)
+        with pytest.raises(CompileError, match="feeds"):
+            cm.run(random_int8(rng, (176, 176, 3)))
+
+    def test_custom_params_are_used(self, rng):
+        g = linear_chain(1)
+        p1 = random_params(g, seed=1)
+        p2 = random_params(g, seed=2)
+        x = random_int8(rng, (8, 8, 8))
+        out1 = repro.compile(g, params=p1).run(x).output
+        out2 = repro.compile(g, params=p2).run(x).output
+        assert not np.array_equal(out1, out2)
+
+    def test_missing_params_actionable(self, rng):
+        g = linear_chain(2)
+        with pytest.raises(CompileError, match="op0"):
+            repro.compile(g, params=ModelParams()).run(
+                random_int8(rng, (8, 8, 8))
+            )
+
+    def test_check_fit_rejects_tiny_device(self):
+        from dataclasses import replace
+
+        tiny = replace(
+            STM32F411RE, name="tiny", sram_bytes=1024, reserved_ram_bytes=512
+        )
+        with pytest.raises(CompileError, match="larger device"):
+            repro.compile(
+                build_network_graph("vww"), device=tiny, check_fit=True
+            )
+
+    def test_run_still_enforces_device_fit(self, rng):
+        from dataclasses import replace
+
+        tiny = replace(
+            STM32F411RE, name="tiny", sram_bytes=1024, reserved_ram_bytes=512
+        )
+        cm = repro.compile(build_network_graph("vww"), device=tiny)
+        assert not cm.fits()
+        with pytest.raises(PlanError):
+            cm.run(random_int8(rng, (20, 20, 16)))
+
+    def test_report_aggregates_all_stages(self, rng):
+        cm = repro.compile(build_classifier_graph("vww", classes=2))
+        res = cm.run(random_int8(rng, (20, 20, 16)))
+        assert len(res.stage_runs) == cm.n_stages
+        assert res.report.macs == sum(r.report.macs for r in res.stage_runs)
+        assert res.report.latency_ms > 0
+
+    def test_footprint_is_worst_segment(self):
+        from repro.mcu.device import STM32F767ZI
+
+        cm = repro.compile(
+            build_network_graph("imagenet"), device=STM32F767ZI
+        )
+        assert cm.footprint_bytes == max(
+            s.plan.footprint_bytes for s in cm.segments
+        )
+
+
+class TestReferenceExecutor:
+    def test_runs_graphs_the_pipeline_cannot(self, rng):
+        """The reference executor covers irregular synthetic graphs too."""
+        g = random_cell(6, seed=3)
+        params = random_params(g, seed=0)
+        env = run_reference(g, params, feed_for(g, rng))
+        out = env[g.outputs[-1]]
+        assert out.dtype == np.int8
+        assert out.shape == g.tensors[g.outputs[-1]].spec.shape
+
+    def test_missing_feed_actionable(self, rng):
+        g = linear_chain(1)
+        with pytest.raises(CompileError, match="missing feeds"):
+            run_reference(g, random_params(g), {})
+
+    def test_wrong_dtype_actionable(self, rng):
+        g = linear_chain(1)
+        with pytest.raises(CompileError, match="int8"):
+            run_reference(
+                g, random_params(g), {"x": np.zeros((8, 8, 8), np.int32)}
+            )

@@ -1,0 +1,158 @@
+"""Plan cache: hit/miss semantics, keying, eviction, analysis wiring."""
+
+import pytest
+
+from repro.analysis.bottleneck import vmcu_block_ram
+from repro.analysis.nas import image_headroom
+from repro.compiler import (
+    PlanCache,
+    block_plan_key,
+    cached_block_plan,
+    compile_model,
+    device_signature,
+    pipeline_plan_key,
+)
+from repro.core.multilayer import InvertedBottleneckPlanner
+from repro.errors import CompileError
+from repro.graph.models import MCUNET_VWW_BLOCKS, build_bottleneck_graph
+from repro.mcu.device import STM32F411RE, STM32F767ZI
+
+S1 = MCUNET_VWW_BLOCKS[0]
+S2 = MCUNET_VWW_BLOCKS[1]  # same geometry as S1, different name
+S3 = MCUNET_VWW_BLOCKS[2]
+
+
+class TestPlanCacheMechanics:
+    def test_miss_then_hit(self):
+        cache = PlanCache()
+        calls = []
+        k = ("k",)
+        assert cache.get_or_build(k, lambda: calls.append(1) or "plan") == "plan"
+        assert cache.get_or_build(k, lambda: calls.append(1) or "other") == "plan"
+        assert len(calls) == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_clear_resets_everything(self):
+        cache = PlanCache()
+        cache.get_or_build(("a",), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_maxsize_evicts_oldest(self):
+        cache = PlanCache(maxsize=2)
+        for i in range(3):
+            cache.get_or_build((i,), lambda i=i: i)
+        assert (0,) not in cache
+        assert (1,) in cache and (2,) in cache
+
+    def test_bad_maxsize_rejected(self):
+        with pytest.raises(CompileError):
+            PlanCache(maxsize=0)
+
+
+class TestKeying:
+    def test_same_geometry_shares_key(self):
+        planner = InvertedBottleneckPlanner()
+        k1 = block_plan_key(
+            S1, halo_mode=planner.halo_mode, prefer_exact=None
+        )
+        k2 = block_plan_key(
+            S2, halo_mode=planner.halo_mode, prefer_exact=None
+        )
+        assert k1 == k2  # name excluded: S1/S2 are the same shape
+
+    def test_halo_mode_separates_keys(self):
+        a = block_plan_key(S1, halo_mode="cache_rows", prefer_exact=None)
+        b = block_plan_key(S1, halo_mode="recompute", prefer_exact=None)
+        assert a != b
+
+    def test_device_separates_pipeline_keys(self):
+        sig = (("pointwise", 8, 4, 4, 1, 0, 0, (1, 1, 1), False),)
+        assert pipeline_plan_key(sig, STM32F411RE) != pipeline_plan_key(
+            sig, STM32F767ZI
+        )
+
+    def test_device_signature_is_memory_geometry(self):
+        sig = device_signature(STM32F411RE)
+        assert STM32F411RE.sram_bytes in sig
+
+
+class TestCompileCaching:
+    def test_recompile_hits_for_every_segment(self):
+        g = build_bottleneck_graph(S3)
+        cache = PlanCache()
+        compile_model(g, cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        cm = compile_model(g, cache=cache)
+        assert cache.stats.hits == 1
+        # the cached plan is the exact object, not a re-solve
+        assert compile_model(g, cache=cache).segments[0].plan is cm.segments[0].plan
+
+    def test_same_shape_different_names_share_plans(self):
+        cache = PlanCache()
+        compile_model(build_bottleneck_graph(S1), cache=cache)
+        compile_model(build_bottleneck_graph(S2), cache=cache)
+        assert cache.stats.hits == 1
+
+    def test_stale_plan_rejected_at_run(self, rng=None):
+        """A cached plan from a differently-shaped pipeline must not
+        execute — Pipeline.run validates geometry, not just length."""
+        import numpy as np
+
+        from repro.errors import PlanError
+        from repro.graph.synthetic import linear_chain
+
+        narrow = compile_model(linear_chain(2, channels=8), cache=None)
+        wide = compile_model(linear_chain(2, channels=16), cache=None)
+        x = np.zeros((8, 8, 16), dtype=np.int8)
+        with pytest.raises(PlanError, match="different pipeline|segments"):
+            wide.segments[0].pipeline.run(x, plan=narrow.segments[0].plan)
+
+    def test_cache_none_always_solves(self):
+        g = build_bottleneck_graph(S3)
+        a = compile_model(g, cache=None)
+        b = compile_model(g, cache=None)
+        assert a.segments[0].plan is not b.segments[0].plan  # re-solved
+        assert a.footprint_bytes == b.footprint_bytes  # deterministically
+
+
+class TestAnalysisWiring:
+    def test_cached_block_plan_amortizes(self):
+        cache = PlanCache()
+        p1 = cached_block_plan(S3, cache=cache)
+        p2 = cached_block_plan(S3, cache=cache)
+        assert p1 is p2
+        assert cache.stats == cache.stats.__class__(hits=1, misses=1, size=1)
+
+    def test_cache_none_disables_memoization_everywhere(self):
+        """cache=None means 'no caching' in the analyses too, matching
+        compile_model — not a silent redirect to the global cache."""
+        from repro.compiler import DEFAULT_PLAN_CACHE
+
+        before = DEFAULT_PLAN_CACHE.stats.lookups
+        p1 = cached_block_plan(S3, cache=None)
+        p2 = cached_block_plan(S3, cache=None)
+        assert p1 is not p2  # re-solved
+        assert vmcu_block_ram(S3, cache=None) == vmcu_block_ram(
+            S3, cache=None
+        )
+        assert DEFAULT_PLAN_CACHE.stats.lookups == before  # untouched
+
+    def test_vmcu_block_ram_uses_cache(self):
+        cache = PlanCache()
+        a = vmcu_block_ram(S3, cache=cache)
+        b = vmcu_block_ram(S3, cache=cache)
+        assert a == b
+        assert cache.stats.hits == 1
+
+    def test_headroom_sweep_amortizes_across_reruns(self):
+        cache = PlanCache()
+        r1 = image_headroom(S3, cache=cache)
+        first_misses = cache.stats.misses
+        r2 = image_headroom(S3, cache=cache)
+        assert r1 == r2
+        assert cache.stats.misses == first_misses  # rerun solved nothing
+        assert cache.stats.hits >= first_misses

@@ -1,6 +1,5 @@
 """Edge-case coverage for the fused-block planner and its access system."""
 
-import numpy as np
 import pytest
 
 from repro.core.multilayer import (

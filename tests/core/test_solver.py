@@ -1,6 +1,5 @@
 """Tests for the Equation-1 solvers: exactness, agreement, closed forms."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.eval.experiments import (
     ALL_EXPERIMENTS,
+    compiled_networks,
     figure7,
     figure8,
     figure9,
@@ -82,6 +83,16 @@ class TestDrivers:
         joined = " ".join(notes)
         assert "vmcu=yes" in joined
         assert "tinyengine=no" in joined
+
+    def test_compiled_networks_all_fit_128kb(self):
+        """The compiler path reproduces the deployability headline: both
+        networks (and the classifier) plan under the 128 KB part."""
+        headers, rows, notes = compiled_networks()
+        assert [r[0] for r in rows] == ["vww", "vww-classifier", "imagenet"]
+        assert all(r[5] == "yes" for r in rows)
+        # the ImageNet model lowers to two segments (Table 2 omits blocks)
+        assert rows[2][1] == 2
+        assert any("hits" in n for n in notes)
 
     def test_table3_ratio_band(self):
         _, rows, notes = table3()

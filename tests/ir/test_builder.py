@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import IRError
 from repro.ir.builder import KernelBuilder
-from repro.ir.nodes import For, RAMLoad, RegAlloc
+from repro.ir.nodes import For, RAMLoad
 from repro.quant import quantize_multiplier
 
 

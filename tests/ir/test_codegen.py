@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import LoweringError
-from repro.ir.builder import KernelBuilder
 from repro.ir.codegen_c import CCodegen
 from repro.ir.library import build_fc_kernel
 from repro.quant import quantize_multiplier

@@ -76,8 +76,7 @@ class TestDSLConv2d:
         w = random_int8(rng, (3, 3, c, k))
         hand = kern.run(x, w, MULT)
         got, _, _, _ = run_dsl_conv(rng, h, c, k, 3, 1, 1)
-        # different random data (rng advanced) — compare against fresh run
-        kern2 = Conv2dKernel(h, h, c, k, kernel=3, padding=1)
+        # different random data (rng advanced) — compare shapes only
         assert hand.output.shape == got.shape
 
     def test_lowered_c(self):

@@ -99,7 +99,7 @@ class TestIfPasses:
         assert not any(isinstance(s, If) for s in prog.body)
 
     def test_validate_checks_guard_vars(self):
-        from repro.ir.nodes import Program, TensorDecl
+        from repro.ir.nodes import Program
 
         prog = Program(
             name="bad", params=(), tensors=(),

@@ -17,7 +17,6 @@ from repro.ir.passes import validate_program
 from repro.kernels import reference as ref
 from repro.kernels.fully_connected import FullyConnectedKernel, pack_fc_weights
 from repro.kernels.pointwise import PointwiseConvKernel
-from repro.quant import quantize_multiplier
 from tests.conftest import random_int8
 
 

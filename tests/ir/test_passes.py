@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import IRError
 from repro.ir.builder import KernelBuilder
-from repro.ir.nodes import Add, Const, For, Mul, RAMLoad, Var
+from repro.ir.nodes import Add, Const, For, RAMLoad, Var
 from repro.ir.passes import (
     constant_fold,
     fold_expr,

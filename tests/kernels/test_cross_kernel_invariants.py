@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.pool import CircularSegmentPool
 from repro.errors import MemoryError_
-from repro.kernels import reference as ref
 from repro.kernels.conv2d import Conv2dKernel
 from repro.kernels.depthwise import DepthwiseConvKernel
 from repro.kernels.fully_connected import FullyConnectedKernel

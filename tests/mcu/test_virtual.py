@@ -1,6 +1,5 @@
 """Tests for the VirtualMCU deployment facade."""
 
-import numpy as np
 import pytest
 
 from repro.errors import OutOfMemoryError

@@ -19,7 +19,6 @@ from repro.kernels import reference as ref
 from repro.kernels.bottleneck import FusedBottleneckKernel
 from repro.kernels.pointwise import PointwiseConvKernel
 from repro.mcu.device import STM32F411RE, STM32F767ZI
-from repro.quant import quantize_multiplier
 from tests.conftest import random_int8
 
 KB = 1024
