@@ -1,0 +1,20 @@
+"""Execution-backend comparison: simulate vs fast on compiled VWW models."""
+
+from repro.eval.experiments import execution_backend_speedup
+from repro.eval.reporting import render_experiment
+
+
+def test_execution_backend_speedup(benchmark, emit):
+    result = benchmark.pedantic(
+        execution_backend_speedup, rounds=1, iterations=1
+    )
+    headers, rows, notes = result
+    assert len(rows) == 2
+    # both parity columns must hold for every model
+    assert all(row[4] == "yes" and row[5] == "yes" for row in rows)
+    emit(
+        "backends",
+        render_experiment(
+            "Execution backends — simulate vs vectorized fast path", result
+        ),
+    )

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import CompileError
 from repro.graph.graph import Graph
-from repro.kernels.base import KernelRun
+from repro.kernels.base import KernelRun, get_execution_backend
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport
 from repro.runtime.pipeline import (
@@ -123,10 +123,16 @@ class CompiledRun:
     outputs: dict[str, np.ndarray]
     output: np.ndarray
     stage_runs: list[KernelRun] = field(default_factory=list)
+    stage_names: list[str] = field(default_factory=list)
 
     @property
     def report(self) -> CostReport:
-        return CostReport.combine([r.report for r in self.stage_runs])
+        # stage_names is maintained in lockstep with stage_runs; combine's
+        # length check turns any future bookkeeping divergence into a loud
+        # error rather than a silently stage-less report
+        return CostReport.combine(
+            [r.report for r in self.stage_runs], names=self.stage_names
+        )
 
 
 class CompiledModel:
@@ -145,12 +151,14 @@ class CompiledModel:
         segments: tuple[CompiledSegment, ...],
         params: ModelParams,
         device: DeviceProfile,
+        execution: str = "simulate",
     ):
         self.graph = graph
         self.program = program
         self.segments = segments
         self.params = params
         self.device = device
+        self.execution = execution
 
     @property
     def n_stages(self) -> int:
@@ -171,12 +179,16 @@ class CompiledModel:
         *,
         feeds: dict[str, np.ndarray] | None = None,
         strict: bool = True,
+        execution: str | None = None,
     ) -> CompiledRun:
         """Execute every segment; ``x`` is shorthand for a single input.
 
         Multi-input models (the ImageNet spine restarts where Table 2
         omits blocks) must pass ``feeds`` naming every graph input.
+        ``execution`` overrides the backend chosen at compile time
+        (``"simulate"`` pool replay vs vectorized ``"fast"``).
         """
+        execution = execution if execution is not None else self.execution
         if (x is None) == (feeds is None):
             raise CompileError("pass exactly one of x or feeds")
         if feeds is None:
@@ -193,7 +205,8 @@ class CompiledModel:
             if name not in feeds:
                 raise CompileError(f"missing feed for input {name!r}")
             res = seg.pipeline.run(
-                np.asarray(feeds[name]), plan=seg.plan, strict=strict
+                np.asarray(feeds[name]), plan=seg.plan, strict=strict,
+                execution=execution,
             )
             out_name = seg.lowered.output_name
             # the runtime keeps a [1, N] row for the dense head; the graph
@@ -201,6 +214,7 @@ class CompiledModel:
             spec_shape = self.graph.tensors[out_name].spec.shape
             outputs[out_name] = res.output.reshape(spec_shape)
             result.stage_runs.extend(res.stage_runs)
+            result.stage_names.extend(sp.name for sp in seg.plan.stages)
         terminal = (
             self.graph.outputs[-1]
             if self.graph.outputs
@@ -241,6 +255,7 @@ def compile_model(
     seed: int = 0,
     cache: PlanCache | None = DEFAULT_PLAN_CACHE,
     check_fit: bool = False,
+    execution: str = "simulate",
 ) -> CompiledModel:
     """Lower, legalize, bind and plan ``model`` for ``device``.
 
@@ -259,7 +274,13 @@ def compile_model(
     check_fit:
         Raise at compile time if the planned footprint exceeds the
         device's usable SRAM (otherwise the check happens at ``run``).
+    execution:
+        Default execution backend for ``CompiledModel.run``:
+        ``"simulate"`` (race-checked per-segment pool replay) or
+        ``"fast"`` (vectorized NumPy with analytically derived costs,
+        bit-exact against the simulator).  Overridable per run.
     """
+    get_execution_backend(execution)  # validate the name at compile time
     program = legalize_program(lower_graph(model))
     params = params if params is not None else random_params(model, seed=seed)
     compiled: list[CompiledSegment] = []
@@ -279,6 +300,7 @@ def compile_model(
         segments=tuple(compiled),
         params=params,
         device=device,
+        execution=execution,
     )
     if check_fit and not result.fits():
         raise CompileError(

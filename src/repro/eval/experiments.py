@@ -34,6 +34,7 @@ __all__ = [
     "table1", "table2", "table3",
     "figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
     "compiled_networks",
+    "execution_backend_speedup",
     "ALL_EXPERIMENTS",
 ]
 
@@ -303,6 +304,67 @@ def compiled_networks(device: DeviceProfile = STM32F411RE) -> Experiment:
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def execution_backend_speedup(
+    device: DeviceProfile = STM32F411RE,
+) -> Experiment:
+    """Extension: simulate-vs-fast backend parity and wall-clock speedup.
+
+    Runs the compiled VWW models through both execution backends on the
+    same input and reports wall-clock per backend, the speedup, and the
+    two parity properties the fast path guarantees: bit-exact outputs and
+    an identical modeled cost report.  (``benchmarks/bench_perf.py``
+    tracks the same numbers, plus ImageNet, as ``BENCH_perf.json``.)
+    """
+    import numpy as np
+
+    headers = [
+        "Model", "Simulate s", "Fast s", "Speedup",
+        "Bit-exact", "Cost parity",
+    ]
+    models = [
+        build_network_graph("vww"),
+        build_classifier_graph("vww", classes=2),
+    ]
+    rng = np.random.default_rng(0)
+    rows = []
+    for model in models:
+        cm = compile_model(model, device=device)
+        feeds = {
+            name: rng.integers(
+                -128, 128, size=cm.graph.tensors[name].spec.shape,
+                dtype=np.int8,
+            )
+            for name in cm.graph.inputs
+        }
+        t0 = time.perf_counter()
+        sim = cm.run(feeds=feeds)
+        sim_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        fast = cm.run(feeds=feeds, execution="fast")
+        fast_s = time.perf_counter() - t0
+        parity = (
+            sim.report.cycles == fast.report.cycles
+            and sim.report.instructions == fast.report.instructions
+        )
+        rows.append(
+            (
+                model.name,
+                f"{sim_s:.3f}",
+                f"{fast_s:.4f}",
+                f"{sim_s / fast_s:.0f}x",
+                "yes" if np.array_equal(sim.output, fast.output) else "NO",
+                "yes" if parity else "NO",
+            )
+        )
+    notes = [
+        "fast backend: im2col + int32 GEMM, pool events derived "
+        "analytically from the plans (see kernels/fastpath.py)",
+        "tracked trajectory: BENCH_perf.json via benchmarks/bench_perf.py",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -315,4 +377,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "figure11": figure11,
     "figure12": figure12,
     "compiled": compiled_networks,
+    "backends": execution_backend_speedup,
 }

@@ -15,16 +15,29 @@ Each kernel provides a ``plan()`` (memory plan via the Eq.-1/Eq.-2 solvers),
 ``cost()`` (analytic cycle/energy model for figure-scale shapes).
 """
 
-from repro.kernels.base import KernelCostModel, KernelRun
+from repro.kernels.base import (
+    ExecutionBackend,
+    KernelCostModel,
+    KernelRun,
+    execution_backends,
+    get_execution_backend,
+    register_execution_backend,
+)
 from repro.kernels.fully_connected import FullyConnectedKernel
 from repro.kernels.pointwise import PointwiseConvKernel
 from repro.kernels.depthwise import DepthwiseConvKernel
 from repro.kernels.conv2d import Conv2dKernel
 from repro.kernels.bottleneck import FusedBottleneckKernel
+from repro.kernels.fastpath import FastBackend  # registers "fast"
 
 __all__ = [
+    "ExecutionBackend",
+    "FastBackend",
     "KernelCostModel",
     "KernelRun",
+    "execution_backends",
+    "get_execution_backend",
+    "register_execution_backend",
     "FullyConnectedKernel",
     "PointwiseConvKernel",
     "DepthwiseConvKernel",

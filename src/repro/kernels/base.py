@@ -18,18 +18,27 @@ ratio and are used unchanged by every experiment.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.core.planner import LayerPlan
 from repro.core.pool import CircularSegmentPool, PoolStats
+from repro.errors import KernelError
 from repro.mcu.device import DeviceProfile
 from repro.mcu.profiler import CostReport, Profiler
 
 __all__ = [
     "KernelRun",
     "KernelCostModel",
+    "ExecutionBackend",
+    "SimulateBackend",
+    "register_execution_backend",
+    "get_execution_backend",
+    "execution_backends",
+    "cached_pack",
     "VMCU_COMPUTE_EFFICIENCY",
     "TINYENGINE_COMPUTE_EFFICIENCY",
     "TINYENGINE_UNROLL_DEPTH",
@@ -49,12 +58,172 @@ TINYENGINE_UNROLL_DEPTH = 16
 
 @dataclass
 class KernelRun:
-    """Result of one simulated kernel execution."""
+    """Result of one kernel execution (any backend)."""
 
     output: np.ndarray
     plan: LayerPlan | object
     pool_stats: PoolStats
     report: CostReport
+
+
+# --------------------------------------------------------------------------- #
+# execution backends
+# --------------------------------------------------------------------------- #
+class ExecutionBackend:
+    """One way of executing planned kernels.
+
+    The two shipped backends are ``"simulate"`` (the per-segment pool replay
+    that audits every RAMLoad/RAMStore/RAMFree against the plan) and
+    ``"fast"`` (vectorized im2col + int32-GEMM NumPy execution with the pool
+    traffic and profiler costs derived analytically from the plan).  Both
+    produce bit-identical outputs and cost reports; ``"fast"`` trades the
+    per-segment race auditing for orders-of-magnitude lower wall clock.
+
+    A backend implements one method per kernel family, each returning a
+    :class:`KernelRun`, plus :meth:`run_pipeline` for whole-chain execution.
+    New backends (e.g. a batched serving path) subclass this and register
+    via :func:`register_execution_backend`.
+    """
+
+    name = "abstract"
+
+    def fully_connected(self, kernel, x, w, mult, **kw) -> KernelRun:
+        raise NotImplementedError
+
+    def pointwise(self, kernel, x, w, mult, **kw) -> KernelRun:
+        raise NotImplementedError
+
+    def conv2d(self, kernel, x, w, mult, **kw) -> KernelRun:
+        raise NotImplementedError
+
+    def depthwise(self, kernel, x, w, mult, **kw) -> KernelRun:
+        raise NotImplementedError
+
+    def avgpool(self, kernel, x, mult, **kw) -> KernelRun:
+        raise NotImplementedError
+
+    def bottleneck(
+        self, kernel, x, w_expand, w_dw, w_project, mults, **kw
+    ) -> KernelRun:
+        raise NotImplementedError
+
+    def run_pipeline(self, pipeline, plan, x, *, strict=True):
+        raise NotImplementedError
+
+
+class SimulateBackend(ExecutionBackend):
+    """The audit-grade backend: per-segment replay in the circular pool.
+
+    Every RAMLoad/RAMStore/RAMFree is executed against the pool's slot
+    state machine, so plan violations surface as
+    :class:`~repro.errors.SegmentRaceError` instead of silent corruption.
+    """
+
+    name = "simulate"
+
+    def fully_connected(self, kernel, x, w, mult, **kw):
+        return kernel._run_simulate(x, w, mult, **kw)
+
+    def pointwise(self, kernel, x, w, mult, **kw):
+        return kernel._run_simulate(x, w, mult, **kw)
+
+    def conv2d(self, kernel, x, w, mult, **kw):
+        return kernel._run_simulate(x, w, mult, **kw)
+
+    def depthwise(self, kernel, x, w, mult, **kw):
+        return kernel._run_simulate(x, w, mult, **kw)
+
+    def avgpool(self, kernel, x, mult, **kw):
+        return kernel._run_simulate(x, mult, **kw)
+
+    def bottleneck(self, kernel, x, w_expand, w_dw, w_project, mults, **kw):
+        return kernel._run_simulate(x, w_expand, w_dw, w_project, mults, **kw)
+
+    def run_pipeline(self, pipeline, plan, x, *, strict=True):
+        return pipeline._run_simulate(plan, x, strict=strict)
+
+
+_EXECUTION_BACKENDS: dict[str, ExecutionBackend] = {}
+
+
+def register_execution_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register ``backend`` under ``backend.name`` (last registration wins)."""
+    if not backend.name or backend.name == "abstract":
+        raise KernelError(f"backend {backend!r} needs a concrete name")
+    _EXECUTION_BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_execution_backend(name: str) -> ExecutionBackend:
+    """Look up a registered backend; error lists the available names."""
+    try:
+        return _EXECUTION_BACKENDS[name]
+    except KeyError:
+        raise KernelError(
+            f"unknown execution backend {name!r}; "
+            f"available: {sorted(_EXECUTION_BACKENDS)}"
+        ) from None
+
+
+def execution_backends() -> tuple[str, ...]:
+    """Names of all registered execution backends."""
+    return tuple(sorted(_EXECUTION_BACKENDS))
+
+
+register_execution_backend(SimulateBackend())
+
+
+# --------------------------------------------------------------------------- #
+# packed-weight cache
+# --------------------------------------------------------------------------- #
+#: (id(w), seg_bytes, packer name) -> (weakref to w, content digest, packed
+#: array).  Repeated ``Pipeline.run`` calls on a compiled plan hand the
+#: *same* weight arrays to the kernels every time; packing is pure, so the
+#: re-layout is done once.  The weakref guards against id() reuse after
+#: garbage collection and evicts the entry when the source array dies; the
+#: digest guards against in-place mutation of a cached array (a hit is
+#: served only if the bytes still match, so stale packs are impossible).
+_PACK_CACHE: dict[
+    tuple[int, int, str], tuple[weakref.ref, int, np.ndarray]
+] = {}
+
+
+def cached_pack(
+    w: np.ndarray, seg: int, packer: Callable[[np.ndarray, int], np.ndarray]
+) -> np.ndarray:
+    """Memoized ``packer(w, seg)`` keyed by ``(id(w), seg)``.
+
+    The packed array is shared across runs and must be treated as
+    read-only by callers (the kernels only ever read weight blocks; the
+    returned array is marked non-writeable).  A cache hit is validated
+    against a content digest of the source array — one C-speed pass,
+    versus the several reshape/transpose/copy passes of packing — so
+    callers that mutate a weight array in place simply trigger a re-pack
+    instead of receiving stale weights.  Views are packed fresh every
+    call (their ids belong to throwaway wrapper objects).
+    """
+    if w.base is not None:
+        return packer(w, seg)
+    key = (id(w), seg, packer.__name__)
+    digest = hash(w.tobytes())
+    hit = _PACK_CACHE.get(key)
+    if hit is not None:
+        ref, cached_digest, packed = hit
+        if ref() is w and cached_digest == digest:
+            return packed
+    packed = packer(w, seg)
+    packed.setflags(write=False)
+
+    def _evict(_ref, key=key):
+        _PACK_CACHE.pop(key, None)
+
+    try:
+        ref = weakref.ref(w, _evict)
+    except TypeError:
+        # not weakref-able: skip the cache, stay correct
+        return packed
+    _PACK_CACHE[key] = (ref, digest, packed)
+    return packed
 
 
 class KernelCostModel:

@@ -31,7 +31,12 @@ from repro.core.multilayer import (
 )
 from repro.core.pool import CircularSegmentPool
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    get_execution_backend,
+    last_reader_row,
+)
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier, requantize
@@ -73,13 +78,42 @@ class FusedBottleneckKernel:
         in_name: str = "A",
         out_name: str = "E",
         place_input: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
     ) -> KernelRun:
-        """Simulated fused execution, bit-exact against the reference chain.
+        """Fused execution via the selected backend, bit-exact against the
+        reference chain.
 
         ``in_name``/``out_name`` tag pool ownership for chained pipelines;
         ``place_input=False`` means the input already sits at
         ``plan.in_base`` (left there by the previous stage).
         """
+        return get_execution_backend(execution).bottleneck(
+            self, x, w_expand, w_dw, w_project, mults,
+            device=device, plan=plan, pool=pool, strict=strict,
+            in_name=in_name, out_name=out_name, place_input=place_input,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        w_expand: np.ndarray,
+        w_dw: np.ndarray,
+        w_project: np.ndarray,
+        mults: tuple[
+            FixedPointMultiplier, FixedPointMultiplier, FixedPointMultiplier
+        ],
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: FusedBlockPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "A",
+        out_name: str = "E",
+        place_input: bool = True,
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
         spec = self.spec
         if x.shape != (spec.hw, spec.hw, spec.c_in) or x.dtype != np.int8:
             raise ShapeError(
@@ -95,7 +129,8 @@ class FusedBottleneckKernel:
             raise ShapeError(f"w_project must be [{spec.c_mid},{spec.c_out}]")
         m1, mdw, m2 = mults
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = CircularSegmentPool(
                 n_slots=plan.span_slots,
@@ -239,7 +274,7 @@ class FusedBottleneckKernel:
                     pool.free(in_addr(free_row, ww, cs), in_name)
             free_row += 1
 
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, p_out * p_out * ce, out_name)
         output = flat.view(np.int8).reshape(p_out, p_out, spec.c_out)

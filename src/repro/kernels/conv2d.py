@@ -22,7 +22,14 @@ from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.core.segment_size import select_segment_size
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row, make_pool
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    cached_pack,
+    get_execution_backend,
+    last_reader_row,
+    make_pool,
+)
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier, requantize
@@ -175,6 +182,27 @@ class Conv2dKernel:
         plan: LayerPlan | None = None,
         pool: CircularSegmentPool | None = None,
         strict: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
+        """Execute via the selected backend (``simulate`` or ``fast``)."""
+        return get_execution_backend(execution).conv2d(
+            self, x, w, mult,
+            device=device, plan=plan, pool=pool, strict=strict,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        profiler: Profiler | None = None,
     ) -> KernelRun:
         if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
             raise ShapeError(
@@ -185,7 +213,8 @@ class Conv2dKernel:
                 f"weight must be int8[{self.r},{self.r},{self.c},{self.k}]"
             )
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = make_pool(plan, strict=strict, profiler=profiler)
         else:
@@ -196,7 +225,7 @@ class Conv2dKernel:
         pool.profiler = None
         pool.store_tensor(plan.in_base, x, "In")
         pool.profiler = profiler
-        packed = pack_conv_weights(w, seg)
+        packed = cached_pack(w, seg, pack_conv_weights)
         st, pad = self.stride, self.padding
 
         def in_addr(hh: int, ww: int, cs: int) -> int:
@@ -243,7 +272,7 @@ class Conv2dKernel:
                     pool.free(in_addr(free_row, ww, cs), "In")
             free_row += 1
 
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, self.out_segments, "Out")
         output = flat.view(np.int8).reshape(self.p, self.q, self.k)

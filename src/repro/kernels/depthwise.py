@@ -23,7 +23,13 @@ from repro.core.affine import (
 from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, last_reader_row, make_pool
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    get_execution_backend,
+    last_reader_row,
+    make_pool,
+)
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier, requantize
@@ -127,6 +133,27 @@ class DepthwiseConvKernel:
         plan: LayerPlan | None = None,
         pool: CircularSegmentPool | None = None,
         strict: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
+        """Execute via the selected backend (``simulate`` or ``fast``)."""
+        return get_execution_backend(execution).depthwise(
+            self, x, w, mult,
+            device=device, plan=plan, pool=pool, strict=strict,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        profiler: Profiler | None = None,
     ) -> KernelRun:
         if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
             raise ShapeError(
@@ -135,7 +162,8 @@ class DepthwiseConvKernel:
         if w.shape != (self.r, self.r, self.c) or w.dtype != np.int8:
             raise ShapeError(f"weight must be int8[{self.r},{self.r},{self.c}]")
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = make_pool(plan, strict=strict, profiler=profiler)
         else:
@@ -183,7 +211,7 @@ class DepthwiseConvKernel:
                 pool.free(in_addr(free_row, ww), "In")
             free_row += 1
 
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, self.out_segments, "Out")
         output = flat.view(np.int8).reshape(self.p, self.q, self.c)

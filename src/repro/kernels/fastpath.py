@@ -1,0 +1,742 @@
+"""Vectorized fast-path execution backend (``execution="fast"``).
+
+The simulate backend replays every RAMLoad/RAMStore/RAMFree against the
+circular pool's slot state machine — invaluable for auditing plans, but the
+per-segment Python loop makes whole-model inference orders of magnitude
+slower than the arithmetic itself.  This backend splits the two concerns the
+same way TinyEngine splits analysis from generated kernels:
+
+* **outputs** come from whole-tensor NumPy execution (im2col + int32 GEMM
+  with one whole-tensor requantization).  int32 accumulation is associative
+  and commutative modulo 2**32 and the requantization pipeline is
+  elementwise, so the bits are identical to the simulator's segment-by-
+  segment accumulation — the parity tests assert exact equality;
+* **costs** come from *vectorized event generation*: the multiset of pool
+  events a simulated run would perform (loads, stores, frees, wrap-arounds,
+  input/output overlap clobbers, peak live slots) is derived analytically
+  from the :class:`~repro.core.planner.LayerPlan` geometry with NumPy
+  address arithmetic, then charged to the profiler in bulk.  Every counter
+  increment the simulator makes is a multiple of 0.5 (exactly representable
+  in a double), so bulk charging reproduces the simulator's
+  :class:`~repro.mcu.profiler.CostReport` bit for bit as well.
+
+What the fast path does *not* do is race-check: it trusts the plan.  Use
+``execution="simulate"`` when auditing a new planner or segment policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.multilayer import compose_receptive_field
+from repro.core.pool import PoolStats
+from repro.errors import KernelError, ShapeError
+from repro.kernels.base import (
+    ExecutionBackend,
+    KernelRun,
+    register_execution_backend,
+)
+from repro.mcu.profiler import Profiler
+from repro.quant import requantize
+
+__all__ = ["FastBackend"]
+
+
+# --------------------------------------------------------------------------- #
+# address arithmetic
+# --------------------------------------------------------------------------- #
+def _contig_wraps(start: int, count: int, n_slots: int) -> int:
+    """How many addresses in ``[start, start + count)`` wrap (>= n_slots)."""
+    if count <= 0:
+        return 0
+    return max(0, start + count - max(n_slots, start))
+
+
+def _starts_wraps(starts: np.ndarray, block: int, n_slots: int) -> int:
+    """Wrapping addresses over blocks ``[s, s + block)`` for each start."""
+    if starts.size == 0 or block <= 0:
+        return 0
+    starts = starts.astype(np.int64, copy=False)
+    return int(
+        np.clip(starts + block - np.maximum(n_slots, starts), 0, block).sum()
+    )
+
+
+# --------------------------------------------------------------------------- #
+# the event ledger
+# --------------------------------------------------------------------------- #
+class _EventLedger:
+    """Charges one kernel's pool-event totals to a profiler and PoolStats.
+
+    The simulator interleaves tiny ``count_*`` calls with arithmetic; the
+    ledger makes the same calls once with the totals.  Placement stores and
+    the final read-back are — exactly like the simulator — visible in the
+    pool statistics but never charged to the profiler (the previous layer
+    paid the placement; the read-back is verification plumbing).
+    """
+
+    def __init__(
+        self, profiler: Profiler, stats: PoolStats, n_slots: int
+    ):
+        self.profiler = profiler
+        self.stats = stats
+        self.n_slots = int(n_slots)
+        self.pow2 = (self.n_slots & (self.n_slots - 1)) == 0
+
+    # -- uncharged traffic (stats only) --------------------------------- #
+    def place_input(self, base: int, n_segments: int, seg: int) -> None:
+        self.stats.stores += n_segments
+        self.stats.bytes_stored += n_segments * seg
+        self.stats.wraps += _contig_wraps(base, n_segments, self.n_slots)
+
+    def read_back(self, base: int, n_segments: int, seg: int) -> None:
+        self.stats.loads += n_segments
+        self.stats.bytes_loaded += n_segments * seg
+        self.stats.wraps += _contig_wraps(base, n_segments, self.n_slots)
+
+    # -- kernel-phase pool operations ----------------------------------- #
+    def pool_ops(
+        self, *, loads: int, stores: int, frees: int, wraps: int, seg: int
+    ) -> None:
+        """Charge ``loads + stores + frees`` slot operations at once."""
+        ops = loads + stores + frees
+        if ops:
+            self.profiler.count_branch(ops)
+        if wraps:
+            self.profiler.count_modulo(wraps, power_of_two=self.pow2)
+            self.stats.wraps += wraps
+        if loads:
+            self.profiler.count_sram(loads * seg, store=False)
+            self.stats.loads += loads
+            self.stats.bytes_loaded += loads * seg
+        if stores:
+            self.profiler.count_sram(stores * seg, store=True)
+            self.stats.stores += stores
+            self.stats.bytes_stored += stores * seg
+        self.stats.frees += frees
+
+    # -- input/output overlap accounting -------------------------------- #
+    def overlap(
+        self,
+        *,
+        in_base: int,
+        in_segments: int,
+        out_base: int,
+        out_segments: int,
+        free_times: np.ndarray,
+        store_times: np.ndarray,
+    ) -> None:
+        """Replay the slot lifecycle analytically.
+
+        ``free_times[i]`` / ``store_times[o]`` give the program-order
+        position of input segment ``i``'s RAMFree and output segment
+        ``o``'s RAMStore.  An output stored onto the slot of a still-live
+        input segment *clobbers* it (the overlap mechanism); the later
+        free of that input is a stale no-op.  Peak live slots follow from
+        the merged event timeline.  Both quantities match the simulator's
+        pool statistics exactly.
+        """
+        free_times = np.asarray(free_times, dtype=np.float64)
+        store_times = np.asarray(store_times, dtype=np.float64)
+        if free_times.shape != (in_segments,):
+            raise KernelError("free_times must cover every input segment")
+        if store_times.shape != (out_segments,):
+            raise KernelError("store_times must cover every output segment")
+        out_ids = np.arange(out_segments, dtype=np.int64)
+        i_of_o = (out_base + out_ids - in_base) % self.n_slots
+        valid = i_of_o < in_segments
+        death = free_times.copy()
+        vi = i_of_o[valid]
+        clobbered = store_times[valid] < death[vi]
+        death[vi[clobbered]] = store_times[valid][clobbered]
+        times = np.concatenate([store_times, death])
+        deltas = np.concatenate(
+            [np.ones(out_segments), -np.ones(in_segments)]
+        )
+        # process deaths before stores at equal timestamps: a clobbering
+        # store replaces a live slot atomically (live count unchanged)
+        order = np.lexsort((deltas, times))
+        traj = np.cumsum(deltas[order])
+        peak = in_segments + (int(traj.max()) if traj.size else 0)
+        peak = max(peak, in_segments)
+        self.stats.clobbers += int(clobbered.sum())
+        self.stats.peak_live = max(self.stats.peak_live, peak)
+
+
+def _setup(kernel_plan, device, profiler, stats, n_slots, pool):
+    """Shared prologue: reject pools, default the profiler/stats/slots."""
+    if pool is not None:
+        raise KernelError(
+            "the fast backend executes without a pool; pass pool= only "
+            "with execution='simulate'"
+        )
+    profiler = profiler if profiler is not None else Profiler(device)
+    stats = stats if stats is not None else PoolStats()
+    n_slots = n_slots if n_slots is not None else kernel_plan.span_slots
+    return profiler, stats, _EventLedger(profiler, stats, n_slots)
+
+
+def _ceil_div(a: np.ndarray, b: int) -> np.ndarray:
+    """Elementwise ceiling division for (possibly negative) integers."""
+    return -((-a) // b)
+
+
+# --------------------------------------------------------------------------- #
+# the backend
+# --------------------------------------------------------------------------- #
+class FastBackend(ExecutionBackend):
+    """im2col + int32-GEMM execution with analytic event generation."""
+
+    name = "fast"
+
+    # ------------------------------------------------------------------ #
+    def fully_connected(
+        self, kernel, x, w, mult, *, device, plan, pool=None, strict=True,
+        in_name="In", out_name="Out", place_input=True, profiler=None,
+        stats=None, n_slots=None,
+    ) -> KernelRun:
+        if w.shape != (kernel.k, kernel.n) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{kernel.k},{kernel.n}]")
+        if x.shape != (kernel.m, kernel.k) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{kernel.m},{kernel.k}], got {x.shape}"
+            )
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        m, ks, ns = kernel.m, kernel.ks, kernel.ns
+
+        out = requantize(x.astype(np.int32) @ w.astype(np.int32), mult)
+
+        if place_input:
+            led.place_input(plan.in_base, m * ks, seg)
+        loads, stores, frees = m * ns * ks, m * ns, m * ks
+        wraps = (
+            ns * _contig_wraps(plan.in_base, m * ks, led.n_slots)
+            + _contig_wraps(plan.out_base, stores, led.n_slots)
+            + _contig_wraps(plan.in_base, frees, led.n_slots)
+        )
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+        profiler.count_macs(loads * seg * seg)
+        profiler.count_flash(loads * seg * seg)
+        profiler.count_requantize(m * kernel.n)
+        led.read_back(plan.out_base, stores, seg)
+        led.overlap(
+            in_base=plan.in_base, in_segments=m * ks,
+            out_base=plan.out_base, out_segments=m * ns,
+            free_times=np.repeat(np.arange(m) + 0.5, ks),
+            store_times=np.repeat(np.arange(m, dtype=np.float64), ns),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def pointwise(
+        self, kernel, x, w, mult, *, device, plan, pool=None, strict=True,
+        in_name="In", out_name="Out", place_input=True, profiler=None,
+        stats=None, n_slots=None,
+    ) -> KernelRun:
+        h, wd, c, kch = kernel.h, kernel.w, kernel.c, kernel.k
+        if x.shape != (h, wd, c) or x.dtype != np.int8:
+            raise ShapeError(f"input must be int8[{h},{wd},{c}], got {x.shape}")
+        if w.shape != (c, kch) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{c},{kch}]")
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        st = kernel.stride
+        p, q, ca, ce = kernel.p, kernel.q, kernel.ca, kernel.ce
+
+        xs = x[::st, ::st, :]
+        acc = xs.reshape(p * q, c).astype(np.int32) @ w.astype(np.int32)
+        out = requantize(acc, mult).reshape(p, q, kch)
+
+        if place_input:
+            led.place_input(plan.in_base, h * wd * ca, seg)
+        loads = p * q * ce * ca
+        stores = p * q * ce
+        frees = h * wd * ca
+        # one contiguous run of ca addresses per read pixel, repeated per
+        # output-channel segment
+        lin = (
+            (np.arange(p, dtype=np.int64) * st * wd)[:, None]
+            + np.arange(q, dtype=np.int64) * st
+        ).ravel()
+        wraps = (
+            ce * _starts_wraps(plan.in_base + lin * ca, ca, led.n_slots)
+            + _contig_wraps(plan.out_base, stores, led.n_slots)
+            + _contig_wraps(plan.in_base, frees, led.n_slots)
+        )
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+        profiler.count_macs(loads * seg * seg)
+        profiler.count_flash(loads * seg * seg)
+        profiler.count_requantize(p * q * kch)
+        led.read_back(plan.out_base, stores, seg)
+
+        # free schedule: pixel L is released by the first output pixel
+        # whose read cursor has passed it (stride > 1 skips pixels; the
+        # trailing sweep frees them after the loop)
+        lp = np.arange(h * wd, dtype=np.int64)
+        p_min = np.maximum(0, _ceil_div(lp - (q - 1) * st, st * wd))
+        in_loop = p_min <= p - 1
+        q_min = np.zeros_like(lp)
+        q_min[in_loop] = np.maximum(
+            0, _ceil_div(lp[in_loop] - p_min[in_loop] * st * wd, st)
+        )
+        pix_free = np.where(
+            in_loop, p_min * q + q_min + 0.5, float(p * q)
+        )
+        led.overlap(
+            in_base=plan.in_base, in_segments=frees,
+            out_base=plan.out_base, out_segments=stores,
+            free_times=np.repeat(pix_free, ca),
+            store_times=np.repeat(np.arange(p * q, dtype=np.float64), ce),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def conv2d(
+        self, kernel, x, w, mult, *, device, plan, pool=None, strict=True,
+        profiler=None, stats=None, n_slots=None,
+    ) -> KernelRun:
+        h, wd, c, kch = kernel.h, kernel.w, kernel.c, kernel.k
+        r, st, pad = kernel.r, kernel.stride, kernel.padding
+        if x.shape != (h, wd, c) or x.dtype != np.int8:
+            raise ShapeError(f"input must be int8[{h},{wd},{c}], got {x.shape}")
+        if w.shape != (r, r, c, kch) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{r},{r},{c},{kch}]")
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        p, q, ca, ce = kernel.p, kernel.q, kernel.ca, kernel.ce
+
+        xp = np.zeros((h + 2 * pad, wd + 2 * pad, c), dtype=np.int8)
+        xp[pad : pad + h, pad : pad + wd] = x
+        win = sliding_window_view(xp, (r, r), axis=(0, 1))[::st, ::st]
+        cols = (
+            win.transpose(0, 1, 3, 4, 2).reshape(p * q, r * r * c)
+        )
+        acc = cols.astype(np.int32) @ w.reshape(r * r * c, kch).astype(np.int32)
+        out = requantize(acc, mult).reshape(p, q, kch)
+
+        led.place_input(plan.in_base, h * wd * ca, seg)
+        # padding clips window taps: valid row/column tap counts are
+        # separable across the two spatial axes
+        row0 = np.arange(p, dtype=np.int64) * st - pad
+        col0 = np.arange(q, dtype=np.int64) * st - pad
+        hh = row0[:, None] + np.arange(r, dtype=np.int64)[None, :]
+        ww = col0[:, None] + np.arange(r, dtype=np.int64)[None, :]
+        hh = hh[(hh >= 0) & (hh < h)]
+        ww = ww[(ww >= 0) & (ww < wd)]
+        loads = int(hh.size) * int(ww.size) * ca * ce
+        stores = p * q * ce
+        frees = h * wd * ca
+        starts = plan.in_base + (
+            np.add.outer(hh * wd, ww) * ca
+        ).ravel()
+        wraps = (
+            ce * _starts_wraps(starts, ca, led.n_slots)
+            + _contig_wraps(plan.out_base, stores, led.n_slots)
+            + _contig_wraps(plan.in_base, frees, led.n_slots)
+        )
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+        profiler.count_macs(loads * seg * seg)
+        profiler.count_flash(loads * seg * seg)
+        profiler.count_requantize(p * q * kch)
+        led.read_back(plan.out_base, stores, seg)
+
+        # input rows die after the output row that last reads them
+        p_free = np.minimum((np.arange(h, dtype=np.int64) + pad) // st, p - 1)
+        led.overlap(
+            in_base=plan.in_base, in_segments=frees,
+            out_base=plan.out_base, out_segments=stores,
+            free_times=np.repeat(p_free * q + q - 0.5, wd * ca),
+            store_times=np.repeat(np.arange(p * q, dtype=np.float64), ce),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def depthwise(
+        self, kernel, x, w, mult, *, device, plan, pool=None, strict=True,
+        profiler=None, stats=None, n_slots=None,
+    ) -> KernelRun:
+        h, wd, c = kernel.h, kernel.w, kernel.c
+        r, st, pad = kernel.r, kernel.stride, kernel.padding
+        if x.shape != (h, wd, c) or x.dtype != np.int8:
+            raise ShapeError(f"input must be int8[{h},{wd},{c}], got {x.shape}")
+        if w.shape != (r, r, c) or w.dtype != np.int8:
+            raise ShapeError(f"weight must be int8[{r},{r},{c}]")
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        p, q = kernel.p, kernel.q
+
+        xp = np.zeros((h + 2 * pad, wd + 2 * pad, c), dtype=np.int8)
+        xp[pad : pad + h, pad : pad + wd] = x
+        w32 = w.astype(np.int32)
+        acc = np.zeros((p, q, c), dtype=np.int32)
+        for dr in range(r):
+            for ds in range(r):
+                acc += (
+                    xp[
+                        dr : dr + (p - 1) * st + 1 : st,
+                        ds : ds + (q - 1) * st + 1 : st,
+                    ].astype(np.int32)
+                    * w32[dr, ds]
+                )
+        out = requantize(acc, mult)
+
+        led.place_input(plan.in_base, h * wd, seg)
+        row0 = np.arange(p, dtype=np.int64) * st - pad
+        col0 = np.arange(q, dtype=np.int64) * st - pad
+        hh = row0[:, None] + np.arange(r, dtype=np.int64)[None, :]
+        ww = col0[:, None] + np.arange(r, dtype=np.int64)[None, :]
+        hh = hh[(hh >= 0) & (hh < h)]
+        ww = ww[(ww >= 0) & (ww < wd)]
+        loads = int(hh.size) * int(ww.size)
+        stores = p * q
+        frees = h * wd
+        addrs = plan.in_base + np.add.outer(hh * wd, ww).ravel()
+        wraps = (
+            int((addrs >= led.n_slots).sum())
+            + _contig_wraps(plan.out_base, stores, led.n_slots)
+            + _contig_wraps(plan.in_base, frees, led.n_slots)
+        )
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+        profiler.count_macs(loads * c)
+        profiler.count_flash(loads * c)
+        profiler.count_requantize(p * q * c)
+        led.read_back(plan.out_base, stores, seg)
+
+        p_free = np.minimum((np.arange(h, dtype=np.int64) + pad) // st, p - 1)
+        led.overlap(
+            in_base=plan.in_base, in_segments=frees,
+            out_base=plan.out_base, out_segments=stores,
+            free_times=np.repeat(p_free * q + q - 0.5, wd),
+            store_times=np.arange(p * q, dtype=np.float64),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def avgpool(
+        self, kernel, x, mult, *, device, plan, pool=None, strict=True,
+        in_name="In", out_name="Out", place_input=True, profiler=None,
+        stats=None, n_slots=None,
+    ) -> KernelRun:
+        h, wd, c = kernel.h, kernel.w, kernel.c
+        if x.shape != (h, wd, c) or x.dtype != np.int8:
+            raise ShapeError(f"input must be int8[{h},{wd},{c}], got {x.shape}")
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        ca = kernel.ca
+        n_px = h * wd
+
+        acc = x.astype(np.int32).sum(axis=(0, 1), dtype=np.int32)
+        out = requantize(acc, mult)
+
+        if place_input:
+            led.place_input(plan.in_base, n_px * ca, seg)
+        loads = frees = n_px * ca
+        stores = ca
+        wraps = (
+            2 * _contig_wraps(plan.in_base, n_px * ca, led.n_slots)
+            + _contig_wraps(plan.out_base, ca, led.n_slots)
+        )
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+        profiler.count_instr("SADD16", n_px * ca * seg / 2.0)
+        profiler.count_requantize(c)
+        led.read_back(plan.out_base, ca, seg)
+        led.overlap(
+            in_base=plan.in_base, in_segments=n_px * ca,
+            out_base=plan.out_base, out_segments=ca,
+            free_times=np.repeat(np.arange(n_px) + 0.5, ca),
+            store_times=np.full(ca, float(n_px)),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def bottleneck(
+        self, kernel, x, w_expand, w_dw, w_project, mults, *, device, plan,
+        pool=None, strict=True, in_name="A", out_name="E", place_input=True,
+        profiler=None, stats=None, n_slots=None,
+    ) -> KernelRun:
+        spec = kernel.spec
+        if x.shape != (spec.hw, spec.hw, spec.c_in) or x.dtype != np.int8:
+            raise ShapeError(
+                f"input must be int8[{spec.hw},{spec.hw},{spec.c_in}], "
+                f"got {x.shape}"
+            )
+        if w_expand.shape != (spec.c_in, spec.c_mid):
+            raise ShapeError(f"w_expand must be [{spec.c_in},{spec.c_mid}]")
+        if w_dw.shape != (spec.kernel, spec.kernel, spec.c_mid):
+            raise ShapeError(
+                f"w_dw must be [{spec.kernel},{spec.kernel},{spec.c_mid}]"
+            )
+        if w_project.shape != (spec.c_mid, spec.c_out):
+            raise ShapeError(f"w_project must be [{spec.c_mid},{spec.c_out}]")
+        m1, mdw, m2 = mults
+        plan = plan or kernel.plan()
+        profiler, stats, led = _setup(
+            plan, device, profiler, stats, n_slots, pool
+        )
+        base = profiler.snapshot()
+        seg = plan.seg_bytes
+        s1, s2, s3 = spec.strides
+        pad, k = spec.padding, spec.kernel
+        hb = spec.mid_spatial()
+        p_out = spec.spatial_out()
+        hc = (hb + 2 * pad - k) // s2 + 1
+        ca = spec.c_in // seg
+        ce = spec.c_out // seg
+        hw = spec.hw
+
+        # -- whole-tensor execution of the fused chain ------------------- #
+        b = requantize(
+            x[::s1, ::s1, :].reshape(hb * hb, spec.c_in).astype(np.int32)
+            @ w_expand.astype(np.int32),
+            m1,
+        ).reshape(hb, hb, spec.c_mid)
+        bp = np.zeros((hb + 2 * pad, hb + 2 * pad, spec.c_mid), dtype=np.int8)
+        bp[pad : pad + hb, pad : pad + hb] = b
+        wdw32 = w_dw.astype(np.int32)
+        acc_c = np.zeros((hc, hc, spec.c_mid), dtype=np.int32)
+        for dr in range(k):
+            for ds in range(k):
+                acc_c += (
+                    bp[
+                        dr : dr + (hc - 1) * s2 + 1 : s2,
+                        ds : ds + (hc - 1) * s2 + 1 : s2,
+                    ].astype(np.int32)
+                    * wdw32[dr, ds]
+                )
+        c_t = requantize(acc_c, mdw)[::s3, ::s3, :]
+        acc_d = (
+            c_t.reshape(p_out * p_out, spec.c_mid).astype(np.int32)
+            @ w_project.astype(np.int32)
+        )
+        d = requantize(acc_d, m2).reshape(p_out, p_out, spec.c_out)
+        if spec.has_residual:
+            out = np.clip(
+                d.astype(np.int16) + x.astype(np.int16), -128, 127
+            ).astype(np.int8)
+        else:
+            out = d
+
+        # -- event generation -------------------------------------------- #
+        if place_input:
+            led.place_input(plan.in_base, hw * hw * ca, seg)
+
+        # which B pixels get computed (and thus load their A pixel)
+        if kernel.planner.halo_mode == "cache_rows":
+            tap = (
+                (np.arange(p_out, dtype=np.int64) * s3 * s2)[:, None]
+                + np.arange(k, dtype=np.int64)[None, :]
+                - pad
+            )
+            needed = np.zeros(hb, dtype=bool)
+            needed[tap[(tap >= 0) & (tap < hb)]] = True
+            axis = np.flatnonzero(needed).astype(np.int64)
+            ncb = int(axis.size) ** 2
+            b_starts = plan.in_base + (
+                np.add.outer(axis * s1 * hw, axis * s1) * ca
+            ).ravel()
+        else:
+            pbs, qbs = _recompute_events(p_out, hb, k, pad, s2, s3)
+            ncb = pbs.size
+            b_starts = plan.in_base + (pbs * s1 * hw + qbs * s1) * ca
+        b_wraps = _starts_wraps(b_starts, ca, led.n_slots)
+
+        # depthwise taps clipped by padding (separable, square)
+        row0 = np.arange(p_out, dtype=np.int64) * s3 * s2 - pad
+        vr = np.clip(np.minimum(hb, row0 + k) - np.maximum(0, row0), 0, k)
+        valid_taps = int(vr.sum()) ** 2
+        px = p_out * p_out
+
+        loads = ncb * ca + (px * ca if spec.has_residual else 0)
+        stores = px * ce
+        frees = hw * hw * ca
+        wraps = b_wraps + _contig_wraps(plan.out_base, stores, led.n_slots)
+        wraps += _contig_wraps(plan.in_base, frees, led.n_slots)
+        if spec.has_residual:
+            # residual A reads cover every input pixel exactly once
+            wraps += _contig_wraps(plan.in_base, px * ca, led.n_slots)
+        led.pool_ops(
+            loads=loads, stores=stores, frees=frees, wraps=wraps, seg=seg
+        )
+
+        # compute work: pw-expand per computed B pixel, depthwise per valid
+        # tap, pw-project per output pixel (all workspace traffic is plain
+        # SRAM, not pool ops)
+        profiler.count_macs(
+            ncb * spec.c_in * spec.c_mid
+            + valid_taps * spec.c_mid
+            + px * spec.c_mid * spec.c_out
+        )
+        profiler.count_flash(
+            ncb * spec.c_in * spec.c_mid
+            + px * k * k * spec.c_mid
+            + px * spec.c_mid * spec.c_out
+        )
+        profiler.count_requantize(
+            ncb * spec.c_mid + px * spec.c_mid + px * spec.c_out
+        )
+        profiler.count_sram(
+            valid_taps * spec.c_mid + px * spec.c_mid, store=False
+        )
+        profiler.count_sram(
+            ncb * spec.c_mid + px * spec.c_mid, store=True
+        )
+        if spec.has_residual:
+            profiler.count_instr("SADD16", px * spec.c_out / 2.0)
+        led.read_back(plan.out_base, stores, seg)
+
+        rf = compose_receptive_field(spec.stages)
+        lr = (np.arange(hw, dtype=np.int64) - rf.offset) // rf.jump
+        p_free = np.minimum(np.maximum(lr, 0), p_out - 1)
+        led.overlap(
+            in_base=plan.in_base, in_segments=frees,
+            out_base=plan.out_base, out_segments=stores,
+            free_times=np.repeat(p_free * p_out + p_out - 0.5, hw * ca),
+            store_times=np.repeat(np.arange(px, dtype=np.float64), ce),
+        )
+        return KernelRun(
+            output=out, plan=plan, pool_stats=stats,
+            report=profiler.report(since=base),
+        )
+
+    # ------------------------------------------------------------------ #
+    def run_pipeline(self, pipeline, plan, x, *, strict=True):
+        """Whole-chain fast execution: no pool, one profiler, one ledger.
+
+        Mirrors the simulated pipeline exactly: the input placement is
+        charged to the (shared) pool statistics but not to any stage's
+        profile, each stage consumes the previous stage's output where the
+        shifted plan says it lives, and every stage's ``KernelRun`` carries
+        the shared cumulative :class:`PoolStats` (as the simulated pipeline
+        shares one pool's counters).
+        """
+        from repro.runtime.pipeline import (
+            BottleneckStage,
+            DenseStage,
+            GlobalAvgPoolStage,
+            PipelineResult,
+            PointwiseStage,
+        )
+
+        profiler = Profiler(pipeline.device)
+        stats = PoolStats()
+        n_slots = plan.capacity_slots
+        result = PipelineResult(output=x, plan=plan)
+        act = x
+        for i, (sp, stage) in enumerate(zip(plan.stages, pipeline.stages)):
+            common = dict(
+                device=pipeline.device, plan=sp.plan, strict=strict,
+                in_name=sp.in_name, out_name=sp.out_name,
+                place_input=(i == 0), profiler=profiler, stats=stats,
+                n_slots=n_slots,
+            )
+            if isinstance(stage, PointwiseStage):
+                run = self.pointwise(
+                    sp.kernel, act, stage.weights, stage.mult, **common
+                )
+            elif isinstance(stage, BottleneckStage):
+                run = self.bottleneck(
+                    sp.kernel, act, stage.w_expand, stage.w_dw,
+                    stage.w_project, tuple(stage.mults), **common,
+                )
+            elif isinstance(stage, GlobalAvgPoolStage):
+                run = self.avgpool(sp.kernel, act, stage.mult, **common)
+            elif isinstance(stage, DenseStage):
+                run = self.fully_connected(
+                    sp.kernel, act.reshape(1, -1), stage.weights,
+                    stage.mult, **common,
+                )
+            else:
+                raise KernelError(
+                    f"unknown stage type {type(stage).__name__}"
+                )
+            result.stage_runs.append(run)
+            act = run.output
+        result.output = act
+        return result
+
+
+def _recompute_events(
+    p_out: int, hb: int, k: int, pad: int, s2: int, s3: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """B pixels computed by the rolling ``k x k`` window (recompute mode).
+
+    The simulated kernel keeps the previous window as its cache, so a
+    window entry is recomputed iff it falls outside the previous window's
+    rectangle — including the cross-row wrap where the last window of row
+    ``p`` seeds the first window of row ``p + 1``.
+    """
+    pbs: list[int] = []
+    qbs: list[int] = []
+    prev: tuple[int, int, int, int] | None = None
+    for p in range(p_out):
+        r0 = max(0, p * s3 * s2 - pad)
+        r1 = min(hb, p * s3 * s2 - pad + k)
+        for q in range(p_out):
+            c0 = max(0, q * s3 * s2 - pad)
+            c1 = min(hb, q * s3 * s2 - pad + k)
+            if prev is None:
+                for pb in range(r0, r1):
+                    for qb in range(c0, c1):
+                        pbs.append(pb)
+                        qbs.append(qb)
+            else:
+                pr0, pr1, pc0, pc1 = prev
+                for pb in range(r0, r1):
+                    row_cached = pr0 <= pb < pr1
+                    for qb in range(c0, c1):
+                        if row_cached and pc0 <= qb < pc1:
+                            continue
+                        pbs.append(pb)
+                        qbs.append(qb)
+            prev = (r0, r1, c0, c1)
+    return np.asarray(pbs, dtype=np.int64), np.asarray(qbs, dtype=np.int64)
+
+
+register_execution_backend(FastBackend())

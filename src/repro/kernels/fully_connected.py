@@ -17,7 +17,13 @@ from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.core.segment_size import select_segment_size
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, make_pool
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    cached_pack,
+    get_execution_backend,
+    make_pool,
+)
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier, requantize
@@ -133,17 +139,47 @@ class FullyConnectedKernel:
         in_name: str = "In",
         out_name: str = "Out",
         place_input: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
     ) -> KernelRun:
-        """Execute the Figure 4 schedule in the circular pool.
+        """Execute the Figure 4 schedule via the selected backend.
 
-        Returns the output tensor read back from the pool, bit-exact against
-        :func:`repro.kernels.reference.fully_connected` whenever the plan's
-        distance is honoured.
+        ``execution="simulate"`` replays the schedule segment by segment in
+        the circular pool; ``execution="fast"`` computes the same bits with
+        one vectorized GEMM and derives the cost report analytically.  A
+        shared ``profiler`` (pipelines) accumulates across stages; the
+        returned report always covers just this kernel.
         """
+        return get_execution_backend(execution).fully_connected(
+            self, x, w, mult,
+            device=device, plan=plan, pool=pool, strict=strict,
+            in_name=in_name, out_name=out_name, place_input=place_input,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "In",
+        out_name: str = "Out",
+        place_input: bool = True,
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
+        """Segment-by-segment pool replay, bit-exact against
+        :func:`repro.kernels.reference.fully_connected` whenever the plan's
+        distance is honoured."""
         if w.shape != (self.k, self.n) or w.dtype != np.int8:
             raise ShapeError(f"weight must be int8[{self.k},{self.n}]")
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = make_pool(plan, strict=strict, profiler=profiler)
         else:
@@ -157,7 +193,7 @@ class FullyConnectedKernel:
             pool.profiler = None
             pool.store_tensor(plan.in_base, x, in_name)
             pool.profiler = profiler
-        packed = pack_fc_weights(w, seg)
+        packed = cached_pack(w, seg, pack_fc_weights)
 
         for m in range(self.m):
             for ns in range(self.ns):
@@ -176,7 +212,7 @@ class FullyConnectedKernel:
 
         # Read-back is verification plumbing, not kernel work: detach the
         # profiler so the report reflects the kernel alone.
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, self.m * self.ns, out_name)
         output = flat.view(np.int8).reshape(self.m, self.n)

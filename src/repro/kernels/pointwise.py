@@ -25,7 +25,13 @@ from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.core.segment_size import select_segment_size
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, make_pool
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    cached_pack,
+    get_execution_backend,
+    make_pool,
+)
 from repro.kernels.fully_connected import pack_fc_weights
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
@@ -160,13 +166,38 @@ class PointwiseConvKernel:
         in_name: str = "In",
         out_name: str = "Out",
         place_input: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
     ) -> KernelRun:
-        """Simulated execution: load / dot / store / free / wrap.
+        """Execute via the selected backend (``simulate`` or ``fast``).
 
         ``in_name``/``out_name`` tag pool ownership (chained pipelines give
         each activation a unique tag); ``place_input=False`` means the
         previous pipeline stage already left the input at ``plan.in_base``.
         """
+        return get_execution_backend(execution).pointwise(
+            self, x, w, mult,
+            device=device, plan=plan, pool=pool, strict=strict,
+            in_name=in_name, out_name=out_name, place_input=place_input,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "In",
+        out_name: str = "Out",
+        place_input: bool = True,
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
+        """Simulated execution: load / dot / store / free / wrap."""
         if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
             raise ShapeError(
                 f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
@@ -174,7 +205,8 @@ class PointwiseConvKernel:
         if w.shape != (self.c, self.k) or w.dtype != np.int8:
             raise ShapeError(f"weight must be int8[{self.c},{self.k}]")
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = make_pool(plan, strict=strict, profiler=profiler)
         else:
@@ -186,7 +218,7 @@ class PointwiseConvKernel:
             pool.profiler = None
             pool.store_tensor(plan.in_base, x, in_name)
             pool.profiler = profiler
-        packed = pack_fc_weights(w, seg)
+        packed = cached_pack(w, seg, pack_fc_weights)
         st = self.stride
 
         def in_addr(hh: int, ww: int, cs: int) -> int:
@@ -226,7 +258,7 @@ class PointwiseConvKernel:
                 pool.free(plan.in_base + free_cursor * self.ca + cs, in_name)
             free_cursor += 1
 
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, self.out_segments, out_name)
         output = flat.view(np.int8).reshape(self.p, self.q, self.k)

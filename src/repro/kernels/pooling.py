@@ -24,7 +24,12 @@ from repro.core.affine import (
 from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.errors import ShapeError
-from repro.kernels.base import KernelCostModel, KernelRun, make_pool
+from repro.kernels.base import (
+    KernelCostModel,
+    KernelRun,
+    get_execution_backend,
+    make_pool,
+)
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier, requantize
@@ -128,6 +133,30 @@ class GlobalAvgPoolKernel:
         in_name: str = "In",
         out_name: str = "Out",
         place_input: bool = True,
+        execution: str = "simulate",
+        profiler: Profiler | None = None,
+    ) -> KernelRun:
+        """Execute via the selected backend (``simulate`` or ``fast``)."""
+        return get_execution_backend(execution).avgpool(
+            self, x, mult,
+            device=device, plan=plan, pool=pool, strict=strict,
+            in_name=in_name, out_name=out_name, place_input=place_input,
+            profiler=profiler,
+        )
+
+    def _run_simulate(
+        self,
+        x: np.ndarray,
+        mult: FixedPointMultiplier,
+        *,
+        device: DeviceProfile = STM32F411RE,
+        plan: LayerPlan | None = None,
+        pool: CircularSegmentPool | None = None,
+        strict: bool = True,
+        in_name: str = "In",
+        out_name: str = "Out",
+        place_input: bool = True,
+        profiler: Profiler | None = None,
     ) -> KernelRun:
         """Stream every pixel through the accumulator, emit one pixel."""
         if x.shape != (self.h, self.w, self.c) or x.dtype != np.int8:
@@ -135,7 +164,8 @@ class GlobalAvgPoolKernel:
                 f"input must be int8[{self.h},{self.w},{self.c}], got {x.shape}"
             )
         plan = plan or self.plan()
-        profiler = Profiler(device)
+        profiler = profiler if profiler is not None else Profiler(device)
+        base = profiler.snapshot()
         if pool is None:
             pool = make_pool(plan, strict=strict, profiler=profiler)
         else:
@@ -161,7 +191,7 @@ class GlobalAvgPoolKernel:
                 plan.out_base + cs, out_bytes[cs * seg : (cs + 1) * seg], out_name
             )
 
-        report = profiler.report()
+        report = profiler.report(since=base)
         pool.profiler = None
         flat = pool.read_tensor(plan.out_base, self.ca, out_name)
         return KernelRun(

@@ -20,7 +20,23 @@ from dataclasses import dataclass, field
 from repro.mcu.device import DeviceProfile
 from repro.mcu.energy import EnergyBreakdown, EnergyModel
 
-__all__ = ["Profiler", "CostReport"]
+__all__ = ["Profiler", "ProfilerSnapshot", "CostReport"]
+
+
+@dataclass(frozen=True)
+class ProfilerSnapshot:
+    """Immutable copy of a profiler's counters at one point in time.
+
+    Pipelines reuse a single :class:`Profiler` across stages; a snapshot
+    taken before each stage lets ``Profiler.report(since=snap)`` freeze that
+    stage's *delta* without instantiating a profiler per kernel.
+    """
+
+    instructions: dict[str, float]
+    sram_bytes: int
+    flash_bytes: int
+    macs: int
+    modulo_ops: int
 
 
 @dataclass
@@ -36,6 +52,9 @@ class CostReport:
     modulo_ops: int
     energy: EnergyBreakdown
     instructions: dict[str, float] = field(default_factory=dict)
+    #: optional named sub-reports (e.g. per pipeline stage); extensive
+    #: fields of this report are the sums of the sub-reports when present
+    stages: dict[str, "CostReport"] = field(default_factory=dict)
 
     @property
     def energy_mj(self) -> float:
@@ -59,13 +78,32 @@ class CostReport:
             modulo_ops=int(self.modulo_ops * factor),
             energy=self.energy.scaled(factor),
             instructions={k: v * factor for k, v in self.instructions.items()},
+            stages={k: r.scaled(factor) for k, r in self.stages.items()},
         )
 
     @staticmethod
-    def combine(reports: list["CostReport"]) -> "CostReport":
-        """Sum reports from sequential kernels on the same device."""
+    def combine(
+        reports: list["CostReport"], names: list[str] | None = None
+    ) -> "CostReport":
+        """Sum reports from sequential kernels on the same device.
+
+        ``names`` (one per report) attaches the inputs as named sub-reports
+        on the combined result, so a pipeline can hand back per-stage and
+        total cost in one :class:`CostReport`.
+        """
         if not reports:
             raise ValueError("cannot combine an empty report list")
+        if names is not None:
+            if len(names) != len(reports):
+                raise ValueError(
+                    f"{len(names)} names for {len(reports)} reports"
+                )
+            if len(set(names)) != len(names):
+                dupes = sorted({n for n in names if names.count(n) > 1})
+                raise ValueError(
+                    f"duplicate sub-report names {dupes}; stage names must "
+                    "be unique for per-stage cost attribution"
+                )
         device = reports[0].device
         if any(r.device != device for r in reports):
             raise ValueError("cannot combine reports from different devices")
@@ -82,6 +120,7 @@ class CostReport:
             modulo_ops=sum(r.modulo_ops for r in reports),
             energy=EnergyBreakdown.combine([r.energy for r in reports]),
             instructions=dict(instructions),
+            stages=dict(zip(names, reports)) if names is not None else {},
         )
 
 
@@ -163,22 +202,50 @@ class Profiler:
         isa = self.device.isa
         return sum(isa.cycles(m, c) for m, c in self._instr.items())
 
-    def report(self) -> CostReport:
-        """Freeze the current counters into a :class:`CostReport`."""
-        cycles = self.cycles
-        energy = EnergyModel(self.device).energy(
-            cycles=cycles,
+    def snapshot(self) -> ProfilerSnapshot:
+        """Copy the counters so a later report can freeze only the delta."""
+        return ProfilerSnapshot(
+            instructions=dict(self._instr),
             sram_bytes=self.sram_bytes,
             flash_bytes=self.flash_bytes,
+            macs=self.macs,
+            modulo_ops=self.modulo_ops,
+        )
+
+    def report(self, *, since: ProfilerSnapshot | None = None) -> CostReport:
+        """Freeze the current counters into a :class:`CostReport`.
+
+        ``since`` subtracts an earlier :meth:`snapshot`, yielding the cost of
+        just the work recorded in between — how a pipeline attributes
+        per-stage cost while all stages share one profiler.
+        """
+        if since is None:
+            instr = dict(self._instr)
+            sram, flash = self.sram_bytes, self.flash_bytes
+            macs, modulo = self.macs, self.modulo_ops
+        else:
+            instr = {
+                m: c - since.instructions.get(m, 0.0)
+                for m, c in self._instr.items()
+                if c != since.instructions.get(m, 0.0)
+            }
+            sram = self.sram_bytes - since.sram_bytes
+            flash = self.flash_bytes - since.flash_bytes
+            macs = self.macs - since.macs
+            modulo = self.modulo_ops - since.modulo_ops
+        isa = self.device.isa
+        cycles = sum(isa.cycles(m, c) for m, c in instr.items())
+        energy = EnergyModel(self.device).energy(
+            cycles=cycles, sram_bytes=sram, flash_bytes=flash
         )
         return CostReport(
             device=self.device.name,
             cycles=cycles,
             latency_ms=self.device.cycles_to_ms(cycles),
-            sram_bytes=self.sram_bytes,
-            flash_bytes=self.flash_bytes,
-            macs=self.macs,
-            modulo_ops=self.modulo_ops,
+            sram_bytes=sram,
+            flash_bytes=flash,
+            macs=macs,
+            modulo_ops=modulo,
             energy=energy,
-            instructions=dict(self._instr),
+            instructions=instr,
         )

@@ -28,13 +28,13 @@ import numpy as np
 from repro.core.multilayer import BottleneckSpec
 from repro.core.pool import CircularSegmentPool
 from repro.errors import KernelError, PlanError
-from repro.kernels.base import KernelRun
+from repro.kernels.base import KernelRun, get_execution_backend
 from repro.kernels.bottleneck import FusedBottleneckKernel
 from repro.kernels.fully_connected import FullyConnectedKernel
 from repro.kernels.pointwise import PointwiseConvKernel
 from repro.kernels.pooling import GlobalAvgPoolKernel
 from repro.mcu.device import DeviceProfile, STM32F411RE
-from repro.mcu.profiler import CostReport
+from repro.mcu.profiler import CostReport, Profiler
 from repro.quant import FixedPointMultiplier
 
 __all__ = [
@@ -146,7 +146,19 @@ class PipelineResult:
 
     @property
     def report(self) -> CostReport:
-        return CostReport.combine([r.report for r in self.stage_runs])
+        """Total chain cost with each stage attached as a named sub-report."""
+        return CostReport.combine(
+            [r.report for r in self.stage_runs],
+            names=[sp.name for sp in self.plan.stages],
+        )
+
+    @property
+    def stage_reports(self) -> dict[str, CostReport]:
+        """Per-stage cost reports keyed by stage name."""
+        return {
+            sp.name: r.report
+            for sp, r in zip(self.plan.stages, self.stage_runs)
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -346,7 +358,7 @@ class Pipeline:
     # ------------------------------------------------------------------ #
     def run(
         self, x: np.ndarray, *, plan: PipelinePlan | None = None,
-        strict: bool = True,
+        strict: bool = True, execution: str = "simulate",
     ) -> PipelineResult:
         """Execute the chain; ``plan`` may be a cached result of :meth:`plan`.
 
@@ -354,7 +366,14 @@ class Pipeline:
         the amortization the compiler's plan cache relies on in sweeps.  The
         plan is validated against this chain's geometry (arithmetic only);
         a plan from a differently-shaped pipeline is rejected.
+
+        ``execution`` selects the backend: ``"simulate"`` replays every
+        segment operation in one shared circular pool (race-checked);
+        ``"fast"`` executes each stage as vectorized NumPy with the pool
+        events derived analytically — identical outputs and cost reports,
+        orders of magnitude faster.
         """
+        backend = get_execution_backend(execution)
         if plan is None:
             plan = self.plan()
         else:
@@ -364,16 +383,29 @@ class Pipeline:
                 f"pipeline needs {plan.footprint_bytes} B but "
                 f"{self.device.name} offers {self.device.usable_sram_bytes} B"
             )
+        return backend.run_pipeline(self, plan, x, strict=strict)
+
+    def _run_simulate(
+        self, plan: PipelinePlan, x: np.ndarray, *, strict: bool = True
+    ) -> PipelineResult:
+        """Segment-by-segment execution in one shared pool.
+
+        All stages share a single :class:`Profiler`; each stage's report is
+        the delta it recorded, so per-stage and total cost come from one
+        accumulator instead of a profiler instantiation per kernel.
+        """
         pool = CircularSegmentPool(
             plan.capacity_slots, plan.seg_bytes, strict=strict
         )
         pool.store_tensor(plan.stages[0].plan.in_base, x, plan.stages[0].in_name)
+        profiler = Profiler(self.device)
 
         result = PipelineResult(output=x, plan=plan)
         act = x
-        for i, (sp, stage) in enumerate(zip(plan.stages, self.stages)):
+        for sp, stage in zip(plan.stages, self.stages):
             run = _run_stage(
-                sp, stage, act, pool, self.device, strict=strict
+                sp, stage, act, pool, self.device,
+                strict=strict, profiler=profiler,
             )
             result.stage_runs.append(run)
             act = run.output
@@ -395,10 +427,13 @@ def _shift_plan(plan, shift: int):
     )
 
 
-def _run_stage(sp: StagePlan, stage: Stage, act, pool, device, *, strict):
+def _run_stage(
+    sp: StagePlan, stage: Stage, act, pool, device, *, strict, profiler=None
+):
     common = dict(
         device=device, plan=sp.plan, pool=pool, strict=strict,
         in_name=sp.in_name, out_name=sp.out_name, place_input=False,
+        profiler=profiler,
     )
     if isinstance(stage, PointwiseStage):
         return sp.kernel.run(act, stage.weights, stage.mult, **common)
@@ -423,4 +458,3 @@ class _SegmentOverrideBottleneck(FusedBottleneckKernel):
         super().__init__(spec)
         self._seg_override = seg_bytes
         self.planner.segment_bytes = lambda s: seg_bytes  # type: ignore[assignment]
-

@@ -1,0 +1,68 @@
+"""Compiled-model execution backends: ``repro.compile(..., execution=...)``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import KernelError
+from repro.graph.models import build_classifier_graph, build_network_graph
+
+
+def feeds_for(cm, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.integers(
+            -128, 128, size=cm.graph.tensors[name].spec.shape, dtype=np.int8
+        )
+        for name in cm.graph.inputs
+    }
+
+
+class TestCompiledExecutionBackends:
+    def test_vww_classifier_parity(self):
+        cm = repro.compile(build_classifier_graph("vww", classes=2))
+        feeds = feeds_for(cm)
+        sim = cm.run(feeds=feeds)
+        fast = cm.run(feeds=feeds, execution="fast")
+        np.testing.assert_array_equal(sim.output, fast.output)
+        np.testing.assert_array_equal(
+            fast.output.ravel(), cm.reference(feeds=feeds).ravel()
+        )
+        assert sim.report.cycles == fast.report.cycles
+        assert sim.report.instructions == fast.report.instructions
+
+    def test_vww_network_parity(self):
+        cm = repro.compile(build_network_graph("vww"))
+        feeds = feeds_for(cm, seed=1)
+        sim = cm.run(feeds=feeds)
+        fast = cm.run(feeds=feeds, execution="fast")
+        np.testing.assert_array_equal(sim.output, fast.output)
+        assert sim.report.cycles == fast.report.cycles
+
+    def test_compile_time_default_backend(self):
+        cm = repro.compile(
+            build_classifier_graph("vww", classes=2), execution="fast"
+        )
+        assert cm.execution == "fast"
+        feeds = feeds_for(cm, seed=2)
+        fast = cm.run(feeds=feeds)  # defaults to the compiled backend
+        np.testing.assert_array_equal(
+            fast.output.ravel(), cm.reference(feeds=feeds).ravel()
+        )
+
+    def test_compile_rejects_unknown_backend(self):
+        with pytest.raises(KernelError, match="unknown execution backend"):
+            repro.compile(
+                build_classifier_graph("vww", classes=2), execution="nope"
+            )
+
+    def test_run_override_beats_compiled_default(self):
+        cm = repro.compile(
+            build_classifier_graph("vww", classes=2), execution="fast"
+        )
+        feeds = feeds_for(cm, seed=3)
+        sim = cm.run(feeds=feeds, execution="simulate")
+        fast = cm.run(feeds=feeds)
+        np.testing.assert_array_equal(sim.output, fast.output)

@@ -1,0 +1,136 @@
+"""Pipeline-level backend parity and shared-profiler cost reporting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KernelError
+from repro.quant import quantize_multiplier
+from repro.runtime import (
+    BottleneckStage,
+    DenseStage,
+    GlobalAvgPoolStage,
+    Pipeline,
+    PointwiseStage,
+)
+
+
+def q(v):
+    return quantize_multiplier(v)
+
+
+def random_int8(rng, shape):
+    return rng.integers(-128, 128, size=shape, dtype=np.int8)
+
+
+def build_classifier_pipeline(rng, hw=8, c=8, classes=4):
+    """pointwise -> bottleneck -> avgpool -> dense, the full stage zoo."""
+    pipe = Pipeline(hw, c)
+    pipe.add(PointwiseStage("pw", random_int8(rng, (c, c)), q(0.02)))
+    pipe.add(
+        BottleneckStage(
+            "block", c_mid=16, c_out=c, kernel=3,
+            w_expand=random_int8(rng, (c, 16)),
+            w_dw=random_int8(rng, (3, 3, 16)),
+            w_project=random_int8(rng, (16, c)),
+            mults=(q(0.02), q(0.015), q(0.03)),
+        )
+    )
+    pipe.add(GlobalAvgPoolStage("gap", q(0.01)))
+    pipe.add(DenseStage("head", random_int8(rng, (c, classes)), q(0.02)))
+    return pipe
+
+
+def assert_results_identical(sim, fast):
+    np.testing.assert_array_equal(sim.output, fast.output)
+    assert sim.report.cycles == fast.report.cycles
+    assert sim.report.instructions == fast.report.instructions
+    assert sim.report.macs == fast.report.macs
+    assert sim.report.modulo_ops == fast.report.modulo_ops
+    # both backends share one cumulative PoolStats across stages
+    for a, b in zip(sim.stage_runs, fast.stage_runs):
+        assert vars(a.pool_stats) == vars(b.pool_stats)
+
+
+class TestPipelineBackendParity:
+    def test_classifier_chain_parity(self):
+        rng = np.random.default_rng(0)
+        pipe = build_classifier_pipeline(rng)
+        x = random_int8(rng, (8, 8, 8))
+        plan = pipe.plan()
+        sim = pipe.run(x, plan=plan)
+        fast = pipe.run(x, plan=plan, execution="fast")
+        assert_results_identical(sim, fast)
+
+    def test_per_stage_reports_match(self):
+        rng = np.random.default_rng(1)
+        pipe = build_classifier_pipeline(rng)
+        x = random_int8(rng, (8, 8, 8))
+        sim = pipe.run(x)
+        fast = pipe.run(x, execution="fast")
+        for a, b in zip(sim.stage_runs, fast.stage_runs):
+            assert a.report.cycles == b.report.cycles
+            assert a.report.instructions == b.report.instructions
+
+    def test_unknown_backend_rejected(self):
+        rng = np.random.default_rng(2)
+        pipe = build_classifier_pipeline(rng)
+        with pytest.raises(KernelError, match="unknown execution backend"):
+            pipe.run(random_int8(rng, (8, 8, 8)), execution="nope")
+
+    @given(
+        depth=st.integers(1, 3),
+        hw=st.integers(6, 10),
+        c=st.sampled_from([4, 8]),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_chains_parity(self, depth, hw, c, seed):
+        rng = np.random.default_rng(seed)
+        pipe = Pipeline(hw, c)
+        for i in range(depth):
+            c_mid = int(rng.choice([8, 12, 16]))
+            pipe.add(
+                BottleneckStage(
+                    f"b{i}", c_mid=c_mid, c_out=c, kernel=3,
+                    w_expand=random_int8(rng, (c, c_mid)),
+                    w_dw=random_int8(rng, (3, 3, c_mid)),
+                    w_project=random_int8(rng, (c_mid, c)),
+                    mults=(q(0.02), q(0.015), q(0.03)),
+                )
+            )
+        x = random_int8(rng, (hw, hw, c))
+        assert_results_identical(pipe.run(x), pipe.run(x, execution="fast"))
+
+
+class TestSharedProfilerReporting:
+    def test_stage_reports_sum_to_total(self):
+        rng = np.random.default_rng(3)
+        pipe = build_classifier_pipeline(rng)
+        res = pipe.run(random_int8(rng, (8, 8, 8)))
+        total = res.report
+        assert total.cycles == pytest.approx(
+            sum(r.report.cycles for r in res.stage_runs)
+        )
+        assert total.macs == sum(r.report.macs for r in res.stage_runs)
+
+    def test_total_report_carries_named_stages(self):
+        rng = np.random.default_rng(4)
+        pipe = build_classifier_pipeline(rng)
+        res = pipe.run(random_int8(rng, (8, 8, 8)))
+        assert set(res.report.stages) == {"pw", "block", "gap", "head"}
+        assert res.report.stages["block"].macs == res.stage_runs[1].report.macs
+        assert set(res.stage_reports) == set(res.report.stages)
+
+    def test_stage_deltas_are_disjoint(self):
+        """A stage's report reflects only its own work (no double count)."""
+        rng = np.random.default_rng(5)
+        pipe = build_classifier_pipeline(rng)
+        res = pipe.run(random_int8(rng, (8, 8, 8)))
+        head = res.report.stages["head"]
+        # the dense head is tiny; it must not have inherited the backbone's
+        # MAC volume through the shared profiler
+        assert head.macs < res.report.stages["block"].macs
+        assert head.macs == 8 * 4
