@@ -4,6 +4,10 @@ Times both execution backends on the Table 2 backbones (full-model
 inference through ``repro.compile``) and on per-kernel microbenchmarks,
 verifies bit-exactness of every pair, and writes ``BENCH_perf.json`` at the
 repository root so the speedup trajectory is tracked from commit to commit.
+A third ``kind: "batched"`` series tracks the serving layer: one warmed
+``Session`` dispatching batch-8 requests as stacked GEMMs vs a per-call
+``"fast"`` loop on the VWW models (target: >= 1.10x requests/sec, still
+bit-exact with bit-identical per-request cost reports).
 
 Usage::
 
@@ -30,8 +34,11 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "bench_perf/v1"
-SPEEDUP_TARGET = 20.0  # tentpole acceptance: >=20x on full-model inference
+SCHEMA = "bench_perf/v2"
+SPEEDUP_TARGET = 20.0  # PR-2 acceptance: >=20x on full-model inference
+BATCHED_TARGET = 1.10  # PR-4 acceptance: >=1.10x req/s at batch >= 8 (vww)
+BATCH_SIZE = 8
+MIN_MEASURE_S = 0.05  # minimum total time per measurement window
 
 
 def _rng(seed=0):
@@ -42,12 +49,36 @@ def _int8(rng, shape):
     return rng.integers(-128, 128, size=shape, dtype=np.int8)
 
 
-def _time(fn, repeats):
+def _time(fn, repeats, min_total=MIN_MEASURE_S):
+    """Best per-call time with a minimum total measurement window.
+
+    A single ``perf_counter`` span around a microsecond-scale kernel is
+    dominated by timer granularity and interpreter jitter (the old
+    single-shot measurement reported ``fully_connected_8x64x64`` at
+    exactly 1 ms).  timeit-style: one calibration call sizes an inner
+    iteration count so every measured window spans at least ``min_total``
+    seconds; the reported time is the best window divided by its
+    iterations.  Workloads whose single call already exceeds the floor
+    (the multi-second simulate passes) make exactly ``repeats`` calls in
+    total: the calibration measurement counts as the first window.
+    """
+    t0 = time.perf_counter()
+    out = fn()
+    once = time.perf_counter() - t0
+    if once >= min_total:
+        best = once
+        for _ in range(repeats - 1):
+            t0 = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, out
+    inner = max(1, int(-(-min_total // max(once, 1e-9))))
     best = float("inf")
     for _ in range(repeats):
         t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
+        for _ in range(inner):
+            out = fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
     return best, out
 
 
@@ -210,6 +241,52 @@ def bench_models(smoke: bool, repeats: int):
 
 
 # --------------------------------------------------------------------------- #
+# serving (plan-once/run-many: one session, stacked batches)
+# --------------------------------------------------------------------------- #
+def bench_batched(smoke: bool, repeats: int):
+    """``kind: "batched"`` series: Session.run_batch vs per-call fast.
+
+    Scope matches the acceptance gate: the VWW models at batch >= 8, where
+    the batched backend must deliver >= 1.10x requests/sec over a
+    per-request ``execution="fast"`` loop while staying bit-exact with
+    bit-identical per-request cost reports.
+    """
+    import repro
+
+    results = []
+    for name, graph in model_cases(smoke=True):  # gate scope: vww models
+        cm = repro.compile(graph, execution="fast")
+        session = cm.serve()
+        rng = _rng(13)
+        shape = cm.graph.tensors[cm.graph.inputs[0]].spec.shape
+        xs = [_int8(rng, shape) for _ in range(BATCH_SIZE)]
+        fast_s, fast_runs = _time(
+            lambda: [cm.run(x, execution="fast") for x in xs], repeats
+        )
+        batched_s, served = _time(lambda: session.run_batch(xs), repeats)
+        results.append(
+            {
+                "name": f"{name}@batch{BATCH_SIZE}",
+                "kind": "batched",
+                "batch": BATCH_SIZE,
+                "fast_s": round(fast_s, 6),
+                "batched_s": round(batched_s, 6),
+                "speedup": round(fast_s / batched_s, 2),
+                "requests_per_s": round(BATCH_SIZE / batched_s, 1),
+                "bitexact": all(
+                    np.array_equal(s.output, f.output)
+                    for s, f in zip(served, fast_runs)
+                ),
+                "report_match": all(
+                    _reports_match(s.stats.report, f.report)
+                    for s, f in zip(served, fast_runs)
+                ),
+            }
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -228,15 +305,20 @@ def main(argv=None) -> int:
 
     results = bench_kernels(args.smoke, args.repeats)
     results += bench_models(args.smoke, args.repeats)
+    results += bench_batched(args.smoke, args.repeats)
 
     model_speedups = [
         r["speedup"] for r in results if r["kind"] == "model" and r["speedup"]
+    ]
+    batched_speedups = [
+        r["speedup"] for r in results if r["kind"] == "batched" and r["speedup"]
     ]
     payload = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
         "unix_time": int(time.time()),
         "speedup_target": SPEEDUP_TARGET,
+        "batched_target": BATCHED_TARGET,
         "results": results,
         "summary": {
             "all_bitexact": all(r["bitexact"] for r in results),
@@ -244,30 +326,46 @@ def main(argv=None) -> int:
             "min_model_speedup": min(model_speedups),
             "max_model_speedup": max(model_speedups),
             "target_met": min(model_speedups) >= SPEEDUP_TARGET,
+            "min_batched_speedup": min(batched_speedups),
+            "max_batched_speedup": max(batched_speedups),
+            "batched_target_met": min(batched_speedups) >= BATCHED_TARGET,
         },
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
+    paired = [r for r in results if r["kind"] in ("kernel", "model")]
     w = max(len(r["name"]) for r in results)
     print(f"{'workload':<{w}}  {'simulate':>10}  {'fast':>10}  {'speedup':>8}  exact")
-    for r in results:
+    for r in paired:
         print(
             f"{r['name']:<{w}}  {r['simulate_s']:>9.3f}s  {r['fast_s']:>9.4f}s"
             f"  {r['speedup']:>7.1f}x  {r['bitexact'] and r['report_match']}"
         )
+    print(f"\n{'serving':<{w}}  {'fast':>10}  {'batched':>10}  {'speedup':>8}  exact")
+    for r in results:
+        if r["kind"] != "batched":
+            continue
+        print(
+            f"{r['name']:<{w}}  {r['fast_s']:>9.4f}s  {r['batched_s']:>9.4f}s"
+            f"  {r['speedup']:>7.2f}x  {r['bitexact'] and r['report_match']}"
+        )
     s = payload["summary"]
     print(
-        f"\nmodel speedups {s['min_model_speedup']:.1f}x..{s['max_model_speedup']:.1f}x "
-        f"(target >= {SPEEDUP_TARGET:.0f}x: {'MET' if s['target_met'] else 'MISSED'}); "
+        f"\nmodel speedups {s['min_model_speedup']:.1f}x.."
+        f"{s['max_model_speedup']:.1f}x (target >= {SPEEDUP_TARGET:.0f}x: "
+        f"{'MET' if s['target_met'] else 'MISSED'}); "
+        f"batched {s['min_batched_speedup']:.2f}x..{s['max_batched_speedup']:.2f}x "
+        f"(target >= {BATCHED_TARGET:.2f}x: "
+        f"{'MET' if s['batched_target_met'] else 'MISSED'}); "
         f"bit-exact: {s['all_bitexact']}; cost parity: {s['all_reports_match']}"
     )
     print(f"wrote {args.output}")
-    # parity is deterministic — always a hard gate.  The wall-clock target
-    # is only enforced in full runs: smoke mode runs on shared CI workers
-    # where the single-repeat simulate timing is too noisy to fail a build.
+    # parity is deterministic — always a hard gate.  The wall-clock targets
+    # are only enforced in full runs: smoke mode runs on shared CI workers
+    # where the timings are too noisy to fail a build.
     if not (s["all_bitexact"] and s["all_reports_match"]):
         return 1
-    if not args.smoke and not s["target_met"]:
+    if not args.smoke and not (s["target_met"] and s["batched_target_met"]):
         return 1
     return 0
 

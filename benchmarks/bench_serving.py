@@ -1,0 +1,84 @@
+"""Serving benchmark: Session.run_batch vs per-call fast execution.
+
+Regenerates ``results/serving.txt`` from the ``serving`` experiment driver
+(:func:`repro.eval.experiments.serving_throughput`): one warmed
+:class:`~repro.serving.Session` per compiled VWW model, requests/sec of
+batched dispatch vs a per-request ``execution="fast"`` loop, with the
+bit-exactness guarantee asserted on every row.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_serving.py`` — the pytest-benchmark flow every
+  other bench uses (writes ``results/serving.txt`` via ``emit``);
+* ``python benchmarks/bench_serving.py [--smoke]`` — the CI-friendly CLI;
+  ``--smoke`` shrinks the batch grid and repeats for shared runners, where
+  the speedup column is advisory (bit-exactness is always a hard gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+TITLE = "Serving — session run_batch vs per-call fast execution"
+FULL_BATCHES = (1, 2, 4, 8, 16)
+SMOKE_BATCHES = (1, 8)
+
+
+def test_serving_throughput(benchmark, emit):
+    from repro.eval.experiments import serving_throughput
+    from repro.eval.reporting import render_experiment
+
+    result = benchmark.pedantic(
+        lambda: serving_throughput(batch_sizes=FULL_BATCHES),
+        rounds=1,
+        iterations=1,
+    )
+    headers, rows, notes = result
+    assert len(rows) == 2 * len(FULL_BATCHES)
+    assert all(row[5] == "yes" for row in rows)  # bit-exact everywhere
+    emit("serving", render_experiment(TITLE, result))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: fewer batch sizes and repeats; speedup is advisory",
+    )
+    ap.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "results" / "serving.txt",
+        help="where to write the rendered table",
+    )
+    args = ap.parse_args(argv)
+
+    from repro.eval.experiments import serving_throughput
+    from repro.eval.reporting import render_experiment
+
+    result = serving_throughput(
+        batch_sizes=SMOKE_BATCHES if args.smoke else FULL_BATCHES,
+        repeats=1 if args.smoke else 5,
+    )
+    text = render_experiment(TITLE, result)
+    args.output.parent.mkdir(exist_ok=True)
+    args.output.write_text(text)
+    print(text)
+    print(f"wrote {args.output}")
+
+    _, rows, _ = result
+    if not all(row[5] == "yes" for row in rows):
+        print("FAIL: batched serving diverged from per-request execution")
+        return 1
+    speedups = [float(row[4].rstrip("x")) for row in rows if row[1] >= 8]
+    if not args.smoke and speedups and min(speedups) < 1.10:
+        print(f"FAIL: batch>=8 speedup {min(speedups):.2f}x < 1.10x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Public API highlights:
 * :mod:`repro.runtime` — whole-network chained execution in one pool.
 * :mod:`repro.compiler` — graph-to-pipeline compiler with plan caching;
   :func:`repro.compile` is the one-call entry point.
+* :mod:`repro.serving` — plan-once/run-many sessions over compiled models
+  (``compiled.serve()``), dispatching to the ``"batched"`` backend.
 * :mod:`repro.baselines` — TinyEngine / HMCOS / Serenity memory managers.
 * :mod:`repro.eval` — drivers that regenerate every figure and table.
 """
@@ -26,6 +28,7 @@ from repro import (
     mcu,
     quant,
     runtime,
+    serving,
 )
 from repro.compiler import compile_model as compile
 from repro.errors import ReproError
@@ -45,6 +48,7 @@ __all__ = [
     "mcu",
     "quant",
     "runtime",
+    "serving",
     "ReproError",
     "__version__",
 ]

@@ -224,6 +224,20 @@ class CompiledModel:
         return result
 
     # ------------------------------------------------------------------ #
+    def serve(self, *, execution: str = "batched"):
+        """Open a plan-once/run-many :class:`~repro.serving.Session`.
+
+        The session freezes everything request-independent — the solved
+        plans, int32-promoted weights, and the per-stage cost template —
+        then serves batches via ``Session.run`` / ``Session.run_batch``
+        with per-request cost accounting bit-identical to
+        ``execution="simulate"``.
+        """
+        from repro.serving import Session
+
+        return Session(self, execution=execution)
+
+    # ------------------------------------------------------------------ #
     def reference(
         self,
         x: np.ndarray | None = None,

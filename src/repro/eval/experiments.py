@@ -35,6 +35,7 @@ __all__ = [
     "figure7", "figure8", "figure9", "figure10", "figure11", "figure12",
     "compiled_networks",
     "execution_backend_speedup",
+    "serving_throughput",
     "ALL_EXPERIMENTS",
 ]
 
@@ -365,6 +366,77 @@ def execution_backend_speedup(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def serving_throughput(
+    device: DeviceProfile = STM32F411RE,
+    batch_sizes: tuple[int, ...] = (1, 4, 8),
+    repeats: int = 3,
+) -> Experiment:
+    """Extension: plan-once/run-many serving vs per-call fast execution.
+
+    Opens one :class:`~repro.serving.Session` per compiled VWW model
+    (plans, int32-packed weights and the per-stage cost template are
+    warmed once) and compares requests/sec of ``Session.run_batch``
+    against a per-request ``execution="fast"`` loop, asserting the
+    serving guarantee: batching changes wall clock, never bits.
+    (``benchmarks/bench_serving.py`` regenerates ``results/serving.txt``
+    from the same measurement.)
+    """
+    import numpy as np
+
+    headers = [
+        "Model", "Batch", "Fast req/s", "Batched req/s", "Speedup",
+        "Bit-exact",
+    ]
+    models = [
+        build_network_graph("vww"),
+        build_classifier_graph("vww", classes=2),
+    ]
+    rng = np.random.default_rng(0)
+    rows = []
+    for model in models:
+        cm = compile_model(model, device=device, execution="fast")
+        session = cm.serve()
+        shape = cm.graph.tensors[cm.graph.inputs[0]].spec.shape
+        for batch in batch_sizes:
+            xs = [
+                rng.integers(-128, 128, size=shape, dtype=np.int8)
+                for _ in range(batch)
+            ]
+            session.run_batch(xs)  # warm
+            [cm.run(x, execution="fast") for x in xs]
+            fast_s = batched_s = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fast_runs = [cm.run(x, execution="fast") for x in xs]
+                fast_s = min(fast_s, time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                served = session.run_batch(xs)
+                batched_s = min(batched_s, time.perf_counter() - t0)
+            exact = all(
+                np.array_equal(s.output, f.output)
+                and s.stats.report.cycles == f.report.cycles
+                for s, f in zip(served, fast_runs)
+            )
+            rows.append(
+                (
+                    model.name,
+                    batch,
+                    f"{batch / fast_s:.0f}",
+                    f"{batch / batched_s:.0f}",
+                    f"{fast_s / batched_s:.2f}x",
+                    "yes" if exact else "NO",
+                )
+            )
+    notes = [
+        "one Session per model: plans, packed weights and the batched "
+        "cost template are warmed once, then amortized over every batch",
+        "tracked trajectory: the batched series in BENCH_perf.json "
+        "(benchmarks/bench_perf.py)",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -378,4 +450,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "figure12": figure12,
     "compiled": compiled_networks,
     "backends": execution_backend_speedup,
+    "serving": serving_throughput,
 }

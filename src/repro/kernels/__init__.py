@@ -29,10 +29,12 @@ from repro.kernels.depthwise import DepthwiseConvKernel
 from repro.kernels.conv2d import Conv2dKernel
 from repro.kernels.bottleneck import FusedBottleneckKernel
 from repro.kernels.fastpath import FastBackend  # registers "fast"
+from repro.kernels.batched import BatchedBackend  # registers "batched"
 
 __all__ = [
     "ExecutionBackend",
     "FastBackend",
+    "BatchedBackend",
     "KernelCostModel",
     "KernelRun",
     "execution_backends",

@@ -39,6 +39,7 @@ __all__ = [
     "get_execution_backend",
     "execution_backends",
     "cached_pack",
+    "pack_i32",
     "VMCU_COMPUTE_EFFICIENCY",
     "TINYENGINE_COMPUTE_EFFICIENCY",
     "TINYENGINE_UNROLL_DEPTH",
@@ -72,17 +73,19 @@ class KernelRun:
 class ExecutionBackend:
     """One way of executing planned kernels.
 
-    The two shipped backends are ``"simulate"`` (the per-segment pool replay
-    that audits every RAMLoad/RAMStore/RAMFree against the plan) and
+    The shipped backends are ``"simulate"`` (the per-segment pool replay
+    that audits every RAMLoad/RAMStore/RAMFree against the plan),
     ``"fast"`` (vectorized im2col + int32-GEMM NumPy execution with the pool
-    traffic and profiler costs derived analytically from the plan).  Both
-    produce bit-identical outputs and cost reports; ``"fast"`` trades the
-    per-segment race auditing for orders-of-magnitude lower wall clock.
+    traffic and profiler costs derived analytically from the plan) and
+    ``"batched"`` (the serving path: stacked GEMMs across a request batch
+    with per-plan cost-template replay).  All produce bit-identical outputs
+    and cost reports; the latter two trade the per-segment race auditing
+    for orders-of-magnitude lower wall clock.
 
     A backend implements one method per kernel family, each returning a
-    :class:`KernelRun`, plus :meth:`run_pipeline` for whole-chain execution.
-    New backends (e.g. a batched serving path) subclass this and register
-    via :func:`register_execution_backend`.
+    :class:`KernelRun`, plus :meth:`run_pipeline` for whole-chain execution
+    and :meth:`run_pipeline_batch` for many-input dispatch.  New backends
+    subclass this and register via :func:`register_execution_backend`.
     """
 
     name = "abstract"
@@ -109,6 +112,17 @@ class ExecutionBackend:
 
     def run_pipeline(self, pipeline, plan, x, *, strict=True):
         raise NotImplementedError
+
+    def run_pipeline_batch(self, pipeline, plan, xs, *, strict=True):
+        """Run many inputs against one plan; returns one result per input.
+
+        The default dispatches per request; backends that can amortize
+        across the batch (one stacked GEMM per stage, shared cost
+        template) override this — see ``repro.kernels.batched``.
+        """
+        return [
+            self.run_pipeline(pipeline, plan, x, strict=strict) for x in xs
+        ]
 
 
 class SimulateBackend(ExecutionBackend):
@@ -224,6 +238,19 @@ def cached_pack(
         return packed
     _PACK_CACHE[key] = (ref, digest, packed)
     return packed
+
+
+def pack_i32(w: np.ndarray, seg: int) -> np.ndarray:
+    """Promote int8 weights to the int32 GEMM operand, once per array.
+
+    Run through :func:`cached_pack` so repeated runs against the same
+    weights skip the promotion copy entirely, while in-place mutation of
+    the int8 source (digest mismatch) or its death (weakref eviction)
+    invalidates the entry.  ``seg`` is unused — the promotion is
+    segment-independent — but kept so the packer slots into the cache's
+    ``(id, seg, packer)`` key contract.
+    """
+    return w.astype(np.int32)
 
 
 class KernelCostModel:

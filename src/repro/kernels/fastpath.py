@@ -35,6 +35,8 @@ from repro.errors import KernelError, ShapeError
 from repro.kernels.base import (
     ExecutionBackend,
     KernelRun,
+    cached_pack,
+    pack_i32,
     register_execution_backend,
 )
 from repro.mcu.profiler import Profiler
@@ -182,6 +184,11 @@ def _ceil_div(a: np.ndarray, b: int) -> np.ndarray:
     return -((-a) // b)
 
 
+def _i32(w: np.ndarray) -> np.ndarray:
+    """Cache-amortized int32 view of an int8 weight array."""
+    return cached_pack(w, 0, pack_i32)
+
+
 # --------------------------------------------------------------------------- #
 # the backend
 # --------------------------------------------------------------------------- #
@@ -189,6 +196,97 @@ class FastBackend(ExecutionBackend):
     """im2col + int32-GEMM execution with analytic event generation."""
 
     name = "fast"
+
+    # ------------------------------------------------------------------ #
+    # batch-axis numeric kernels — the single source of numeric truth
+    # ------------------------------------------------------------------ #
+    # Every pipeline-stage family's whole-tensor arithmetic lives here
+    # once, over a leading batch axis.  The per-kernel fast methods below
+    # call them with a batch of one; the batched serving backend stacks
+    # whole request batches through the same code.  int32 accumulation
+    # wraps modulo 2**32 independently of summation order and each output
+    # row depends only on its own input row, so batch size never changes
+    # the bits.
+    def _pointwise_batch(self, kern, xb, w, mult):
+        bsz = xb.shape[0]
+        if xb.shape[1:] != (kern.h, kern.w, kern.c):
+            raise ShapeError(
+                f"batch must be int8[B,{kern.h},{kern.w},{kern.c}], "
+                f"got {xb.shape}"
+            )
+        st = kern.stride
+        xs = xb[:, ::st, ::st, :]
+        acc = xs.reshape(bsz * kern.p * kern.q, kern.c).astype(np.int32) @ _i32(w)
+        return requantize(acc, mult).reshape(bsz, kern.p, kern.q, kern.k)
+
+    def _bottleneck_batch(self, kern, xb, w_expand, w_dw, w_project, mults):
+        spec = kern.spec
+        bsz = xb.shape[0]
+        if xb.shape[1:] != (spec.hw, spec.hw, spec.c_in):
+            raise ShapeError(
+                f"batch must be int8[B,{spec.hw},{spec.hw},{spec.c_in}], "
+                f"got {xb.shape}"
+            )
+        m1, mdw, m2 = mults
+        s1, s2, s3 = spec.strides
+        pad, k = spec.padding, spec.kernel
+        hb = spec.mid_spatial()
+        p_out = spec.spatial_out()
+        hc = (hb + 2 * pad - k) // s2 + 1
+
+        b = requantize(
+            xb[:, ::s1, ::s1, :].reshape(bsz * hb * hb, spec.c_in).astype(np.int32)
+            @ _i32(w_expand),
+            m1,
+        ).reshape(bsz, hb, hb, spec.c_mid)
+        bp = np.zeros(
+            (bsz, hb + 2 * pad, hb + 2 * pad, spec.c_mid), dtype=np.int8
+        )
+        bp[:, pad : pad + hb, pad : pad + hb] = b
+        wdw32 = _i32(w_dw)
+        acc_c = np.zeros((bsz, hc, hc, spec.c_mid), dtype=np.int32)
+        for dr in range(k):
+            for ds in range(k):
+                acc_c += (
+                    bp[
+                        :,
+                        dr : dr + (hc - 1) * s2 + 1 : s2,
+                        ds : ds + (hc - 1) * s2 + 1 : s2,
+                    ].astype(np.int32)
+                    * wdw32[dr, ds]
+                )
+        c_t = requantize(acc_c, mdw)[:, ::s3, ::s3, :]
+        acc_d = (
+            c_t.reshape(bsz * p_out * p_out, spec.c_mid).astype(np.int32)
+            @ _i32(w_project)
+        )
+        d = requantize(acc_d, m2).reshape(bsz, p_out, p_out, spec.c_out)
+        if spec.has_residual:
+            return np.clip(
+                d.astype(np.int16) + xb.astype(np.int16), -128, 127
+            ).astype(np.int8)
+        return d
+
+    def _avgpool_batch(self, kern, xb, mult):
+        if xb.shape[1:] != (kern.h, kern.w, kern.c):
+            raise ShapeError(
+                f"batch must be int8[B,{kern.h},{kern.w},{kern.c}], "
+                f"got {xb.shape}"
+            )
+        acc = xb.astype(np.int32).sum(axis=(1, 2), dtype=np.int32)
+        return requantize(acc, mult)
+
+    def _dense_batch(self, kern, xb, w, mult):
+        bsz = xb.shape[0]
+        x2 = xb.reshape(bsz * kern.m, -1)
+        if x2.shape != (bsz * kern.m, kern.k):
+            raise ShapeError(
+                f"batch must flatten to int8[B,{kern.m},{kern.k}], "
+                f"got {xb.shape}"
+            )
+        out = requantize(x2.astype(np.int32) @ _i32(w), mult)
+        # keep the runtime's [M, N] row convention per request
+        return out.reshape(bsz, kern.m, kern.n)
 
     # ------------------------------------------------------------------ #
     def fully_connected(
@@ -210,7 +308,7 @@ class FastBackend(ExecutionBackend):
         seg = plan.seg_bytes
         m, ks, ns = kernel.m, kernel.ks, kernel.ns
 
-        out = requantize(x.astype(np.int32) @ w.astype(np.int32), mult)
+        out = self._dense_batch(kernel, x[None], w, mult)[0]
 
         if place_input:
             led.place_input(plan.in_base, m * ks, seg)
@@ -258,9 +356,7 @@ class FastBackend(ExecutionBackend):
         st = kernel.stride
         p, q, ca, ce = kernel.p, kernel.q, kernel.ca, kernel.ce
 
-        xs = x[::st, ::st, :]
-        acc = xs.reshape(p * q, c).astype(np.int32) @ w.astype(np.int32)
-        out = requantize(acc, mult).reshape(p, q, kch)
+        out = self._pointwise_batch(kernel, x[None], w, mult)[0]
 
         if place_input:
             led.place_input(plan.in_base, h * wd * ca, seg)
@@ -467,8 +563,7 @@ class FastBackend(ExecutionBackend):
         ca = kernel.ca
         n_px = h * wd
 
-        acc = x.astype(np.int32).sum(axis=(0, 1), dtype=np.int32)
-        out = requantize(acc, mult)
+        out = self._avgpool_batch(kernel, x[None], mult)[0]
 
         if place_input:
             led.place_input(plan.in_base, n_px * ca, seg)
@@ -526,42 +621,14 @@ class FastBackend(ExecutionBackend):
         pad, k = spec.padding, spec.kernel
         hb = spec.mid_spatial()
         p_out = spec.spatial_out()
-        hc = (hb + 2 * pad - k) // s2 + 1
         ca = spec.c_in // seg
         ce = spec.c_out // seg
         hw = spec.hw
 
         # -- whole-tensor execution of the fused chain ------------------- #
-        b = requantize(
-            x[::s1, ::s1, :].reshape(hb * hb, spec.c_in).astype(np.int32)
-            @ w_expand.astype(np.int32),
-            m1,
-        ).reshape(hb, hb, spec.c_mid)
-        bp = np.zeros((hb + 2 * pad, hb + 2 * pad, spec.c_mid), dtype=np.int8)
-        bp[pad : pad + hb, pad : pad + hb] = b
-        wdw32 = w_dw.astype(np.int32)
-        acc_c = np.zeros((hc, hc, spec.c_mid), dtype=np.int32)
-        for dr in range(k):
-            for ds in range(k):
-                acc_c += (
-                    bp[
-                        dr : dr + (hc - 1) * s2 + 1 : s2,
-                        ds : ds + (hc - 1) * s2 + 1 : s2,
-                    ].astype(np.int32)
-                    * wdw32[dr, ds]
-                )
-        c_t = requantize(acc_c, mdw)[::s3, ::s3, :]
-        acc_d = (
-            c_t.reshape(p_out * p_out, spec.c_mid).astype(np.int32)
-            @ w_project.astype(np.int32)
-        )
-        d = requantize(acc_d, m2).reshape(p_out, p_out, spec.c_out)
-        if spec.has_residual:
-            out = np.clip(
-                d.astype(np.int16) + x.astype(np.int16), -128, 127
-            ).astype(np.int8)
-        else:
-            out = d
+        out = self._bottleneck_batch(
+            kernel, x[None], w_expand, w_dw, w_project, (m1, mdw, m2)
+        )[0]
 
         # -- event generation -------------------------------------------- #
         if place_input:

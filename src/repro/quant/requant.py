@@ -132,9 +132,34 @@ def requantize(
 
     ``out = clamp(round_fixedpoint(acc * M) + zp)`` — the exact pipeline the
     Broadcast/PKHBT-based epilogue performs on the MCU.
+
+    Implemented as a fused in-place int64 pipeline rather than composing
+    :func:`saturating_rounding_doubling_high_mul` and
+    :func:`rounding_divide_by_pot`: requantization dominates the numeric
+    half of whole-tensor execution, and the composed form allocates an
+    int64 temporary per step.  The fusion is bit-exact (asserted by a
+    property test against the composed primitives) because
+    :class:`FixedPointMultiplier` guarantees ``multiplier > 0``, which
+    makes SQRDMULH's only saturation case (``a == b == INT32_MIN``)
+    unreachable and pins the rounding nudge's sign to the accumulator's.
     """
-    acc = np.asarray(acc, dtype=np.int32)
-    scaled = saturating_rounding_doubling_high_mul(acc, mult.multiplier)
-    shifted = rounding_divide_by_pot(scaled, mult.shift)
-    out = shifted.astype(np.int64) + out_zero_point
-    return np.clip(out, out_min, out_max).astype(np.int8)
+    x = np.asarray(acc, dtype=np.int32).astype(np.int64)
+    x *= mult.multiplier
+    # SQRDMULH, b > 0: nudge toward nearest (ties away from zero), then
+    # divide by 2**31 truncating toward zero.  The nudge never flips the
+    # sign class (ab < 0 implies ab <= -1, so x <= -2**30 stays negative).
+    neg = x < 0
+    x += np.where(neg, np.int64(1 - (1 << 30)), np.int64(1 << 30))
+    np.abs(x, out=x)
+    x >>= 31
+    np.negative(x, out=x, where=neg)
+    # rounding arithmetic right shift (round half away from zero)
+    if mult.shift:
+        mask = np.int64((1 << mult.shift) - 1)
+        remainder = x & mask
+        threshold = (mask >> 1) + (x < 0)
+        x >>= mult.shift
+        x += remainder > threshold
+    x += out_zero_point
+    np.clip(x, out_min, out_max, out=x)
+    return x.astype(np.int8)

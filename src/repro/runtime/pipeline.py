@@ -45,6 +45,7 @@ __all__ = [
     "Pipeline",
     "PipelinePlan",
     "PipelineResult",
+    "stage_weight_arrays",
 ]
 
 
@@ -98,6 +99,21 @@ class DenseStage:
 
 
 Stage = Union[PointwiseStage, BottleneckStage, GlobalAvgPoolStage, DenseStage]
+
+
+def stage_weight_arrays(stage: Stage) -> tuple[np.ndarray, ...]:
+    """Every int8 weight array ``stage`` executes with.
+
+    The one place that knows which descriptor fields hold weights —
+    used by the serving layer to warm the pack cache ahead of the first
+    request; a new weighted stage type must be added here (and to the
+    batched executor) or session warm-up silently stops covering it.
+    """
+    if isinstance(stage, (PointwiseStage, DenseStage)):
+        return (stage.weights,)
+    if isinstance(stage, BottleneckStage):
+        return (stage.w_expand, stage.w_dw, stage.w_project)
+    return ()
 
 
 # --------------------------------------------------------------------------- #
@@ -371,9 +387,33 @@ class Pipeline:
         segment operation in one shared circular pool (race-checked);
         ``"fast"`` executes each stage as vectorized NumPy with the pool
         events derived analytically — identical outputs and cost reports,
-        orders of magnitude faster.
+        orders of magnitude faster; ``"batched"`` additionally amortizes
+        event generation into a per-plan cost template (see
+        :meth:`run_batch` for many-input dispatch).
         """
         backend = get_execution_backend(execution)
+        plan = self._resolve_plan(plan)
+        return backend.run_pipeline(self, plan, x, strict=strict)
+
+    def run_batch(
+        self, xs, *, plan: PipelinePlan | None = None,
+        strict: bool = True, execution: str = "batched",
+    ) -> list[PipelineResult]:
+        """Execute many inputs against one plan; one result per input.
+
+        The plan is solved (or validated) once for the whole batch — the
+        run-many half of plan-once/run-many.  With the default
+        ``execution="batched"`` backend each stage executes as one stacked
+        GEMM across the batch and per-request cost reports are replayed
+        from a per-plan template (bit-identical to ``"simulate"``); any
+        other registered backend falls back to per-request dispatch.
+        """
+        backend = get_execution_backend(execution)
+        plan = self._resolve_plan(plan)
+        return backend.run_pipeline_batch(self, plan, list(xs), strict=strict)
+
+    def _resolve_plan(self, plan: PipelinePlan | None) -> PipelinePlan:
+        """Solve (or validate) a plan and enforce the device's SRAM fit."""
         if plan is None:
             plan = self.plan()
         else:
@@ -383,7 +423,7 @@ class Pipeline:
                 f"pipeline needs {plan.footprint_bytes} B but "
                 f"{self.device.name} offers {self.device.usable_sram_bytes} B"
             )
-        return backend.run_pipeline(self, plan, x, strict=strict)
+        return plan
 
     def _run_simulate(
         self, plan: PipelinePlan, x: np.ndarray, *, strict: bool = True

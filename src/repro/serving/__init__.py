@@ -1,0 +1,22 @@
+"""Plan-once/run-many serving layer on top of the compiler.
+
+Compile a model once, then serve many requests against the frozen plans,
+packed weights and per-stage cost templates:
+
+    import repro
+    session = repro.compile(model, execution="fast").serve()
+    results = session.run_batch(batch_of_inputs)   # bit-exact vs simulate
+    results[0].stats.report.latency_ms             # modeled per-request cost
+
+See :class:`repro.serving.Session` and the ``"batched"`` execution backend
+(:mod:`repro.kernels.batched`) it dispatches to by default.
+"""
+
+from repro.serving.session import (
+    RequestResult,
+    RequestStats,
+    Session,
+    SessionStats,
+)
+
+__all__ = ["RequestResult", "RequestStats", "Session", "SessionStats"]

@@ -1,0 +1,261 @@
+"""Plan-once/run-many serving: compile a model once, serve many requests.
+
+A :class:`Session` freezes everything about a compiled model that does not
+depend on the request:
+
+* **plans** — already solved (and cached in the
+  :class:`~repro.compiler.cache.PlanCache`) at compile time; the session
+  never re-plans;
+* **packed weights** — every stage weight is promoted to its int32 GEMM
+  operand once through :func:`~repro.kernels.base.cached_pack` at session
+  construction (mutating a weight array in place between requests triggers
+  a re-pack via the cache's content digest; dropping the model evicts the
+  entries via weakrefs);
+* **cost template** — the per-stage analytic
+  :class:`~repro.mcu.profiler.CostReport` sequence is derived once per
+  segment plan and replayed for every request, so per-request cost
+  accounting is a pointer copy yet stays bit-identical to
+  ``execution="simulate"``.
+
+What remains per request is exactly the arithmetic: one stacked int32 GEMM
+per stage across the batch.  :meth:`Session.run` serves one request,
+:meth:`Session.run_batch` a whole batch; both return
+:class:`RequestResult`s carrying the output tensor(s) and a
+:class:`RequestStats` (host latency, queue depth, modeled stage costs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.kernels.base import cached_pack, get_execution_backend
+from repro.mcu.profiler import CostReport
+
+__all__ = ["RequestStats", "RequestResult", "SessionStats", "Session"]
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """Per-request accounting attached to every served result."""
+
+    #: monotonically increasing id over the session's lifetime
+    request_id: int
+    #: position of this request within its dispatched batch
+    batch_index: int
+    #: number of requests co-scheduled in the same dispatch (batch size)
+    queue_depth: int
+    #: host wall-clock seconds from dispatch to completion of the batch
+    #: (co-scheduled requests finish together, so each waited this long)
+    latency_s: float
+    #: total modeled on-device cost — bit-identical to ``"simulate"``
+    report: CostReport
+    #: per-stage modeled cost, keyed by stage name
+    stage_reports: Mapping[str, CostReport]
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """One served request: outputs plus accounting."""
+
+    #: the model's terminal output, shaped per the graph spec
+    output: np.ndarray
+    #: every graph output tensor by name
+    outputs: dict[str, np.ndarray]
+    stats: RequestStats
+
+
+@dataclass
+class SessionStats:
+    """Aggregate counters over a session's lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    wall_s: float = 0.0
+    peak_queue_depth: int = 0
+
+    @property
+    def requests_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.requests / self.wall_s
+
+
+class Session:
+    """A warmed serving handle over one :class:`CompiledModel`.
+
+    Build via :meth:`repro.compiler.compile.CompiledModel.serve` (or
+    directly).  Construction performs every amortizable step — template
+    derivation and weight packing — so the first request pays no warm-up.
+
+    Parameters
+    ----------
+    compiled:
+        The planned model to serve.
+    execution:
+        Name of the registered execution backend used for dispatch.  The
+        default ``"batched"`` backend executes each stage as one stacked
+        GEMM across the batch; any registered backend works (falling back
+        to per-request dispatch), which keeps the serving layer decoupled
+        from any single backend implementation.
+    """
+
+    def __init__(self, compiled, *, execution: str = "batched"):
+        self.compiled = compiled
+        self.execution = execution
+        self._backend = get_execution_backend(execution)
+        if not compiled.fits():
+            raise CompileError(
+                f"model {compiled.graph.name!r} needs "
+                f"{compiled.footprint_bytes} B of SRAM but "
+                f"{compiled.device.name} offers "
+                f"{compiled.device.usable_sram_bytes} B usable"
+            )
+        self.stats = SessionStats()
+        stage_names: list[str] = []
+        stage_reports: list[CostReport] = []
+        for seg in compiled.segments:
+            if hasattr(self._backend, "pipeline_template"):
+                # warms the backend's per-plan template cache; the plan
+                # stays alive through compiled.segments, so replay at
+                # dispatch time is a cache hit for the session's lifetime
+                template = self._backend.pipeline_template(
+                    seg.pipeline, seg.plan
+                )
+                stage_names.extend(sp.name for sp in seg.plan.stages)
+                stage_reports.extend(template.stage_reports)
+            self._pack_weights(seg.pipeline)
+        if stage_reports:
+            #: shared across requests: the modeled cost of serving one
+            #: request is plan-determined, not data-determined
+            self._stage_reports = dict(zip(stage_names, stage_reports))
+            self._report = CostReport.combine(stage_reports, names=stage_names)
+        else:
+            self._stage_reports = None
+            self._report = None
+
+    # ------------------------------------------------------------------ #
+    # warm-up
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pack_weights(pipeline) -> None:
+        """Promote every stage weight once through the shared pack cache."""
+        from repro.kernels.batched import pack_i32
+        from repro.runtime.pipeline import stage_weight_arrays
+
+        for stage in pipeline.stages:
+            for w in stage_weight_arrays(stage):
+                cached_pack(w, 0, pack_i32)
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        x: np.ndarray | None = None,
+        *,
+        feeds: Mapping[str, np.ndarray] | None = None,
+        strict: bool = True,
+    ) -> RequestResult:
+        """Serve one request (a batch of one)."""
+        if (x is None) == (feeds is None):
+            raise CompileError("pass exactly one of x or feeds")
+        request = x if feeds is None else feeds
+        return self.run_batch([request], strict=strict)[0]
+
+    def run_batch(
+        self, requests: Sequence, *, strict: bool = True
+    ) -> list[RequestResult]:
+        """Serve a batch; element ``i`` of the result answers request ``i``.
+
+        Each request is an input array (single-input models) or a
+        ``{input name: array}`` feeds mapping.  Outputs and per-request
+        cost reports are bit-identical to serving each request alone via
+        ``CompiledModel.run`` — batching changes wall clock, never bits.
+        """
+        if len(requests) == 0:
+            raise CompileError("run_batch needs at least one request")
+        graph = self.compiled.graph
+        feeds_list: list[Mapping[str, np.ndarray]] = []
+        for i, req in enumerate(requests):
+            if isinstance(req, Mapping):
+                feeds_list.append(req)
+            elif len(graph.inputs) == 1:
+                feeds_list.append({graph.inputs[0]: np.asarray(req)})
+            else:
+                raise CompileError(
+                    f"request {i}: model {graph.name!r} has inputs "
+                    f"{graph.inputs}; pass a feeds mapping per request"
+                )
+
+        t0 = time.perf_counter()
+        bsz = len(feeds_list)
+        per_request_outputs: list[dict[str, np.ndarray]] = [
+            {} for _ in range(bsz)
+        ]
+        # only materialized for backends without a cost template
+        per_request_reports: list[list[CostReport]] = [[] for _ in range(bsz)]
+        stage_names: list[str] = []
+        for seg in self.compiled.segments:
+            name = seg.lowered.input_name
+            xs = []
+            for i, feeds in enumerate(feeds_list):
+                if name not in feeds:
+                    raise CompileError(
+                        f"request {i}: missing feed for input {name!r}"
+                    )
+                xs.append(np.asarray(feeds[name]))
+            results = seg.pipeline.run_batch(
+                xs, plan=seg.plan, strict=strict, execution=self.execution
+            )
+            out_name = seg.lowered.output_name
+            spec_shape = graph.tensors[out_name].spec.shape
+            if self._report is None:
+                stage_names.extend(sp.name for sp in seg.plan.stages)
+            for i, res in enumerate(results):
+                per_request_outputs[i][out_name] = res.output.reshape(
+                    spec_shape
+                )
+                if self._report is None:
+                    per_request_reports[i].extend(
+                        r.report for r in res.stage_runs
+                    )
+        latency_s = time.perf_counter() - t0
+
+        terminal = (
+            graph.outputs[-1]
+            if graph.outputs
+            else self.compiled.segments[-1].lowered.output_name
+        )
+        served = []
+        for i, outputs in enumerate(per_request_outputs):
+            if self._report is not None:
+                report, stage_reports = self._report, self._stage_reports
+            else:
+                report = CostReport.combine(
+                    per_request_reports[i], names=stage_names
+                )
+                stage_reports = report.stages
+            served.append(
+                RequestResult(
+                    output=outputs[terminal],
+                    outputs=outputs,
+                    stats=RequestStats(
+                        request_id=self.stats.requests + i,
+                        batch_index=i,
+                        queue_depth=bsz,
+                        latency_s=latency_s,
+                        report=report,
+                        stage_reports=stage_reports,
+                    ),
+                )
+            )
+        self.stats.requests += bsz
+        self.stats.batches += 1
+        self.stats.wall_s += latency_s
+        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, bsz)
+        return served

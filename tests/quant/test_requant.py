@@ -107,6 +107,30 @@ class TestRoundingDivide:
 
 
 class TestRequantize:
+    @given(
+        real=st.floats(min_value=1e-6, max_value=0.999999),
+        zp=st.integers(min_value=-16, max_value=16),
+        seed=st.integers(0, 2**31),
+    )
+    def test_fused_matches_composed_primitives(self, real, zp, seed):
+        """The fused in-place pipeline is bit-exact vs the two primitives."""
+        m = quantize_multiplier(real)
+        rng = np.random.default_rng(seed)
+        acc = np.concatenate(
+            [
+                rng.integers(-(2**31), 2**31, size=256, dtype=np.int64),
+                np.array([0, 1, -1, INT32_MAX, INT32_MIN, 1 << 30]),
+            ]
+        ).astype(np.int32)
+        scaled = saturating_rounding_doubling_high_mul(acc, m.multiplier)
+        shifted = rounding_divide_by_pot(scaled, m.shift)
+        expect = np.clip(shifted.astype(np.int64) + zp, -128, 127).astype(
+            np.int8
+        )
+        np.testing.assert_array_equal(
+            requantize(acc, m, out_zero_point=zp), expect
+        )
+
     def test_matches_float_pipeline(self):
         m = quantize_multiplier(0.0123)
         acc = np.array([0, 100, -100, 5000, -5000, 100000], dtype=np.int32)
