@@ -7,7 +7,11 @@ repository root so the speedup trajectory is tracked from commit to commit.
 A third ``kind: "batched"`` series tracks the serving layer: one warmed
 ``Session`` dispatching batch-8 requests as stacked GEMMs vs a per-call
 ``"fast"`` loop on the VWW models (target: >= 1.10x requests/sec, still
-bit-exact with bit-identical per-request cost reports).
+bit-exact with bit-identical per-request cost reports).  A fourth
+``kind: "dispatch"`` series tracks the sharded serving dispatcher: a
+4-worker ``Dispatcher`` (deadline-aware micro-batching, turbo workers)
+vs a single-worker ``Session.run_batch`` loop at batch 8 (target:
+>= 1.8x requests/sec, outputs and cost reports still bit-exact).
 
 Usage::
 
@@ -18,7 +22,9 @@ Usage::
 is tens of seconds of pure Python pool replay) and shrinks the microbench
 shapes; the JSON schema is unchanged, but smoke artifacts cover the VWW
 models only and their speedup gate is advisory (shared CI runners are too
-noisy for a hard wall-clock threshold).
+noisy for a hard wall-clock threshold).  The artifact is byte-stable by
+default so reruns diff clean; pass ``--stamp`` to embed the wall-clock
+``unix_time`` field.
 """
 
 from __future__ import annotations
@@ -34,10 +40,15 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "bench_perf/v2"
+#: the one place the schema version lives; bumped to v3 for the dispatch
+#: series and the optional (``--stamp``) ``unix_time`` field
+SCHEMA = "bench_perf/v3"
 SPEEDUP_TARGET = 20.0  # PR-2 acceptance: >=20x on full-model inference
 BATCHED_TARGET = 1.10  # PR-4 acceptance: >=1.10x req/s at batch >= 8 (vww)
+DISPATCH_TARGET = 1.8  # PR-5 acceptance: >=1.8x req/s, 4-worker dispatcher
 BATCH_SIZE = 8
+DISPATCH_WORKERS = 4
+DISPATCH_REQUESTS = 32
 MIN_MEASURE_S = 0.05  # minimum total time per measurement window
 
 
@@ -287,6 +298,105 @@ def bench_batched(smoke: bool, repeats: int):
 
 
 # --------------------------------------------------------------------------- #
+# dispatcher (sharded multi-worker serving vs single-worker run_batch)
+# --------------------------------------------------------------------------- #
+def bench_dispatch(smoke: bool, repeats: int):
+    """``kind: "dispatch"`` series: 4-worker Dispatcher vs 1-worker Session.
+
+    The acceptance gate of the sharded serving layer: a closed-loop burst
+    of requests through a ``Dispatcher`` (deadline-aware micro-batching,
+    ``"turbo"`` workers) must sustain >= 1.8x the requests/sec of a
+    single-worker ``Session.run_batch`` loop at batch 8 on the VWW
+    models (the PR-4 ``"batched"`` status quo) — with outputs bit-exact
+    and per-request cost reports bit-identical to per-call
+    ``execution="fast"``.
+
+    Each entry also records ``turbo_1worker_s``, a single-worker
+    ``"turbo"`` session over the same requests, which separates the two
+    ingredients of the gate: ``baseline_s / turbo_1worker_s`` is the
+    arithmetic speedup, ``turbo_1worker_s / dispatch_s`` is what
+    sharding + micro-batching add on top (≈ 1x on a single-core host,
+    where the GIL-released GEMMs have no spare core to land on).
+    """
+    import repro
+    from repro.serving import Dispatcher
+
+    # gate scope is the VWW models in both modes; smoke only shrinks the
+    # burst so shared CI runners finish quickly
+    n = DISPATCH_REQUESTS // 2 if smoke else DISPATCH_REQUESTS
+    results = []
+    for name, graph in model_cases(smoke=True):
+        cm = repro.compile(graph, execution="fast")
+        session = cm.serve()  # the PR-4 status quo: batched, one worker
+        rng = _rng(17)
+        shape = cm.graph.tensors[cm.graph.inputs[0]].spec.shape
+        xs = [_int8(rng, shape) for _ in range(n)]
+        fast_runs = [cm.run(x, execution="fast") for x in xs]
+
+        def baseline():
+            out = []
+            for i in range(0, n, BATCH_SIZE):
+                out.extend(session.run_batch(xs[i : i + BATCH_SIZE]))
+            return out
+
+        baseline()  # warm packs/templates
+        baseline_s, _ = _time(baseline, repeats)
+
+        turbo_session = cm.serve(execution="turbo")
+
+        def turbo_1worker():
+            out = []
+            for i in range(0, n, BATCH_SIZE):
+                out.extend(turbo_session.run_batch(xs[i : i + BATCH_SIZE]))
+            return out
+
+        turbo_1worker()  # warm f64 packs
+        turbo_1w_s, _ = _time(turbo_1worker, repeats)
+
+        # warm with a throwaway dispatcher (turbo weight packs and cost
+        # templates are process-wide caches), then measure on a fresh one
+        # so the recorded p50/p95/deadline stats cover only warm repeats
+        with Dispatcher(
+            cm, workers=DISPATCH_WORKERS, max_batch=BATCH_SIZE
+        ) as warmup:
+            warmup.run_many(xs, timeout=120.0)
+        with Dispatcher(
+            cm, workers=DISPATCH_WORKERS, max_batch=BATCH_SIZE
+        ) as dispatcher:
+            dispatch_s, served = _time(
+                lambda: dispatcher.run_many(xs, timeout=120.0), repeats
+            )
+            stats = dispatcher.stats
+        results.append(
+            {
+                "name": f"{name}@dispatch{DISPATCH_WORKERS}w",
+                "kind": "dispatch",
+                "workers": DISPATCH_WORKERS,
+                "batch": BATCH_SIZE,
+                "requests": n,
+                "baseline_s": round(baseline_s, 6),
+                "turbo_1worker_s": round(turbo_1w_s, 6),
+                "dispatch_s": round(dispatch_s, 6),
+                "speedup": round(baseline_s / dispatch_s, 2),
+                "sharding_speedup": round(turbo_1w_s / dispatch_s, 2),
+                "requests_per_s": round(n / dispatch_s, 1),
+                "p50_ms": round(1e3 * stats.p50_latency_s, 2),
+                "p95_ms": round(1e3 * stats.p95_latency_s, 2),
+                "deadline_hit_rate": round(stats.deadline_hit_rate, 4),
+                "bitexact": all(
+                    np.array_equal(s.output, f.output)
+                    for s, f in zip(served, fast_runs)
+                ),
+                "report_match": all(
+                    _reports_match(s.stats.report, f.report)
+                    for s, f in zip(served, fast_runs)
+                ),
+            }
+        )
+    return results
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -301,11 +411,17 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=3,
         help="fast-backend timing repeats (best of N)",
     )
+    ap.add_argument(
+        "--stamp", action="store_true",
+        help="embed unix_time in the JSON (omitted by default so "
+        "byte-identical reruns diff clean)",
+    )
     args = ap.parse_args(argv)
 
     results = bench_kernels(args.smoke, args.repeats)
     results += bench_models(args.smoke, args.repeats)
     results += bench_batched(args.smoke, args.repeats)
+    results += bench_dispatch(args.smoke, args.repeats)
 
     model_speedups = [
         r["speedup"] for r in results if r["kind"] == "model" and r["speedup"]
@@ -313,12 +429,15 @@ def main(argv=None) -> int:
     batched_speedups = [
         r["speedup"] for r in results if r["kind"] == "batched" and r["speedup"]
     ]
+    dispatch_speedups = [
+        r["speedup"] for r in results if r["kind"] == "dispatch" and r["speedup"]
+    ]
     payload = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
-        "unix_time": int(time.time()),
         "speedup_target": SPEEDUP_TARGET,
         "batched_target": BATCHED_TARGET,
+        "dispatch_target": DISPATCH_TARGET,
         "results": results,
         "summary": {
             "all_bitexact": all(r["bitexact"] for r in results),
@@ -329,8 +448,13 @@ def main(argv=None) -> int:
             "min_batched_speedup": min(batched_speedups),
             "max_batched_speedup": max(batched_speedups),
             "batched_target_met": min(batched_speedups) >= BATCHED_TARGET,
+            "min_dispatch_speedup": min(dispatch_speedups),
+            "max_dispatch_speedup": max(dispatch_speedups),
+            "dispatch_target_met": min(dispatch_speedups) >= DISPATCH_TARGET,
         },
     }
+    if args.stamp:
+        payload["unix_time"] = int(time.time())
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
 
     paired = [r for r in results if r["kind"] in ("kernel", "model")]
@@ -349,6 +473,20 @@ def main(argv=None) -> int:
             f"{r['name']:<{w}}  {r['fast_s']:>9.4f}s  {r['batched_s']:>9.4f}s"
             f"  {r['speedup']:>7.2f}x  {r['bitexact'] and r['report_match']}"
         )
+    print(
+        f"\n{'dispatcher':<{w}}  {'1-worker':>10}  {'4-worker':>10}  "
+        f"{'speedup':>8}  exact"
+    )
+    for r in results:
+        if r["kind"] != "dispatch":
+            continue
+        print(
+            f"{r['name']:<{w}}  {r['baseline_s']:>9.4f}s  "
+            f"{r['dispatch_s']:>9.4f}s  {r['speedup']:>7.2f}x  "
+            f"{r['bitexact'] and r['report_match']}"
+            f"  (p95 {r['p95_ms']:.1f} ms, "
+            f"deadline hit {100 * r['deadline_hit_rate']:.0f}%)"
+        )
     s = payload["summary"]
     print(
         f"\nmodel speedups {s['min_model_speedup']:.1f}x.."
@@ -357,6 +495,10 @@ def main(argv=None) -> int:
         f"batched {s['min_batched_speedup']:.2f}x..{s['max_batched_speedup']:.2f}x "
         f"(target >= {BATCHED_TARGET:.2f}x: "
         f"{'MET' if s['batched_target_met'] else 'MISSED'}); "
+        f"dispatch {s['min_dispatch_speedup']:.2f}x.."
+        f"{s['max_dispatch_speedup']:.2f}x "
+        f"(target >= {DISPATCH_TARGET:.1f}x: "
+        f"{'MET' if s['dispatch_target_met'] else 'MISSED'}); "
         f"bit-exact: {s['all_bitexact']}; cost parity: {s['all_reports_match']}"
     )
     print(f"wrote {args.output}")
@@ -365,7 +507,11 @@ def main(argv=None) -> int:
     # where the timings are too noisy to fail a build.
     if not (s["all_bitexact"] and s["all_reports_match"]):
         return 1
-    if not args.smoke and not (s["target_met"] and s["batched_target_met"]):
+    if not args.smoke and not (
+        s["target_met"]
+        and s["batched_target_met"]
+        and s["dispatch_target_met"]
+    ):
         return 1
     return 0
 

@@ -1,18 +1,28 @@
-"""Serving benchmark: Session.run_batch vs per-call fast execution.
+"""Serving benchmarks: session batching and the sharded dispatcher.
 
-Regenerates ``results/serving.txt`` from the ``serving`` experiment driver
-(:func:`repro.eval.experiments.serving_throughput`): one warmed
-:class:`~repro.serving.Session` per compiled VWW model, requests/sec of
-batched dispatch vs a per-request ``execution="fast"`` loop, with the
-bit-exactness guarantee asserted on every row.
+Two series, two artifacts:
 
-Two entry points:
+* ``results/serving.txt`` — the PR-4 table
+  (:func:`repro.eval.experiments.serving_throughput`): one warmed
+  :class:`~repro.serving.Session` per compiled VWW model, requests/sec
+  of batched dispatch vs a per-request ``execution="fast"`` loop;
+* ``results/dispatch.txt`` — the PR-5 table
+  (:func:`repro.eval.experiments.dispatch_serving`): three tenants
+  behind a 4-worker :class:`~repro.serving.Dispatcher` under an
+  open-loop arrival process, with p50/p95 latency, deadline-hit rate,
+  shared-``PlanCache`` hit rate and the closed-loop speedup over a
+  single-worker session loop.
 
-* ``pytest benchmarks/bench_serving.py`` — the pytest-benchmark flow every
-  other bench uses (writes ``results/serving.txt`` via ``emit``);
-* ``python benchmarks/bench_serving.py [--smoke]`` — the CI-friendly CLI;
-  ``--smoke`` shrinks the batch grid and repeats for shared runners, where
-  the speedup column is advisory (bit-exactness is always a hard gate).
+Bit-exactness is asserted on every row of both tables.  Two entry
+points:
+
+* ``pytest benchmarks/bench_serving.py`` — the pytest-benchmark flow
+  every other bench uses (writes both artifacts via ``emit``);
+* ``python benchmarks/bench_serving.py [--smoke]`` — the CI-friendly
+  CLI; ``--smoke`` shrinks the grids for shared runners, where the
+  speedup columns are advisory (bit-exactness is always a hard gate —
+  the >= 1.8x dispatcher wall-clock gate lives in full runs of
+  ``benchmarks/bench_perf.py``).
 """
 
 from __future__ import annotations
@@ -25,8 +35,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 TITLE = "Serving — session run_batch vs per-call fast execution"
+DISPATCH_TITLE = "Dispatch — sharded multi-worker serving (open loop)"
 FULL_BATCHES = (1, 2, 4, 8, 16)
 SMOKE_BATCHES = (1, 8)
+FULL_REQUESTS = 48
+SMOKE_REQUESTS = 16
 
 
 def test_serving_throughput(benchmark, emit):
@@ -44,19 +57,39 @@ def test_serving_throughput(benchmark, emit):
     emit("serving", render_experiment(TITLE, result))
 
 
+def test_dispatch_serving(benchmark, emit):
+    from repro.eval.experiments import dispatch_serving
+    from repro.eval.reporting import render_experiment
+
+    result = benchmark.pedantic(
+        lambda: dispatch_serving(n_requests=FULL_REQUESTS),
+        rounds=1,
+        iterations=1,
+    )
+    headers, rows, notes = result
+    assert rows[-1][0] == "TOTAL"
+    assert all(row[-1] == "yes" for row in rows)  # bit-exact everywhere
+    emit("dispatch", render_experiment(DISPATCH_TITLE, result))
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--smoke", action="store_true",
-        help="CI mode: fewer batch sizes and repeats; speedup is advisory",
+        help="CI mode: fewer batch sizes/requests; speedups are advisory",
     )
     ap.add_argument(
         "--output", type=Path, default=REPO_ROOT / "results" / "serving.txt",
-        help="where to write the rendered table",
+        help="where to write the session-serving table",
+    )
+    ap.add_argument(
+        "--dispatch-output", type=Path,
+        default=REPO_ROOT / "results" / "dispatch.txt",
+        help="where to write the dispatcher table",
     )
     args = ap.parse_args(argv)
 
-    from repro.eval.experiments import serving_throughput
+    from repro.eval.experiments import dispatch_serving, serving_throughput
     from repro.eval.reporting import render_experiment
 
     result = serving_throughput(
@@ -67,7 +100,16 @@ def main(argv=None) -> int:
     args.output.parent.mkdir(exist_ok=True)
     args.output.write_text(text)
     print(text)
-    print(f"wrote {args.output}")
+    print(f"wrote {args.output}\n")
+
+    dispatch_result = dispatch_serving(
+        n_requests=SMOKE_REQUESTS if args.smoke else FULL_REQUESTS,
+    )
+    dispatch_text = render_experiment(DISPATCH_TITLE, dispatch_result)
+    args.dispatch_output.parent.mkdir(exist_ok=True)
+    args.dispatch_output.write_text(dispatch_text)
+    print(dispatch_text)
+    print(f"wrote {args.dispatch_output}")
 
     _, rows, _ = result
     if not all(row[5] == "yes" for row in rows):
@@ -76,6 +118,10 @@ def main(argv=None) -> int:
     speedups = [float(row[4].rstrip("x")) for row in rows if row[1] >= 8]
     if not args.smoke and speedups and min(speedups) < 1.10:
         print(f"FAIL: batch>=8 speedup {min(speedups):.2f}x < 1.10x target")
+        return 1
+    _, dispatch_rows, _ = dispatch_result
+    if not all(row[-1] == "yes" for row in dispatch_rows):
+        print("FAIL: dispatcher serving diverged from per-request execution")
         return 1
     return 0
 

@@ -17,6 +17,7 @@ in one process benefit from each other's planning work.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -62,7 +63,15 @@ class CacheStats:
 
 
 class PlanCache:
-    """Memoized plans keyed by (stage specs, device, segment policy)."""
+    """Memoized plans keyed by (stage specs, device, segment policy).
+
+    Thread-safe: a multi-tenant serving dispatcher routes every tenant's
+    compiles through one shared cache, so lookups, inserts and the
+    hit/miss counters are guarded by a re-entrant lock.  The lock is held
+    *across* ``build()`` — each plan is solved exactly once no matter how
+    many threads race for the same key (re-entrant because a segment
+    build may itself consult the same cache for nested block plans).
+    """
 
     def __init__(self, maxsize: int | None = None):
         if maxsize is not None and maxsize <= 0:
@@ -71,37 +80,46 @@ class PlanCache:
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits, misses=self._misses, size=len(self._entries)
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses, size=len(self._entries)
+            )
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
 
     def get_or_build(self, key: tuple, build: Callable[[], object]) -> object:
         """Return the cached plan for ``key``, building it on first use."""
-        try:
-            plan = self._entries[key]
-        except KeyError:
-            self._misses += 1
-            plan = build()
-            self._entries[key] = plan
-            if self.maxsize is not None and len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        with self._lock:
+            try:
+                plan = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                plan = build()
+                self._entries[key] = plan
+                if (
+                    self.maxsize is not None
+                    and len(self._entries) > self.maxsize
+                ):
+                    self._entries.popitem(last=False)
+                return plan
+            self._hits += 1
             return plan
-        self._hits += 1
-        return plan
 
 
 #: process-wide default so independent sweeps share planning work

@@ -224,18 +224,20 @@ class CompiledModel:
         return result
 
     # ------------------------------------------------------------------ #
-    def serve(self, *, execution: str = "batched"):
+    def serve(self, *, execution: str = "batched", max_batch: int = 256):
         """Open a plan-once/run-many :class:`~repro.serving.Session`.
 
         The session freezes everything request-independent — the solved
-        plans, int32-promoted weights, and the per-stage cost template —
-        then serves batches via ``Session.run`` / ``Session.run_batch``
-        with per-request cost accounting bit-identical to
-        ``execution="simulate"``.
+        plans, packed weights (every layout the backend declares), and
+        the per-stage cost template — then serves batches via
+        ``Session.run`` / ``Session.run_batch`` with per-request cost
+        accounting bit-identical to ``execution="simulate"``.
+        ``max_batch`` bounds one dispatch (stacked activations are
+        materialized at once); raise it here for very large batches.
         """
         from repro.serving import Session
 
-        return Session(self, execution=execution)
+        return Session(self, execution=execution, max_batch=max_batch)
 
     # ------------------------------------------------------------------ #
     def reference(

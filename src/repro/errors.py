@@ -25,6 +25,8 @@ __all__ = [
     "InterpreterError",
     "GraphError",
     "QuantizationError",
+    "ServingError",
+    "AdmissionError",
 ]
 
 
@@ -120,3 +122,21 @@ class GraphError(ReproError):
 
 class QuantizationError(ReproError):
     """Quantization parameters are invalid (e.g. non-positive scale)."""
+
+
+class ServingError(ReproError):
+    """The serving front-end (dispatcher/queue/session) was misused.
+
+    Raised with an actionable message: what invariant the caller broke
+    (serving a mutated model, submitting to a closed dispatcher, an
+    unknown tenant, ...) and what to do instead.
+    """
+
+
+class AdmissionError(ServingError):
+    """Admission control rejected a request (the queue is at capacity).
+
+    Back-pressure is explicit: callers should retry later, raise the
+    dispatcher's ``max_queue_depth``, or add workers — never silently
+    drop requests.
+    """

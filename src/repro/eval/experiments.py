@@ -36,6 +36,7 @@ __all__ = [
     "compiled_networks",
     "execution_backend_speedup",
     "serving_throughput",
+    "dispatch_serving",
     "ALL_EXPERIMENTS",
 ]
 
@@ -437,6 +438,165 @@ def serving_throughput(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def dispatch_serving(
+    device: DeviceProfile = STM32F411RE,
+    *,
+    workers: int = 4,
+    max_batch: int = 8,
+    n_requests: int = 48,
+    arrival_rps: float = 600.0,
+    deadline_s: float = 0.25,
+    seed: int = 0,
+) -> Experiment:
+    """Extension: the sharded dispatcher under an open-loop arrival process.
+
+    Three tenants (the VWW backbone plus two classifier tenants sharing
+    one architecture) sit behind one :class:`~repro.serving.Dispatcher`.
+    Requests arrive open-loop — seeded exponential inter-arrival times at
+    ``arrival_rps``, tenant drawn per request — with a per-request
+    deadline; the table reports per-tenant p50/p95 latency, the
+    deadline-hit rate and throughput, and every row asserts the serving
+    guarantee (outputs and cost reports bit-identical to per-request
+    ``execution="fast"``, itself parity-locked to ``"simulate"``).
+
+    The notes carry the two infrastructure numbers the ISSUE tracks: the
+    shared multi-tenant ``PlanCache`` hit rate and the closed-loop
+    speedup of the ``workers``-worker dispatcher over a single-worker
+    ``Session.run_batch`` loop on the same request mix.
+    """
+    import numpy as np
+
+    from repro.serving import Dispatcher, Session
+
+    cache = PlanCache()
+    graphs = {
+        "vww-backbone": build_network_graph("vww"),
+        "vww-classifier-a": build_classifier_graph("vww", classes=2),
+        "vww-classifier-b": build_classifier_graph("vww", classes=2),
+    }
+    compiled = {
+        t: compile_model(g, device=device, cache=cache)
+        for t, g in graphs.items()
+    }
+    rng = np.random.default_rng(seed)
+    tenants = list(compiled)
+    requests = []
+    for _ in range(n_requests):
+        tenant = tenants[int(rng.integers(len(tenants)))]
+        shape = compiled[tenant].graph.tensors[
+            compiled[tenant].graph.inputs[0]
+        ].spec.shape
+        requests.append(
+            (tenant, rng.integers(-128, 128, size=shape, dtype=np.int8))
+        )
+    gaps = rng.exponential(1.0 / arrival_rps, size=n_requests)
+
+    # closed-loop single-worker baseline: one batched Session per tenant,
+    # sequential run_batch chunks of max_batch over the same request mix
+    per_tenant_inputs: dict[str, list] = {t: [] for t in tenants}
+    for tenant, x in requests:
+        per_tenant_inputs[tenant].append(x)
+    baseline_sessions = {t: Session(compiled[t]) for t in tenants}
+    for t, xs in per_tenant_inputs.items():
+        if xs:
+            baseline_sessions[t].run_batch(xs[:max_batch])  # warm
+    t0 = time.perf_counter()
+    for t, xs in per_tenant_inputs.items():
+        for i in range(0, len(xs), max_batch):
+            baseline_sessions[t].run_batch(xs[i : i + max_batch])
+    baseline_s = time.perf_counter() - t0
+
+    with Dispatcher(
+        compiled,
+        workers=workers,
+        max_batch=max_batch,
+        default_deadline_s=deadline_s,
+        plan_cache=cache,
+    ) as dispatcher:
+        # closed-loop burst for the speedup note (and as warm-up)
+        t0 = time.perf_counter()
+        dispatcher.run_many(requests, timeout=120.0)
+        closed_loop_s = time.perf_counter() - t0
+
+        # the open-loop measurement the table reports
+        with Dispatcher(
+            compiled,
+            workers=workers,
+            max_batch=max_batch,
+            default_deadline_s=deadline_s,
+            plan_cache=cache,
+        ) as open_loop:
+            tickets = []
+            for (tenant, x), gap in zip(requests, gaps):
+                time.sleep(float(gap))
+                tickets.append(open_loop.submit(x, tenant=tenant))
+            results = [t.result(120.0) for t in tickets]
+            stats = open_loop.stats
+
+    exact_by_tenant = {t: True for t in tenants}
+    for (tenant, x), res in zip(requests, results):
+        fast = compiled[tenant].run(x, execution="fast")
+        rep, ref = res.stats.report, fast.report
+        ok = (
+            np.array_equal(res.output, fast.output)
+            and rep.cycles == ref.cycles
+            and rep.instructions == ref.instructions
+            and rep.macs == ref.macs
+            and rep.sram_bytes == ref.sram_bytes
+            and rep.flash_bytes == ref.flash_bytes
+            and rep.modulo_ops == ref.modulo_ops
+        )
+        exact_by_tenant[tenant] = exact_by_tenant[tenant] and ok
+
+    headers = [
+        "Tenant", "Requests", "Batches", "p50 ms", "p95 ms",
+        "Deadline hit", "Bit-exact",
+    ]
+    rows = []
+    for tenant in tenants:
+        ts = stats.per_tenant[tenant]
+        rows.append(
+            (
+                tenant,
+                ts.requests,
+                ts.batches,
+                f"{1e3 * ts.p50_latency_s:.1f}",
+                f"{1e3 * ts.p95_latency_s:.1f}",
+                f"{100 * ts.deadline_hit_rate:.0f}%",
+                "yes" if exact_by_tenant[tenant] else "NO",
+            )
+        )
+    rows.append(
+        (
+            "TOTAL",
+            stats.completed,
+            stats.batches,
+            f"{1e3 * stats.p50_latency_s:.1f}",
+            f"{1e3 * stats.p95_latency_s:.1f}",
+            f"{100 * stats.deadline_hit_rate:.0f}%",
+            "yes" if all(exact_by_tenant.values()) else "NO",
+        )
+    )
+    notes = [
+        f"open loop: ~{arrival_rps:.0f} req/s Poisson arrivals, "
+        f"deadline {1e3 * deadline_s:.0f} ms, {workers} workers, "
+        f"micro-batch <= {max_batch}; served {stats.requests_per_s:.0f} "
+        "req/s",
+        f"closed-loop speedup vs single-worker Session.run_batch: "
+        f"{baseline_s / closed_loop_s:.2f}x "
+        f"({n_requests / baseline_s:.0f} -> "
+        f"{n_requests / closed_loop_s:.0f} req/s)",
+        f"shared multi-tenant PlanCache: {cache.stats.hits} hits / "
+        f"{cache.stats.misses} misses "
+        f"(hit rate {100 * cache.stats.hit_rate:.0f}% — classifier "
+        "tenants a/b share one architecture's plans)",
+        "tracked gate: kind 'dispatch' in BENCH_perf.json "
+        "(benchmarks/bench_perf.py, >= 1.8x at 4 workers)",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -451,4 +611,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "compiled": compiled_networks,
     "backends": execution_backend_speedup,
     "serving": serving_throughput,
+    "dispatch": dispatch_serving,
 }

@@ -18,6 +18,8 @@ ratio and are used unchanged by every experiment.
 
 from __future__ import annotations
 
+import os
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import Callable
@@ -39,7 +41,9 @@ __all__ = [
     "get_execution_backend",
     "execution_backends",
     "cached_pack",
+    "memoized_default_plan",
     "pack_i32",
+    "pack_f64",
     "VMCU_COMPUTE_EFFICIENCY",
     "TINYENGINE_COMPUTE_EFFICIENCY",
     "TINYENGINE_UNROLL_DEPTH",
@@ -200,6 +204,12 @@ register_execution_backend(SimulateBackend())
 _PACK_CACHE: dict[
     tuple[int, int, str], tuple[weakref.ref, int, np.ndarray]
 ] = {}
+#: guards _PACK_CACHE: the dispatcher's sharded workers all pack through
+#: this one memo, so lookup + insert must be atomic.  Held across the
+#: pack itself — packing is a single relayout copy, and serializing it
+#: guarantees each (array, seg, packer) triple is packed exactly once
+#: instead of racing workers burning the copy N times.
+_PACK_LOCK = threading.Lock()
 
 
 def cached_pack(
@@ -214,30 +224,33 @@ def cached_pack(
     versus the several reshape/transpose/copy passes of packing — so
     callers that mutate a weight array in place simply trigger a re-pack
     instead of receiving stale weights.  Views are packed fresh every
-    call (their ids belong to throwaway wrapper objects).
+    call (their ids belong to throwaway wrapper objects).  Thread-safe:
+    concurrent serving workers may hammer the same weights; each distinct
+    source array is packed once.
     """
     if w.base is not None:
         return packer(w, seg)
     key = (id(w), seg, packer.__name__)
     digest = hash(w.tobytes())
-    hit = _PACK_CACHE.get(key)
-    if hit is not None:
-        ref, cached_digest, packed = hit
-        if ref() is w and cached_digest == digest:
+    with _PACK_LOCK:
+        hit = _PACK_CACHE.get(key)
+        if hit is not None:
+            ref, cached_digest, packed = hit
+            if ref() is w and cached_digest == digest:
+                return packed
+        packed = packer(w, seg)
+        packed.setflags(write=False)
+
+        def _evict(_ref, key=key):
+            _PACK_CACHE.pop(key, None)
+
+        try:
+            ref = weakref.ref(w, _evict)
+        except TypeError:
+            # not weakref-able: skip the cache, stay correct
             return packed
-    packed = packer(w, seg)
-    packed.setflags(write=False)
-
-    def _evict(_ref, key=key):
-        _PACK_CACHE.pop(key, None)
-
-    try:
-        ref = weakref.ref(w, _evict)
-    except TypeError:
-        # not weakref-able: skip the cache, stay correct
+        _PACK_CACHE[key] = (ref, digest, packed)
         return packed
-    _PACK_CACHE[key] = (ref, digest, packed)
-    return packed
 
 
 def pack_i32(w: np.ndarray, seg: int) -> np.ndarray:
@@ -251,6 +264,82 @@ def pack_i32(w: np.ndarray, seg: int) -> np.ndarray:
     ``(id, seg, packer)`` key contract.
     """
     return w.astype(np.int32)
+
+
+def pack_f64(w: np.ndarray, seg: int) -> np.ndarray:
+    """Promote int8 weights to the float64 BLAS GEMM operand.
+
+    Used by the ``"turbo"`` backend: int8 values are exactly
+    representable in a double, so the float64 GEMM it feeds is exact
+    integer arithmetic (see :mod:`repro.kernels.turbo` for the overflow
+    bound).  Same cache contract as :func:`pack_i32`.
+    """
+    return w.astype(np.float64)
+
+
+# --------------------------------------------------------------------------- #
+# fork safety
+# --------------------------------------------------------------------------- #
+def _serving_locks() -> list:
+    """Every serving-path lock a forked child may take.
+
+    ``fork()`` copies a mutex held by another thread into the child in
+    its locked state, where no thread will ever release it — the first
+    ``cached_pack`` or template lookup in the child would then deadlock.
+    The process-mode dispatcher forks worker pools, so fork must happen
+    at a quiescent point for these locks: the before-handler acquires
+    them all (waiting out any in-flight serving work), and both
+    after-handlers release them again.  All are plain ``Lock``\\ s, so
+    the child's release needs no owner check.
+    """
+    locks = [_PACK_LOCK]
+    for backend in _EXECUTION_BACKENDS.values():
+        lock = getattr(backend, "_template_lock", None)
+        if lock is not None:
+            locks.append(lock)
+    return locks
+
+
+def _before_fork() -> None:
+    # template locks first, then the pack lock — the same order the
+    # serving path nests them (pipeline_template -> cached_pack), so the
+    # handler can never deadlock against a worker
+    held = _serving_locks()
+    for lock in reversed(held):
+        lock.acquire()
+    _FORK_HELD.append(held)
+
+
+def _after_fork() -> None:
+    if _FORK_HELD:
+        for lock in _FORK_HELD.pop():
+            lock.release()
+
+
+_FORK_HELD: list[list] = []
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(
+        before=_before_fork,
+        after_in_parent=_after_fork,
+        after_in_child=_after_fork,
+    )
+
+
+def memoized_default_plan(kernel, solve: Callable[[], object]) -> object:
+    """Per-kernel memo of the default-configuration plan solve.
+
+    Kernel geometry is immutable after construction, so every kernel's
+    ``plan()`` caches its default-planner solve here: standalone
+    ``run()`` loops stop re-paying the constraint solver on each call.
+    Callers that pass an explicit planner bypass the memo (the solve
+    then depends on planner configuration, which this cache ignores).
+    """
+    cached = getattr(kernel, "_default_plan", None)
+    if cached is None:
+        cached = solve()
+        kernel._default_plan = cached
+    return cached
 
 
 class KernelCostModel:

@@ -36,6 +36,7 @@ boundary, where the plan is the amortization unit.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, replace
 
@@ -80,6 +81,13 @@ class BatchedBackend(FastBackend):
         self._templates: dict[
             tuple[int, str], tuple[weakref.ref, CostTemplate]
         ] = {}
+        #: sharded dispatcher workers share this one backend instance, so
+        #: template lookup/derive/insert must be atomic; held across the
+        #: dry run so each plan's template is derived exactly once.  A
+        #: plain Lock (pipeline_template never re-enters itself) so the
+        #: at-fork handlers in kernels.base can release the child's copy
+        #: without an owner check.
+        self._template_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # the cost template
@@ -92,28 +100,29 @@ class BatchedBackend(FastBackend):
         one-time price of not duplicating the fastpath event code here.
         """
         key = (id(plan), pipeline.device.name)
-        hit = self._templates.get(key)
-        if hit is not None and hit[0]() is plan:
-            return hit[1]
-        x0 = np.zeros(
-            (pipeline.input_hw, pipeline.input_hw, pipeline.input_c),
-            dtype=np.int8,
-        )
-        dry = FastBackend.run_pipeline(self, pipeline, plan, x0)
-        template = CostTemplate(
-            stage_reports=tuple(r.report for r in dry.stage_runs),
-            pool_stats=replace(dry.stage_runs[-1].pool_stats),
-        )
+        with self._template_lock:
+            hit = self._templates.get(key)
+            if hit is not None and hit[0]() is plan:
+                return hit[1]
+            x0 = np.zeros(
+                (pipeline.input_hw, pipeline.input_hw, pipeline.input_c),
+                dtype=np.int8,
+            )
+            dry = FastBackend.run_pipeline(self, pipeline, plan, x0)
+            template = CostTemplate(
+                stage_reports=tuple(r.report for r in dry.stage_runs),
+                pool_stats=replace(dry.stage_runs[-1].pool_stats),
+            )
 
-        def _evict(_ref, key=key):
-            self._templates.pop(key, None)
+            def _evict(_ref, key=key):
+                self._templates.pop(key, None)
 
-        try:
-            ref = weakref.ref(plan, _evict)
-        except TypeError:
+            try:
+                ref = weakref.ref(plan, _evict)
+            except TypeError:
+                return template
+            self._templates[key] = (ref, template)
             return template
-        self._templates[key] = (ref, template)
-        return template
 
     # ------------------------------------------------------------------ #
     # batched numeric execution

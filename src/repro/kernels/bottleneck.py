@@ -58,7 +58,19 @@ class FusedBottleneckKernel:
         self.planner = planner or InvertedBottleneckPlanner(halo_mode=halo_mode)
 
     def plan(self) -> FusedBlockPlan:
-        return self.planner.plan(self.spec)
+        # memoized per planner identity/configuration, so swapping
+        # self.planner (or its halo mode) re-solves instead of silently
+        # serving the previous configuration's plan
+        key = (
+            id(self.planner), self.planner.halo_mode,
+            self.planner.prefer_exact,
+        )
+        cached = getattr(self, "_default_plan", None)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        plan = self.planner.plan(self.spec)
+        self._default_plan = (key, plan)
+        return plan
 
     # ------------------------------------------------------------------ #
     def run(

@@ -24,11 +24,12 @@ from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.errors import ShapeError
 from repro.kernels.base import (
+    get_execution_backend,
     KernelCostModel,
     KernelRun,
-    get_execution_backend,
     last_reader_row,
     make_pool,
+    memoized_default_plan,
 )
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
@@ -111,7 +112,10 @@ class DepthwiseConvKernel:
         return domain, writes, reads
 
     def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
-        planner = planner or SingleLayerPlanner()
+        if planner is None:
+            return memoized_default_plan(
+                self, lambda: self.plan(SingleLayerPlanner())
+            )
         domain, writes, reads = self.accesses()
         return planner.plan(
             domain,

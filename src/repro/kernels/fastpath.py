@@ -196,6 +196,10 @@ class FastBackend(ExecutionBackend):
     """im2col + int32-GEMM execution with analytic event generation."""
 
     name = "fast"
+    #: packers the serving layer warms at session open so the first
+    #: request pays no weight-promotion cost (overridden by backends
+    #: whose arithmetic needs a different operand layout)
+    weight_packers = (pack_i32,)
 
     # ------------------------------------------------------------------ #
     # batch-axis numeric kernels — the single source of numeric truth
@@ -207,6 +211,32 @@ class FastBackend(ExecutionBackend):
     # wraps modulo 2**32 independently of summation order and each output
     # row depends only on its own input row, so batch size never changes
     # the bits.
+    #
+    # The two arithmetic leaves — the stacked GEMM and the requantize —
+    # are overridable hooks so a backend can swap the *implementation*
+    # (the "turbo" backend routes them through an exact float64 BLAS
+    # GEMM and a banded-exact requantize) without duplicating any of the
+    # stage structure; bit-exactness of an override is property-tested.
+    def _gemm(
+        self, x2d: np.ndarray, w: np.ndarray,
+        w2d_shape: tuple[int, int] | None = None,
+    ) -> np.ndarray:
+        """``int8[M, K] @ int8[K, N]`` accumulated exactly as int32.
+
+        ``w2d_shape`` reshapes the *packed* operand (a view — packing is
+        elementwise, so it commutes with reshape); passing the base array
+        plus a shape instead of ``w.reshape(...)`` keeps the pack-cache
+        key stable, since ``cached_pack`` refuses to cache views.
+        """
+        wp = _i32(w)
+        if w2d_shape is not None:
+            wp = wp.reshape(w2d_shape)
+        return x2d.astype(np.int32) @ wp
+
+    def _requant(self, acc: np.ndarray, mult) -> np.ndarray:
+        """Scale int32 accumulators into int8 (gemmlowp pipeline)."""
+        return requantize(acc, mult)
+
     def _pointwise_batch(self, kern, xb, w, mult):
         bsz = xb.shape[0]
         if xb.shape[1:] != (kern.h, kern.w, kern.c):
@@ -216,8 +246,8 @@ class FastBackend(ExecutionBackend):
             )
         st = kern.stride
         xs = xb[:, ::st, ::st, :]
-        acc = xs.reshape(bsz * kern.p * kern.q, kern.c).astype(np.int32) @ _i32(w)
-        return requantize(acc, mult).reshape(bsz, kern.p, kern.q, kern.k)
+        acc = self._gemm(xs.reshape(bsz * kern.p * kern.q, kern.c), w)
+        return self._requant(acc, mult).reshape(bsz, kern.p, kern.q, kern.k)
 
     def _bottleneck_batch(self, kern, xb, w_expand, w_dw, w_project, mults):
         spec = kern.spec
@@ -234,13 +264,17 @@ class FastBackend(ExecutionBackend):
         p_out = spec.spatial_out()
         hc = (hb + 2 * pad - k) // s2 + 1
 
-        b = requantize(
-            xb[:, ::s1, ::s1, :].reshape(bsz * hb * hb, spec.c_in).astype(np.int32)
-            @ _i32(w_expand),
+        b = self._requant(
+            self._gemm(
+                xb[:, ::s1, ::s1, :].reshape(bsz * hb * hb, spec.c_in),
+                w_expand,
+            ),
             m1,
         ).reshape(bsz, hb, hb, spec.c_mid)
+        # pre-promote the padded activation once: the k*k tap loop below
+        # then slices int32 directly instead of casting every window view
         bp = np.zeros(
-            (bsz, hb + 2 * pad, hb + 2 * pad, spec.c_mid), dtype=np.int8
+            (bsz, hb + 2 * pad, hb + 2 * pad, spec.c_mid), dtype=np.int32
         )
         bp[:, pad : pad + hb, pad : pad + hb] = b
         wdw32 = _i32(w_dw)
@@ -252,15 +286,14 @@ class FastBackend(ExecutionBackend):
                         :,
                         dr : dr + (hc - 1) * s2 + 1 : s2,
                         ds : ds + (hc - 1) * s2 + 1 : s2,
-                    ].astype(np.int32)
+                    ]
                     * wdw32[dr, ds]
                 )
-        c_t = requantize(acc_c, mdw)[:, ::s3, ::s3, :]
-        acc_d = (
-            c_t.reshape(bsz * p_out * p_out, spec.c_mid).astype(np.int32)
-            @ _i32(w_project)
+        c_t = self._requant(acc_c, mdw)[:, ::s3, ::s3, :]
+        acc_d = self._gemm(
+            c_t.reshape(bsz * p_out * p_out, spec.c_mid), w_project
         )
-        d = requantize(acc_d, m2).reshape(bsz, p_out, p_out, spec.c_out)
+        d = self._requant(acc_d, m2).reshape(bsz, p_out, p_out, spec.c_out)
         if spec.has_residual:
             return np.clip(
                 d.astype(np.int16) + xb.astype(np.int16), -128, 127
@@ -274,7 +307,7 @@ class FastBackend(ExecutionBackend):
                 f"got {xb.shape}"
             )
         acc = xb.astype(np.int32).sum(axis=(1, 2), dtype=np.int32)
-        return requantize(acc, mult)
+        return self._requant(acc, mult)
 
     def _dense_batch(self, kern, xb, w, mult):
         bsz = xb.shape[0]
@@ -284,7 +317,7 @@ class FastBackend(ExecutionBackend):
                 f"batch must flatten to int8[B,{kern.m},{kern.k}], "
                 f"got {xb.shape}"
             )
-        out = requantize(x2.astype(np.int32) @ _i32(w), mult)
+        out = self._requant(self._gemm(x2, w), mult)
         # keep the runtime's [M, N] row convention per request
         return out.reshape(bsz, kern.m, kern.n)
 
@@ -425,14 +458,19 @@ class FastBackend(ExecutionBackend):
         seg = plan.seg_bytes
         p, q, ca, ce = kernel.p, kernel.q, kernel.ca, kernel.ce
 
-        xp = np.zeros((h + 2 * pad, wd + 2 * pad, c), dtype=np.int8)
-        xp[pad : pad + h, pad : pad + wd] = x
-        win = sliding_window_view(xp, (r, r), axis=(0, 1))[::st, ::st]
-        cols = (
-            win.transpose(0, 1, 3, 4, 2).reshape(p * q, r * r * c)
-        )
-        acc = cols.astype(np.int32) @ w.reshape(r * r * c, kch).astype(np.int32)
-        out = requantize(acc, mult).reshape(p, q, kch)
+        if r == 1 and pad == 0:
+            # 1x1 convolution: im2col is the identity, so skip the padded
+            # copy and the window-view transpose entirely
+            cols = np.ascontiguousarray(x[::st, ::st]).reshape(p * q, c)
+        else:
+            xp = np.zeros((h + 2 * pad, wd + 2 * pad, c), dtype=np.int8)
+            xp[pad : pad + h, pad : pad + wd] = x
+            win = sliding_window_view(xp, (r, r), axis=(0, 1))[::st, ::st]
+            cols = (
+                win.transpose(0, 1, 3, 4, 2).reshape(p * q, r * r * c)
+            )
+        acc = self._gemm(cols, w, (r * r * c, kch))
+        out = self._requant(acc, mult).reshape(p, q, kch)
 
         led.place_input(plan.in_base, h * wd * ca, seg)
         # padding clips window taps: valid row/column tap counts are

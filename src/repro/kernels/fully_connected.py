@@ -18,11 +18,12 @@ from repro.core.pool import CircularSegmentPool
 from repro.core.segment_size import select_segment_size
 from repro.errors import ShapeError
 from repro.kernels.base import (
-    KernelCostModel,
-    KernelRun,
     cached_pack,
     get_execution_backend,
+    KernelCostModel,
+    KernelRun,
     make_pool,
+    memoized_default_plan,
 )
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
@@ -104,7 +105,10 @@ class FullyConnectedKernel:
         return domain, writes, reads
 
     def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
-        planner = planner or SingleLayerPlanner()
+        if planner is None:
+            return memoized_default_plan(
+                self, lambda: self.plan(SingleLayerPlanner())
+            )
         domain, writes, reads = self.accesses()
         return planner.plan(
             domain,

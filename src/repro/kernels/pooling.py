@@ -25,10 +25,11 @@ from repro.core.planner import LayerPlan, SingleLayerPlanner
 from repro.core.pool import CircularSegmentPool
 from repro.errors import ShapeError
 from repro.kernels.base import (
+    get_execution_backend,
     KernelCostModel,
     KernelRun,
-    get_execution_backend,
     make_pool,
+    memoized_default_plan,
 )
 from repro.mcu.device import DeviceProfile, STM32F411RE
 from repro.mcu.profiler import CostReport, Profiler
@@ -109,7 +110,10 @@ class GlobalAvgPoolKernel:
         return domain, writes, reads
 
     def plan(self, planner: SingleLayerPlanner | None = None) -> LayerPlan:
-        planner = planner or SingleLayerPlanner()
+        if planner is None:
+            return memoized_default_plan(
+                self, lambda: self.plan(SingleLayerPlanner())
+            )
         domain, writes, reads = self.accesses()
         return planner.plan(
             domain,

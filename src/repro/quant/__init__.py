@@ -19,6 +19,7 @@ from repro.quant.requant import (
     FixedPointMultiplier,
     quantize_multiplier,
     requantize,
+    requantize_fast,
     saturating_rounding_doubling_high_mul,
     rounding_divide_by_pot,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "FixedPointMultiplier",
     "quantize_multiplier",
     "requantize",
+    "requantize_fast",
     "saturating_rounding_doubling_high_mul",
     "rounding_divide_by_pot",
 ]

@@ -1,17 +1,35 @@
 """Plan-once/run-many serving layer on top of the compiler.
 
-Compile a model once, then serve many requests against the frozen plans,
-packed weights and per-stage cost templates:
+Two tiers.  A :class:`Session` is the single-caller path — compile a
+model once, then serve batches against the frozen plans, packed weights
+and per-stage cost templates:
 
     import repro
     session = repro.compile(model, execution="fast").serve()
     results = session.run_batch(batch_of_inputs)   # bit-exact vs simulate
     results[0].stats.report.latency_ms             # modeled per-request cost
 
-See :class:`repro.serving.Session` and the ``"batched"`` execution backend
-(:mod:`repro.kernels.batched`) it dispatches to by default.
+A :class:`Dispatcher` is the fleet path — an admission-controlled queue
+that forms deadline-aware micro-batches and shards them across N
+workers, serving many tenants' models through one shared ``PlanCache``:
+
+    from repro.serving import Dispatcher
+    with Dispatcher({"acme": cm_a, "globex": cm_b}, workers=4) as d:
+        ticket = d.submit(x, tenant="acme", deadline_s=0.05)
+        print(ticket.result().latency_s, d.stats.p95_latency_s)
+
+Outputs and per-request cost reports stay bit-identical to
+``execution="simulate"`` under any interleaving — batching, sharding and
+tenant mixing change wall clock, never bits.
 """
 
+from repro.serving.dispatcher import (
+    Dispatcher,
+    DispatchResult,
+    DispatchStats,
+    TenantStats,
+)
+from repro.serving.queue import RequestQueue, Ticket
 from repro.serving.session import (
     RequestResult,
     RequestStats,
@@ -19,4 +37,15 @@ from repro.serving.session import (
     SessionStats,
 )
 
-__all__ = ["RequestResult", "RequestStats", "Session", "SessionStats"]
+__all__ = [
+    "Dispatcher",
+    "DispatchResult",
+    "DispatchStats",
+    "TenantStats",
+    "RequestQueue",
+    "Ticket",
+    "RequestResult",
+    "RequestStats",
+    "Session",
+    "SessionStats",
+]

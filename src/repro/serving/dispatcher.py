@@ -1,0 +1,668 @@
+"""Sharded multi-worker serving dispatcher with multi-tenant sessions.
+
+The scale-out layer above :class:`~repro.serving.session.Session`:
+
+.. code-block:: text
+
+    submit() ──► RequestQueue ──► batch former ──► worker shards ──► Session
+                 (admission       (deadline-aware   (N threads or     (one per
+                  control)         micro-batches)    processes)        tenant)
+
+* the **queue** (:mod:`repro.serving.queue`) admits requests up to a
+  bound and forms same-tenant micro-batches under a deadline/size
+  policy;
+* **workers** pop batches and dispatch them through the tenant's warmed
+  :class:`Session`.  Thread workers are the default — the stacked-GEMM
+  hot path releases the GIL inside NumPy/BLAS, so threads shard real
+  work on multicore hosts while sharing every cache.
+  ``workers="process"`` forks one worker pool instead and falls back to
+  per-request dispatch (sessions are inherited copy-on-write; children
+  return raw outputs and the parent re-attaches the shared cost
+  template);
+* **tenants** are independent compiled models behind one front door.
+  All of them share the process-wide (or caller-supplied)
+  :class:`~repro.compiler.cache.PlanCache` — see
+  :meth:`Dispatcher.compile` — plus the weight-pack cache and the
+  per-plan cost-template cache, all lock-protected.
+
+Correctness is load-bearing: whatever the arrival order, batch
+composition and tenant mix, every request's outputs and
+``RequestStats``/``CostReport`` are bit-identical to running it alone
+with ``execution="simulate"`` (property-tested in
+``tests/serving/test_dispatcher.py``).  Workers default to the
+``"turbo"`` backend, whose BLAS-rate arithmetic is exact by
+construction (:mod:`repro.kernels.turbo`).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.compiler.cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
+from repro.errors import ServingError
+from repro.serving.queue import RequestQueue, Ticket
+from repro.serving.session import RequestResult, Session
+
+__all__ = ["DispatchResult", "TenantStats", "DispatchStats", "Dispatcher"]
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values)) - 1
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """One served request plus its dispatch-level accounting."""
+
+    #: the session-level result (outputs + modeled cost, bit-exact)
+    result: RequestResult
+    tenant: str
+    #: which worker shard executed the batch
+    worker: int
+    #: seconds spent queued before the batch was formed
+    queue_wait_s: float
+    #: submit-to-completion seconds (queue wait + batch service)
+    latency_s: float
+    #: whether completion beat the request's deadline
+    deadline_met: bool
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.result.output
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant aggregate counters (a snapshot, not live state).
+
+    ``latencies_s`` (and the percentiles over it) cover the most recent
+    :data:`LATENCY_WINDOW` requests; the scalar counters are lifetime.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    latencies_s: tuple[float, ...] = ()
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        total = self.deadline_hits + self.deadline_misses
+        return self.deadline_hits / total if total else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return _percentile(sorted(self.latencies_s), 0.95)
+
+
+@dataclass
+class DispatchStats:
+    """Dispatcher-lifetime snapshot: counters, percentiles, cache stats."""
+
+    submitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    peak_queue_depth: int = 0
+    #: first-submit to last-completion span (0 until something completes)
+    wall_s: float = 0.0
+    per_tenant: dict[str, TenantStats] = field(default_factory=dict)
+    plan_cache: CacheStats | None = None
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        hits = sum(t.deadline_hits for t in self.per_tenant.values())
+        total = hits + sum(
+            t.deadline_misses for t in self.per_tenant.values()
+        )
+        return hits / total if total else 0.0
+
+    @property
+    def _all_latencies(self) -> list[float]:
+        out: list[float] = []
+        for t in self.per_tenant.values():
+            out.extend(t.latencies_s)
+        out.sort()
+        return out
+
+    @property
+    def p50_latency_s(self) -> float:
+        return _percentile(self._all_latencies, 0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return _percentile(self._all_latencies, 0.95)
+
+
+# --------------------------------------------------------------------------- #
+# process-mode plumbing
+# --------------------------------------------------------------------------- #
+#: dispatcher-id -> tenant sessions; populated in the parent *before* the
+#: worker pool forks, so children inherit warmed sessions copy-on-write
+#: and the IPC payload stays (feeds in, outputs out) — no model pickling.
+_PROCESS_SESSIONS: dict[int, Mapping[str, Session]] = {}
+
+#: how many recent per-request latencies each tenant's percentile window
+#: keeps; a fleet running for days must not grow stats without bound
+LATENCY_WINDOW = 4096
+
+#: bound on one process-pool request round-trip; a dead pool child never
+#: completes its ApplyResult, so an unbounded get() would hang a worker
+PROCESS_RESULT_TIMEOUT_S = 120.0
+
+
+def _process_serve(registry_key: int, tenant: str, feeds):
+    """Child-side entry: run one request, return only the output tensors."""
+    session = _PROCESS_SESSIONS[registry_key][tenant]
+    return session.run_batch([feeds])[0].outputs
+
+
+def _finalize_dispatcher(registry_key, pool, queue, frozen_weights) -> None:
+    """Tear down everything a dropped dispatcher would otherwise leak.
+
+    Registered as a ``weakref.finalize`` (and invoked by ``close()``):
+    closes the queue so blocked workers drain and exit, drops the fork
+    registry entry, kills the pool, and re-thaws weights frozen at fork.
+    Runs for abandoned dispatchers because the worker threads hold only
+    a *weak* reference back to the dispatcher (see ``_worker_entry``) —
+    a bound-method thread target would pin it alive forever.
+    """
+    queue.close()
+    _PROCESS_SESSIONS.pop(registry_key, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+    for w in frozen_weights:
+        w.setflags(write=True)
+
+
+def _worker_entry(dispatcher_ref: "weakref.ref", worker_id: int) -> None:
+    """Worker thread body, holding the dispatcher only weakly.
+
+    Strong references are re-taken per batch and dropped before the
+    blocking ``pop_batch`` wait, so an abandoned dispatcher can be
+    garbage collected — its finalizer then closes the queue, which
+    wakes the workers and lets them exit.
+    """
+    while True:
+        dispatcher = dispatcher_ref()
+        if dispatcher is None:
+            return
+        queue = dispatcher.queue
+        max_batch = dispatcher.max_batch
+        batch_timeout_s = dispatcher.batch_timeout_s
+        # the dict's bound .get keeps the dict alive, not the dispatcher
+        estimate = dispatcher._service_s.get
+        del dispatcher
+        batch = queue.pop_batch(max_batch, batch_timeout_s, estimate)
+        if batch is None:
+            return
+        dispatcher = dispatcher_ref()
+        if dispatcher is None:
+            error = ServingError(
+                "dispatcher was dropped while this batch was queued; "
+                "keep the dispatcher alive (or use `with`) until every "
+                "ticket has resolved"
+            )
+            for ticket in batch:
+                ticket._fail(error)
+            return
+        dispatcher._serve_batch(worker_id, batch)
+        del dispatcher
+
+
+class Dispatcher:
+    """Queue → deadline-aware micro-batches → N worker shards → sessions.
+
+    Parameters
+    ----------
+    models:
+        ``{tenant name: CompiledModel}`` (or a single ``CompiledModel``,
+        served as tenant ``"default"``).
+    workers:
+        Number of worker shards.
+    worker_mode:
+        ``"thread"`` (default; shards share every cache and the GEMMs
+        release the GIL) or ``"process"`` (fork a pool; per-request
+        dispatch inside each formed batch).
+    execution:
+        Backend for every tenant session; the ``"turbo"`` default keeps
+        bit-exactness while running the stacked GEMMs at BLAS rate.
+    max_batch:
+        Micro-batch size cap (also the flush trigger).
+    max_queue_depth:
+        Admission-control bound; breaching it raises
+        :class:`~repro.errors.AdmissionError` at ``submit``.
+    default_deadline_s:
+        Deadline budget for requests that do not pass their own.
+    batch_timeout_s:
+        Longest the batch former holds the oldest request waiting for
+        co-batchable traffic (deadline pressure can flush earlier).
+    plan_cache:
+        The shared :class:`PlanCache` whose hit/miss statistics the
+        dispatcher reports (default: the process-wide cache every
+        ``repro.compile`` call already goes through).
+    """
+
+    def __init__(
+        self,
+        models,
+        *,
+        workers: int = 4,
+        worker_mode: str = "thread",
+        execution: str = "turbo",
+        max_batch: int = 8,
+        max_queue_depth: int = 256,
+        default_deadline_s: float = 0.5,
+        batch_timeout_s: float = 0.002,
+        plan_cache: PlanCache | None = None,
+    ):
+        if workers <= 0:
+            raise ServingError(f"need at least one worker, got {workers}")
+        if worker_mode not in ("thread", "process"):
+            raise ServingError(
+                f"unknown worker_mode {worker_mode!r}; "
+                "use 'thread' or 'process'"
+            )
+        if max_batch <= 0:
+            raise ServingError(f"max_batch must be positive, got {max_batch}")
+        if default_deadline_s <= 0 or batch_timeout_s < 0:
+            raise ServingError(
+                "default_deadline_s must be > 0 and batch_timeout_s >= 0"
+            )
+        if not isinstance(models, Mapping):
+            models = {"default": models}
+        if not models:
+            raise ServingError("dispatcher needs at least one tenant model")
+        self.workers = workers
+        self.worker_mode = worker_mode
+        self.execution = execution
+        self.max_batch = max_batch
+        self.default_deadline_s = default_deadline_s
+        self.batch_timeout_s = batch_timeout_s
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
+        )
+        #: one warmed session per tenant; plans/packs/templates frozen here
+        self.sessions: dict[str, Session] = {
+            tenant: Session(cm, execution=execution, max_batch=max_batch)
+            for tenant, cm in models.items()
+        }
+        self.queue = RequestQueue(max_queue_depth)
+        self._seq = 0
+        self._admitted = 0
+        self._submit_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._first_submit_t: float | None = None
+        self._last_done_t: float | None = None
+        self._tenant_requests = {t: 0 for t in self.sessions}
+        self._tenant_batches = {t: 0 for t in self.sessions}
+        self._tenant_hits = {t: 0 for t in self.sessions}
+        self._tenant_misses = {t: 0 for t in self.sessions}
+        self._tenant_latencies: dict[str, deque[float]] = {
+            t: deque(maxlen=LATENCY_WINDOW) for t in self.sessions
+        }
+        #: EWMA of per-batch service seconds, the deadline-flush estimate
+        self._service_s: dict[str, float | None] = {
+            t: None for t in self.sessions
+        }
+        self._closed = False
+
+        self._pool = None
+        self._frozen_weights: list[np.ndarray] = []
+        if worker_mode == "process":
+            self._pool = self._fork_pool()
+        # unconditional cleanup for abandoned dispatchers (any mode):
+        # closes the queue (waking and retiring the workers), drops the
+        # fork registry entry, kills the pool, re-thaws frozen weights
+        self._finalizer = weakref.finalize(
+            self, _finalize_dispatcher, id(self), self._pool, self.queue,
+            self._frozen_weights,
+        )
+        self._threads = [
+            threading.Thread(
+                target=_worker_entry,
+                args=(weakref.ref(self), i),
+                name=f"dispatcher-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for th in self._threads:
+            th.start()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compile(
+        cls,
+        graphs: Mapping[str, object],
+        *,
+        device=None,
+        cache: PlanCache | None = None,
+        seed: int = 0,
+        **dispatcher_kwargs,
+    ) -> "Dispatcher":
+        """Compile every tenant graph through one shared plan cache.
+
+        Tenants serving the same architecture (the fleet case: one model,
+        many customers) hit the cache instead of re-solving the
+        constraint systems; the resulting hit rate is visible in
+        :attr:`stats`.
+        """
+        from repro.compiler.compile import compile_model
+        from repro.mcu.device import STM32F411RE
+
+        cache = cache if cache is not None else PlanCache()
+        device = device if device is not None else STM32F411RE
+        compiled = {
+            tenant: compile_model(g, device=device, cache=cache, seed=seed)
+            for tenant, g in graphs.items()
+        }
+        return cls(compiled, plan_cache=cache, **dispatcher_kwargs)
+
+    def _fork_pool(self):
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            raise ServingError(
+                "workers='process' needs fork() (POSIX); "
+                "use worker_mode='thread' on this platform"
+            ) from None
+        # children must inherit the sessions: register before forking.
+        # fork() copying a mutex held by *another* thread would deadlock
+        # the children; the at-fork handlers in repro.kernels.base fork
+        # at a quiescent point for every serving-path lock.
+        _PROCESS_SESSIONS[id(self)] = self.sessions
+        # children serve the weights as forked, so in-place mutation in
+        # the parent can never reach them: freeze the arrays for the
+        # dispatcher's lifetime so a mutation raises at the write site
+        # instead of silently serving the pre-fork snapshot (thread
+        # workers re-pack mutated weights automatically and stay thawed)
+        from repro.runtime.pipeline import stage_weight_arrays
+
+        for session in self.sessions.values():
+            for seg in session.compiled.segments:
+                for stage in seg.pipeline.stages:
+                    for w in stage_weight_arrays(stage):
+                        if w.flags.writeable:
+                            w.setflags(write=False)
+                            self._frozen_weights.append(w)
+        try:
+            return ctx.Pool(processes=self.workers)
+        except BaseException:
+            _PROCESS_SESSIONS.pop(id(self), None)
+            for w in self._frozen_weights:
+                w.setflags(write=True)
+            raise
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        x: np.ndarray | None = None,
+        *,
+        tenant: str = "default",
+        feeds: Mapping[str, np.ndarray] | None = None,
+        deadline_s: float | None = None,
+    ) -> Ticket:
+        """Admit one request; returns a :class:`Ticket` future.
+
+        Validation happens here, at admission — a malformed request is
+        the submitter's error and must never poison the co-batched
+        requests of other callers.
+        """
+        if self._closed:
+            raise ServingError("dispatcher is closed; no new requests")
+        try:
+            session = self.sessions[tenant]
+        except KeyError:
+            raise ServingError(
+                f"unknown tenant {tenant!r}; registered: "
+                f"{sorted(self.sessions)}"
+            ) from None
+        feeds = self._validate(session, x, feeds, tenant)
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        if deadline_s <= 0:
+            raise ServingError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        now = time.monotonic()
+        with self._submit_lock:
+            seq = self._seq
+            self._seq += 1
+        ticket = Ticket(
+            tenant=tenant, feeds=feeds, request_seq=seq,
+            enqueue_t=now, deadline_t=now + deadline_s,
+        )
+        self.queue.put(ticket)  # AdmissionError propagates to the caller
+        # counters only move once the request is actually admitted, so a
+        # rejected burst neither inflates `submitted` nor starts the
+        # throughput wall clock
+        with self._submit_lock:
+            self._admitted += 1
+            if self._first_submit_t is None:
+                self._first_submit_t = now
+        return ticket
+
+    def run_many(
+        self,
+        requests: Sequence,
+        *,
+        tenant: str = "default",
+        deadline_s: float | None = None,
+        timeout: float = 60.0,
+    ) -> list[DispatchResult]:
+        """Submit a closed-loop burst and wait; results in request order.
+
+        Each element is an input array or a feeds mapping (as in
+        :meth:`Session.run_batch`), or a ``(tenant, request)`` pair for
+        mixed-tenant bursts.
+        """
+        tickets = []
+        for req in requests:
+            if isinstance(req, tuple) and len(req) == 2:
+                req_tenant, payload = req
+            else:
+                req_tenant, payload = tenant, req
+            if isinstance(payload, Mapping):
+                tickets.append(
+                    self.submit(
+                        tenant=req_tenant, feeds=payload,
+                        deadline_s=deadline_s,
+                    )
+                )
+            else:
+                tickets.append(
+                    self.submit(
+                        payload, tenant=req_tenant, deadline_s=deadline_s
+                    )
+                )
+        return [t.result(timeout) for t in tickets]
+
+    @staticmethod
+    def _validate(session, x, feeds, tenant) -> Mapping[str, np.ndarray]:
+        graph = session.compiled.graph
+        if (x is None) == (feeds is None):
+            raise ServingError(
+                f"tenant {tenant!r}: pass exactly one of x or feeds"
+            )
+        if feeds is None:
+            if len(graph.inputs) != 1:
+                raise ServingError(
+                    f"tenant {tenant!r}: model {graph.name!r} has inputs "
+                    f"{graph.inputs}; pass a feeds mapping"
+                )
+            feeds = {graph.inputs[0]: np.asarray(x)}
+        missing = [n for n in graph.inputs if n not in feeds]
+        if missing:
+            raise ServingError(
+                f"tenant {tenant!r}: request is missing feeds for "
+                f"{missing}"
+            )
+        for name in graph.inputs:
+            arr = np.asarray(feeds[name])
+            spec = graph.tensors[name].spec
+            if arr.dtype != np.int8 or tuple(arr.shape) != tuple(spec.shape):
+                raise ServingError(
+                    f"tenant {tenant!r}: feed {name!r} must be "
+                    f"int8{list(spec.shape)}, got {arr.dtype}{list(arr.shape)}"
+                )
+        return feeds
+
+    # ------------------------------------------------------------------ #
+    # workers
+    # ------------------------------------------------------------------ #
+    def _serve_batch(self, worker_id: int, batch: list[Ticket]) -> None:
+        """Execute one formed micro-batch (called from ``_worker_entry``)."""
+        tenant = batch[0].tenant
+        session = self.sessions[tenant]
+        t0 = time.monotonic()
+        try:
+            if self._pool is not None:
+                # process mode: per-request dispatch across the pool;
+                # children return outputs, the parent re-attaches the
+                # shared cost template
+                handles = [
+                    self._pool.apply_async(
+                        _process_serve, (id(self), tenant, t.feeds)
+                    )
+                    for t in batch
+                ]
+                # bounded: a dead pool child never completes its
+                # ApplyResult, and a hung get() would lose this worker
+                outputs = [
+                    h.get(PROCESS_RESULT_TIMEOUT_S) for h in handles
+                ]
+                t1 = time.monotonic()
+                served = session.package_results(
+                    outputs, latency_s=t1 - t0
+                )
+            else:
+                served = session.run_batch([t.feeds for t in batch])
+                t1 = time.monotonic()
+        except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
+            with self._stats_lock:
+                self._failed += len(batch)
+            error = ServingError(
+                f"worker {worker_id} failed a batch of {len(batch)} "
+                f"for tenant {tenant!r}: {exc!r}"
+            )
+            error.__cause__ = exc
+            for t in batch:
+                t._fail(error)
+            return
+        service_s = t1 - t0
+        with self._stats_lock:
+            prev = self._service_s[tenant]
+            self._service_s[tenant] = (
+                service_s
+                if prev is None
+                else 0.5 * prev + 0.5 * service_s
+            )
+            self._completed += len(batch)
+            self._batches += 1
+            self._tenant_batches[tenant] += 1
+            self._last_done_t = t1
+            for ticket in batch:
+                self._tenant_requests[tenant] += 1
+                self._tenant_latencies[tenant].append(
+                    t1 - ticket.enqueue_t
+                )
+                if t1 <= ticket.deadline_t:
+                    self._tenant_hits[tenant] += 1
+                else:
+                    self._tenant_misses[tenant] += 1
+        for ticket, rr in zip(batch, served):
+            ticket._fulfill(
+                DispatchResult(
+                    result=rr,
+                    tenant=tenant,
+                    worker=worker_id,
+                    queue_wait_s=t0 - ticket.enqueue_t,
+                    latency_s=t1 - ticket.enqueue_t,
+                    deadline_met=t1 <= ticket.deadline_t,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle / introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> DispatchStats:
+        """A consistent snapshot of the dispatcher's counters."""
+        with self._stats_lock:
+            per_tenant = {
+                t: TenantStats(
+                    requests=self._tenant_requests[t],
+                    batches=self._tenant_batches[t],
+                    deadline_hits=self._tenant_hits[t],
+                    deadline_misses=self._tenant_misses[t],
+                    latencies_s=tuple(self._tenant_latencies[t]),
+                )
+                for t in self.sessions
+            }
+            wall = 0.0
+            if self._first_submit_t is not None and self._last_done_t:
+                wall = max(0.0, self._last_done_t - self._first_submit_t)
+            return DispatchStats(
+                submitted=self._admitted,
+                rejected=self.queue.rejected,
+                completed=self._completed,
+                failed=self._failed,
+                batches=self._batches,
+                peak_queue_depth=self.queue.peak_depth,
+                wall_s=wall,
+                per_tenant=per_tenant,
+                plan_cache=self.plan_cache.stats,
+            )
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Drain the queue, stop the workers, release the process pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        for th in self._threads:
+            th.join(timeout)
+        self._finalizer()  # idempotent: registry + pool teardown
+        self._pool = None
+
+    def __enter__(self) -> "Dispatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

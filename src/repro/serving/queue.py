@@ -1,0 +1,209 @@
+"""Admission-controlled request queue with deadline-aware micro-batching.
+
+The serving front-end half of the dispatcher: callers submit
+:class:`Ticket`\\ s (one per request), workers pop *micro-batches*.  The
+queue owns the two scheduling policies the ISSUE's north star needs:
+
+* **admission control** — the queue is bounded; a submit against a full
+  queue raises :class:`~repro.errors.AdmissionError` instead of letting
+  latency grow without bound.  Back-pressure is explicit and counted.
+* **deadline-aware batch forming** — a batch is flushed to a worker when
+  it reaches ``max_batch``, when the oldest queued request has waited
+  ``batch_timeout_s`` (the classic micro-batching knob), or when that
+  request's *deadline budget* forces dispatch: once the time left to its
+  deadline shrinks to the tenant's estimated batch service time, waiting
+  for more traffic would convert a deadline hit into a miss.
+
+Batches are always formed from the **globally oldest** request's tenant
+(requests of different tenants run different models and can never share
+a stacked GEMM).  Because the head of the queue defines every batch,
+tenants are served FIFO at batch granularity — a heavy tenant cannot
+starve a light one, which the dispatcher's starvation tests assert.
+
+All state is guarded by one condition variable; ``pop_batch`` re-derives
+its view of the queue after every wait, so any number of workers can
+block in it concurrently without double-claiming a request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.errors import AdmissionError, ServingError
+
+__all__ = ["Ticket", "RequestQueue"]
+
+
+class Ticket:
+    """One submitted request: feeds in, a future for the result out.
+
+    Created by :meth:`~repro.serving.dispatcher.Dispatcher.submit`;
+    fulfilled (or failed) exactly once by a dispatcher worker.
+    """
+
+    __slots__ = (
+        "tenant", "feeds", "request_seq", "enqueue_t", "deadline_t",
+        "_event", "_result", "_error",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        feeds: Mapping[str, np.ndarray],
+        request_seq: int,
+        enqueue_t: float,
+        deadline_t: float,
+    ):
+        self.tenant = tenant
+        self.feeds = feeds
+        #: submission order over the dispatcher's lifetime (all tenants)
+        self.request_seq = request_seq
+        #: monotonic-clock submission instant
+        self.enqueue_t = enqueue_t
+        #: monotonic-clock deadline; completion after it counts as a miss
+        self.deadline_t = deadline_t
+        self._event = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether a worker has fulfilled (or failed) this request."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block for the :class:`DispatchResult`; re-raise worker errors."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"request {self.request_seq} ({self.tenant!r}) not served "
+                f"within {timeout}s — the dispatcher may be closed or "
+                "overloaded; raise the timeout or add workers"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    # -- worker side ---------------------------------------------------- #
+    def _fulfill(self, result) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class RequestQueue:
+    """Bounded FIFO of tickets with micro-batch forming.
+
+    Parameters
+    ----------
+    max_depth:
+        Admission-control bound on queued (not yet dispatched) requests.
+    now:
+        Clock override for tests (defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self, max_depth: int, *, now: Callable[[], float] = time.monotonic
+    ):
+        if max_depth <= 0:
+            raise ServingError(
+                f"queue max_depth must be positive, got {max_depth}"
+            )
+        self.max_depth = max_depth
+        self._now = now
+        self._items: list[Ticket] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        #: admission-control rejections over the queue's lifetime
+        self.rejected = 0
+        #: deepest the queue ever got
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, ticket: Ticket) -> None:
+        """Admit ``ticket`` or raise :class:`AdmissionError` (queue full)."""
+        with self._cond:
+            if self._closed:
+                raise ServingError(
+                    "queue is closed; the dispatcher is shutting down"
+                )
+            if len(self._items) >= self.max_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"request queue at capacity ({self.max_depth}); "
+                    "retry later, raise max_queue_depth, or add workers"
+                )
+            self._items.append(ticket)
+            self.peak_depth = max(self.peak_depth, len(self._items))
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop admitting; workers drain what is queued, then get ``None``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pop_batch(
+        self,
+        max_batch: int,
+        batch_timeout_s: float,
+        service_estimate: Callable[[str], float | None],
+    ) -> list[Ticket] | None:
+        """Block until a micro-batch is due; ``None`` once closed and empty.
+
+        The batch holds the oldest request plus every other queued
+        request of the *same tenant* in FIFO order (capped at
+        ``max_batch``).  Flush happens at whichever comes first:
+
+        * the batch is full,
+        * the oldest request has waited ``batch_timeout_s``,
+        * the oldest request's remaining deadline budget drops to the
+          tenant's estimated service time (``service_estimate(tenant)``;
+          ``None`` while the tenant has no history),
+        * the queue is closed (drain what is there).
+
+        Safe for any number of concurrent worker threads: the queue view
+        is re-derived under the lock after every wait, and removal is
+        atomic with the flush decision.
+        """
+        with self._cond:
+            while True:
+                if not self._items:
+                    if self._closed:
+                        return None
+                    self._cond.wait()
+                    continue
+                head = self._items[0]
+                tenant = head.tenant
+                batch = [t for t in self._items if t.tenant == tenant]
+                if len(batch) > max_batch:
+                    batch = batch[:max_batch]
+                now_t = self._now()
+                flush_at = head.enqueue_t + batch_timeout_s
+                est = service_estimate(tenant)
+                if est is not None:
+                    # dispatch early enough that service can still finish
+                    # inside the oldest request's deadline
+                    flush_at = min(flush_at, head.deadline_t - est)
+                if (
+                    len(batch) >= max_batch
+                    or self._closed
+                    or now_t >= flush_at
+                ):
+                    for t in batch:
+                        self._items.remove(t)
+                    return batch
+                self._cond.wait(flush_at - now_t)

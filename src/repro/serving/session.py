@@ -26,17 +26,51 @@ per stage across the batch.  :meth:`Session.run` serves one request,
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import CompileError
+from repro.errors import CompileError, ServingError
 from repro.kernels.base import cached_pack, get_execution_backend
 from repro.mcu.profiler import CostReport
 
 __all__ = ["RequestStats", "RequestResult", "SessionStats", "Session"]
+
+
+def _model_structure(compiled) -> tuple:
+    """A cheap structural fingerprint of a compiled model.
+
+    Captures what the session froze at open time — per-segment stage
+    types, names and weight geometry — so serving after a structural
+    mutation (stages added/removed/re-bound to different shapes) fails
+    loudly instead of silently replaying a stale cost template.  Weight
+    *values* are deliberately excluded: in-place value mutation is legal
+    and handled by ``cached_pack``'s content digest (a re-pack, not an
+    error).
+    """
+    from repro.runtime.pipeline import stage_weight_arrays
+
+    segs = []
+    for seg in compiled.segments:
+        stages = tuple(
+            (
+                type(stage).__name__,
+                getattr(stage, "name", ""),
+                tuple(
+                    (w.shape, str(w.dtype))
+                    for w in stage_weight_arrays(stage)
+                ),
+            )
+            for stage in seg.pipeline.stages
+        )
+        segs.append(
+            (seg.lowered.input_name, seg.lowered.output_name,
+             len(seg.plan.stages), stages)
+        )
+    return tuple(segs)
 
 
 @dataclass(frozen=True)
@@ -99,14 +133,33 @@ class Session:
     execution:
         Name of the registered execution backend used for dispatch.  The
         default ``"batched"`` backend executes each stage as one stacked
-        GEMM across the batch; any registered backend works (falling back
-        to per-request dispatch), which keeps the serving layer decoupled
-        from any single backend implementation.
+        GEMM across the batch; ``"turbo"`` additionally runs the GEMMs
+        at BLAS rate (still bit-exact); any registered backend works
+        (falling back to per-request dispatch), which keeps the serving
+        layer decoupled from any single backend implementation.
+    max_batch:
+        Upper bound on one ``run_batch`` dispatch.  The stacked
+        activations of a batch are materialized at once, so an unbounded
+        batch is a host-memory foot-gun; oversized batches are rejected
+        with an actionable error instead of silently thrashing.
+
+    Thread-safe: the numeric pass runs outside any lock (the GEMMs
+    release the GIL), while request-id allocation and the aggregate
+    counters are guarded — concurrent dispatcher workers sharing one
+    session never tear the accounting.
     """
 
-    def __init__(self, compiled, *, execution: str = "batched"):
+    def __init__(
+        self, compiled, *, execution: str = "batched", max_batch: int = 256
+    ):
+        if max_batch <= 0:
+            raise ServingError(
+                f"max_batch must be positive, got {max_batch}"
+            )
         self.compiled = compiled
         self.execution = execution
+        self.max_batch = max_batch
+        self._lock = threading.Lock()
         self._backend = get_execution_backend(execution)
         if not compiled.fits():
             raise CompileError(
@@ -137,19 +190,30 @@ class Session:
         else:
             self._stage_reports = None
             self._report = None
+        #: what this session froze; checked before every dispatch
+        self._structure = _model_structure(compiled)
 
     # ------------------------------------------------------------------ #
     # warm-up
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _pack_weights(pipeline) -> None:
-        """Promote every stage weight once through the shared pack cache."""
-        from repro.kernels.batched import pack_i32
+    def _pack_weights(self, pipeline) -> None:
+        """Promote every stage weight once through the shared pack cache.
+
+        Warms every operand layout the session's backend declares
+        (``weight_packers``) — e.g. turbo's float64 BLAS operands in
+        addition to the int32 ones — so the first request pays no
+        packing cost.
+        """
+        from repro.kernels.base import pack_i32
         from repro.runtime.pipeline import stage_weight_arrays
 
+        packers = getattr(self._backend, "weight_packers", None) or (
+            pack_i32,
+        )
         for stage in pipeline.stages:
             for w in stage_weight_arrays(stage):
-                cached_pack(w, 0, pack_i32)
+                for packer in packers:
+                    cached_pack(w, 0, packer)
 
     # ------------------------------------------------------------------ #
     # serving
@@ -179,6 +243,13 @@ class Session:
         """
         if len(requests) == 0:
             raise CompileError("run_batch needs at least one request")
+        if len(requests) > self.max_batch:
+            raise ServingError(
+                f"batch of {len(requests)} exceeds this session's "
+                f"max_batch={self.max_batch}; split the batch or open the "
+                "session with a larger max_batch"
+            )
+        self._check_structure()
         graph = self.compiled.graph
         feeds_list: list[Mapping[str, np.ndarray]] = []
         for i, req in enumerate(requests):
@@ -225,12 +296,63 @@ class Session:
                         r.report for r in res.stage_runs
                     )
         latency_s = time.perf_counter() - t0
+        return self._assemble(
+            per_request_outputs, per_request_reports, stage_names, latency_s
+        )
 
+    # ------------------------------------------------------------------ #
+    # result assembly
+    # ------------------------------------------------------------------ #
+    def _check_structure(self) -> None:
+        if _model_structure(self.compiled) != self._structure:
+            raise ServingError(
+                f"compiled model {self.compiled.graph.name!r} was "
+                "structurally mutated after serve(); the session's frozen "
+                "plans/cost template no longer describe it — open a new "
+                "session (in-place *value* edits of existing weight arrays "
+                "are fine and re-pack automatically)"
+            )
+
+    def package_results(
+        self, outputs_list: Sequence[dict[str, np.ndarray]], *,
+        latency_s: float,
+    ) -> list[RequestResult]:
+        """Wrap externally computed outputs in :class:`RequestResult`\\ s.
+
+        Used by the dispatcher's ``workers="process"`` mode: child
+        processes return raw output tensors (small IPC payload) and the
+        parent attaches the session's cost template — valid because the
+        modeled cost is plan-determined, not data-determined.  Requires a
+        template-carrying backend (``"batched"``/``"turbo"``).
+        """
+        if self._report is None:
+            raise ServingError(
+                f"execution backend {self.execution!r} carries no cost "
+                "template; package_results needs a template backend such "
+                "as 'batched' or 'turbo'"
+            )
+        self._check_structure()
+        return self._assemble(list(outputs_list), None, None, latency_s)
+
+    def _assemble(
+        self, per_request_outputs, per_request_reports, stage_names,
+        latency_s,
+    ) -> list[RequestResult]:
+        graph = self.compiled.graph
+        bsz = len(per_request_outputs)
         terminal = (
             graph.outputs[-1]
             if graph.outputs
             else self.compiled.segments[-1].lowered.output_name
         )
+        with self._lock:
+            first_id = self.stats.requests
+            self.stats.requests += bsz
+            self.stats.batches += 1
+            self.stats.wall_s += latency_s
+            self.stats.peak_queue_depth = max(
+                self.stats.peak_queue_depth, bsz
+            )
         served = []
         for i, outputs in enumerate(per_request_outputs):
             if self._report is not None:
@@ -245,7 +367,7 @@ class Session:
                     output=outputs[terminal],
                     outputs=outputs,
                     stats=RequestStats(
-                        request_id=self.stats.requests + i,
+                        request_id=first_id + i,
                         batch_index=i,
                         queue_depth=bsz,
                         latency_s=latency_s,
@@ -254,8 +376,4 @@ class Session:
                     ),
                 )
             )
-        self.stats.requests += bsz
-        self.stats.batches += 1
-        self.stats.wall_s += latency_s
-        self.stats.peak_queue_depth = max(self.stats.peak_queue_depth, bsz)
         return served

@@ -1,0 +1,111 @@
+"""PlanCache thread-safety: the multi-tenant dispatcher's shared memo.
+
+The satellite contract: hammer one cache from 8 threads and every key is
+built exactly once, the hit/miss counters stay coherent, and eviction
+under contention never corrupts the table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+import repro
+from repro.compiler import PlanCache
+from repro.errors import CompileError
+from repro.graph.models import build_classifier_graph
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner():
+        barrier.wait()
+        try:
+            fn()
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestPlanCacheThreading:
+    def test_each_key_built_exactly_once(self):
+        cache = PlanCache()
+        builds = Counter()
+        build_lock = threading.Lock()
+        keys = [("k", i) for i in range(5)]
+
+        def build_for(key):
+            def build():
+                with build_lock:
+                    builds[key] += 1
+                time.sleep(0.001)  # widen the race window
+                return ("plan", key)
+
+            return build
+
+        def work():
+            for _ in range(20):
+                for key in keys:
+                    assert cache.get_or_build(key, build_for(key)) == (
+                        "plan", key,
+                    )
+
+        _hammer(N_THREADS, work)
+        assert all(builds[k] == 1 for k in keys), builds
+        stats = cache.stats
+        assert stats.lookups == N_THREADS * 20 * len(keys)
+        assert stats.misses == len(keys)
+        assert stats.hits == stats.lookups - len(keys)
+        assert stats.size == len(keys)
+
+    def test_bounded_eviction_under_contention(self):
+        cache = PlanCache(maxsize=2)
+        keys = [("k", i) for i in range(4)]
+
+        def work():
+            for _ in range(50):
+                for key in keys:
+                    cache.get_or_build(key, lambda key=key: ("plan", key))
+
+        _hammer(N_THREADS, work)
+        stats = cache.stats
+        assert len(cache) <= 2
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.lookups == N_THREADS * 50 * len(keys)
+
+    def test_concurrent_compiles_share_one_solve(self):
+        cache = PlanCache()
+        graph = build_classifier_graph("vww", classes=2)
+        plans = []
+        plans_lock = threading.Lock()
+
+        def work():
+            cm = repro.compile(graph, cache=cache)
+            with plans_lock:
+                plans.append(tuple(seg.plan for seg in cm.segments))
+
+        _hammer(N_THREADS, work)
+        assert len(plans) == N_THREADS
+        # every thread must have received the *same* cached plan objects
+        first = plans[0]
+        for other in plans[1:]:
+            for a, b in zip(first, other):
+                assert a is b
+        assert cache.stats.misses == len(first)
+
+    def test_bad_maxsize_still_rejected(self):
+        with pytest.raises(CompileError, match="maxsize"):
+            PlanCache(maxsize=0)

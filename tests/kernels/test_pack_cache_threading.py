@@ -1,0 +1,89 @@
+"""cached_pack thread-safety: sharded serving workers share the memo.
+
+Complements ``tests/serving/test_pack_cache_serving.py`` (staleness and
+eviction, single-threaded) with the satellite's 8-thread hammer: one
+array is packed exactly once no matter how many workers race, and
+per-thread mutation of private arrays never cross-contaminates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.kernels.base import cached_pack, pack_f64, pack_i32
+
+N_THREADS = 8
+
+
+def _hammer(n_threads, fn):
+    barrier = threading.Barrier(n_threads)
+    errors = []
+
+    def runner(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=runner, args=(i,)) for i in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+def test_shared_array_packed_exactly_once():
+    rng = np.random.default_rng(0)
+    w = rng.integers(-128, 128, size=(64, 64), dtype=np.int8)
+    seen_ids = set()
+    lock = threading.Lock()
+
+    def work(_i):
+        for _ in range(200):
+            packed = cached_pack(w, 0, pack_i32)
+            assert packed.dtype == np.int32
+            with lock:
+                seen_ids.add(id(packed))
+
+    _hammer(N_THREADS, work)
+    # every thread, every iteration, received the one cached object
+    assert len(seen_ids) == 1
+    np.testing.assert_array_equal(
+        cached_pack(w, 0, pack_i32), w.astype(np.int32)
+    )
+
+
+def test_distinct_packers_do_not_collide():
+    rng = np.random.default_rng(1)
+    w = rng.integers(-128, 128, size=(32, 32), dtype=np.int8)
+
+    def work(_i):
+        for _ in range(100):
+            assert cached_pack(w, 0, pack_i32).dtype == np.int32
+            assert cached_pack(w, 0, pack_f64).dtype == np.float64
+
+    _hammer(N_THREADS, work)
+
+
+def test_private_mutation_under_contention_stays_fresh():
+    rng = np.random.default_rng(2)
+    arrays = [
+        rng.integers(-128, 128, size=(16, 16), dtype=np.int8)
+        for _ in range(N_THREADS)
+    ]
+
+    def work(i):
+        w = arrays[i]
+        for step in range(50):
+            w[step % 16, (3 * step) % 16] ^= 0x55
+            packed = cached_pack(w, 0, pack_i32)
+            # the digest guard must always serve the *current* bytes
+            np.testing.assert_array_equal(packed, w.astype(np.int32))
+
+    _hammer(N_THREADS, work)

@@ -1,0 +1,230 @@
+"""Turbo backend parity: BLAS-rate arithmetic must not change a single bit.
+
+Two layers of evidence:
+
+* ``requantize_fast`` is property-tested against the exact gemmlowp
+  pipeline, including accumulators crafted to sit exactly on (and within
+  one ULP of) the rounding-boundary band it special-cases;
+* whole pipelines and single kernels run ``execution="turbo"`` against
+  ``"fast"`` (itself parity-locked to ``"simulate"`` since PR 2) and
+  must agree on outputs, per-stage cost reports and pool statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import (
+    Conv2dKernel,
+    DepthwiseConvKernel,
+    FullyConnectedKernel,
+    PointwiseConvKernel,
+    execution_backends,
+    get_execution_backend,
+)
+from repro.kernels.pooling import GlobalAvgPoolKernel
+from repro.kernels.turbo import I32_SAFE_K, TurboBackend, gemm_is_exact
+from repro.quant import quantize_multiplier, requantize, requantize_fast
+from repro.runtime.pipeline import (
+    DenseStage,
+    GlobalAvgPoolStage,
+    Pipeline,
+    PointwiseStage,
+)
+
+MULT = quantize_multiplier(0.02)
+
+
+def random_int8(rng, shape):
+    return rng.integers(-128, 128, size=shape, dtype=np.int8)
+
+
+# --------------------------------------------------------------------------- #
+# requantize_fast
+# --------------------------------------------------------------------------- #
+class TestRequantizeFast:
+    @given(
+        real=st.floats(1e-4, 0.999),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_exact_pipeline(self, real, seed):
+        mult = quantize_multiplier(real)
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(2**26), 2**26, size=2048).astype(np.int32)
+        np.testing.assert_array_equal(
+            requantize(acc, mult), requantize_fast(acc, mult)
+        )
+
+    @given(real=st.floats(1e-4, 0.999))
+    @settings(max_examples=40, deadline=None)
+    def test_boundary_band_elements(self, real):
+        """Accumulators at/near half-integer scaled values — the cases the
+        float64 round alone could get wrong — must hit the exact path."""
+        mult = quantize_multiplier(real)
+        denom = mult.multiplier
+        scale = 1 << (31 + mult.shift)
+        accs = []
+        for k in range(-40, 41):
+            center = round((k + 0.5) * scale / denom)
+            accs.extend(center + d for d in (-2, -1, 0, 1, 2))
+        acc = np.clip(np.array(accs, dtype=np.int64), -(2**31), 2**31 - 1)
+        acc = acc.astype(np.int32)
+        np.testing.assert_array_equal(
+            requantize(acc, mult), requantize_fast(acc, mult)
+        )
+
+    def test_shift_zero_degenerates_to_exact(self):
+        mult = quantize_multiplier(0.75)
+        assert mult.shift == 0
+        rng = np.random.default_rng(3)
+        acc = rng.integers(-(2**20), 2**20, size=512).astype(np.int32)
+        np.testing.assert_array_equal(
+            requantize(acc, mult), requantize_fast(acc, mult)
+        )
+
+    def test_accepts_float64_integer_accumulators(self):
+        mult = quantize_multiplier(0.013)
+        rng = np.random.default_rng(4)
+        acc = rng.integers(-(2**24), 2**24, size=1024).astype(np.int32)
+        np.testing.assert_array_equal(
+            requantize(acc, mult),
+            requantize_fast(acc.astype(np.float64), mult),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the exactness guard
+# --------------------------------------------------------------------------- #
+class TestGemmGuard:
+    def test_bounds(self):
+        assert gemm_is_exact(1)
+        assert gemm_is_exact(I32_SAFE_K - 1)
+        assert not gemm_is_exact(I32_SAFE_K)
+        assert not gemm_is_exact(0)
+
+    def test_deep_reduction_falls_back_to_int32(self):
+        backend = get_execution_backend("turbo")
+        rng = np.random.default_rng(5)
+        x = random_int8(rng, (1, I32_SAFE_K))
+        w = random_int8(rng, (I32_SAFE_K, 2))
+        acc = backend._gemm(x, w)
+        assert acc.dtype == np.int32  # int32 fallback, wrap-exact
+        np.testing.assert_array_equal(
+            acc, x.astype(np.int32) @ w.astype(np.int32)
+        )
+
+    def test_shallow_reduction_uses_exact_float64(self):
+        backend = get_execution_backend("turbo")
+        rng = np.random.default_rng(6)
+        x = random_int8(rng, (8, 64))
+        w = random_int8(rng, (64, 16))
+        acc = backend._gemm(x, w)
+        assert acc.dtype == np.float64
+        np.testing.assert_array_equal(
+            acc.astype(np.int32), x.astype(np.int32) @ w.astype(np.int32)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# kernel- and pipeline-level parity vs "fast"
+# --------------------------------------------------------------------------- #
+def assert_runs_match(a, b):
+    np.testing.assert_array_equal(a.output, b.output)
+    assert a.report.cycles == b.report.cycles
+    assert a.report.instructions == b.report.instructions
+    assert a.report.sram_bytes == b.report.sram_bytes
+    assert a.report.flash_bytes == b.report.flash_bytes
+    assert a.report.macs == b.report.macs
+    assert a.report.modulo_ops == b.report.modulo_ops
+    assert vars(a.pool_stats) == vars(b.pool_stats)
+
+
+class TestTurboParity:
+    def test_registered(self):
+        assert "turbo" in execution_backends()
+        assert isinstance(get_execution_backend("turbo"), TurboBackend)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda rng: (
+                PointwiseConvKernel(12, 12, 8, 16),
+                (random_int8(rng, (12, 12, 8)), random_int8(rng, (8, 16)), MULT),
+            ),
+            lambda rng: (
+                Conv2dKernel(10, 10, 8, 16, kernel=3, stride=1, padding=1),
+                (
+                    random_int8(rng, (10, 10, 8)),
+                    random_int8(rng, (3, 3, 8, 16)),
+                    MULT,
+                ),
+            ),
+            lambda rng: (
+                DepthwiseConvKernel(10, 10, 16, kernel=3, stride=1, padding=1),
+                (random_int8(rng, (10, 10, 16)), random_int8(rng, (3, 3, 16)), MULT),
+            ),
+            lambda rng: (
+                FullyConnectedKernel(4, 64, 32),
+                (random_int8(rng, (4, 64)), random_int8(rng, (64, 32)), MULT),
+            ),
+        ],
+    )
+    def test_single_kernels(self, make):
+        rng = np.random.default_rng(7)
+        kernel, args = make(rng)
+        assert_runs_match(
+            kernel.run(*args, execution="turbo"),
+            kernel.run(*args, execution="fast"),
+        )
+
+    def test_avgpool(self):
+        rng = np.random.default_rng(8)
+        kernel = GlobalAvgPoolKernel(9, 9, 16)
+        x = random_int8(rng, (9, 9, 16))
+        assert_runs_match(
+            kernel.run(x, MULT, execution="turbo"),
+            kernel.run(x, MULT, execution="fast"),
+        )
+
+    @given(
+        hw=st.integers(4, 12),
+        c=st.sampled_from([4, 8]),
+        k=st.sampled_from([4, 8, 16]),
+        with_tail=st.booleans(),
+        batch=st.integers(1, 5),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_chain_batches(self, hw, c, k, with_tail, batch, seed):
+        rng = np.random.default_rng(seed)
+        pipe = Pipeline(hw, c)
+        pipe.add(
+            PointwiseStage(
+                name="pw0", weights=random_int8(rng, (c, k)), mult=MULT
+            )
+        )
+        pipe.add(
+            PointwiseStage(
+                name="pw1", weights=random_int8(rng, (k, k)), mult=MULT
+            )
+        )
+        if with_tail:
+            pipe.add(
+                GlobalAvgPoolStage(name="gap", mult=quantize_multiplier(0.01))
+            )
+            pipe.add(
+                DenseStage(
+                    name="head", weights=random_int8(rng, (k, 4)), mult=MULT
+                )
+            )
+        plan = pipe.plan()
+        xs = [random_int8(rng, (hw, hw, c)) for _ in range(batch)]
+        turbo = pipe.run_batch(xs, plan=plan, execution="turbo")
+        for x, res in zip(xs, turbo):
+            fast = pipe.run(x, plan=plan, execution="fast")
+            np.testing.assert_array_equal(res.output, fast.output)
+            for tr, fr in zip(res.stage_runs, fast.stage_runs):
+                assert_runs_match(tr, fr)
