@@ -11,7 +11,11 @@ bit-exact with bit-identical per-request cost reports).  A fourth
 ``kind: "dispatch"`` series tracks the sharded serving dispatcher: a
 4-worker ``Dispatcher`` (deadline-aware micro-batching, turbo workers)
 vs a single-worker ``Session.run_batch`` loop at batch 8 (target:
->= 1.8x requests/sec, outputs and cost reports still bit-exact).
+>= 1.8x requests/sec, outputs and cost reports still bit-exact).  A
+fifth ``kind: "control"`` series tracks the control plane: under a 4:1
+bronze:gold priority mix on one worker, the QoS batch former must land
+gold's p95 latency >= 1.3x better than the FIFO order it replaced —
+still bit-exact.
 
 Usage::
 
@@ -40,15 +44,19 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: the one place the schema version lives; bumped to v3 for the dispatch
-#: series and the optional (``--stamp``) ``unix_time`` field
-SCHEMA = "bench_perf/v3"
+#: the one place the schema version lives; bumped to v4 for the control
+#: series (the v3 additions — dispatch series, optional ``--stamp``
+#: ``unix_time`` field — are unchanged)
+SCHEMA = "bench_perf/v4"
 SPEEDUP_TARGET = 20.0  # PR-2 acceptance: >=20x on full-model inference
 BATCHED_TARGET = 1.10  # PR-4 acceptance: >=1.10x req/s at batch >= 8 (vww)
 DISPATCH_TARGET = 1.8  # PR-5 acceptance: >=1.8x req/s, 4-worker dispatcher
+CONTROL_TARGET = 1.3  # PR-6 acceptance: gold p95 >=1.3x better vs fifo
 BATCH_SIZE = 8
 DISPATCH_WORKERS = 4
 DISPATCH_REQUESTS = 32
+CONTROL_REQUESTS = 40
+CONTROL_BATCH = 4
 MIN_MEASURE_S = 0.05  # minimum total time per measurement window
 
 
@@ -397,6 +405,74 @@ def bench_dispatch(smoke: bool, repeats: int):
 
 
 # --------------------------------------------------------------------------- #
+# control plane (priority QoS batch forming vs the FIFO order it replaced)
+# --------------------------------------------------------------------------- #
+def bench_control(smoke: bool, repeats: int):
+    """``kind: "control"`` series: QoS scheduling vs FIFO on a priority mix.
+
+    The acceptance gate of the control plane: under the 4:1 bronze:gold
+    flood of :func:`repro.eval.experiments.priority_mix_trial` (two
+    tenants, one worker, micro-batch 4), the priority/weighted batch
+    former must land gold's p95 latency at least ``CONTROL_TARGET``x
+    better than ``scheduling="fifo"`` — the pre-control-plane head-tenant
+    order — with every output still bit-exact vs per-call
+    ``execution="fast"``.  Best-of-N on each side so a single slow batch
+    (GC, CI noise) cannot fail the ratio.
+    """
+    import repro
+    from repro.eval.experiments import priority_mix_trial
+    from repro.graph.models import build_classifier_graph
+
+    n = CONTROL_REQUESTS // 2 if smoke else CONTROL_REQUESTS
+    cm = repro.compile(
+        build_classifier_graph("vww", classes=2), execution="fast"
+    )
+    trial = dict(n_requests=n, max_batch=CONTROL_BATCH)
+    # warm the turbo packs and cost templates off the clock
+    priority_mix_trial(cm, scheduling="weighted", **trial)
+
+    def gold_p95(scheduling):
+        best = None
+        for _ in range(repeats):
+            pool, resolved, stats = priority_mix_trial(
+                cm, scheduling=scheduling, **trial
+            )
+            p95 = stats.per_tenant["gold"].p95_latency_s
+            if best is None or p95 < best[0]:
+                best = (p95, pool, resolved, stats)
+        return best
+
+    fifo_p95, _, _, _ = gold_p95("fifo")
+    ctrl_p95, pool, resolved, stats = gold_p95("weighted")
+    fast_runs = {
+        i: cm.run(x, execution="fast") for i, x in enumerate(pool)
+    }
+    return [
+        {
+            "name": f"mcunet-vww-classifier@priority-mix{n}",
+            "kind": "control",
+            "requests": n,
+            "workers": 1,
+            "batch": CONTROL_BATCH,
+            "gold_requests": stats.per_tenant["gold"].requests,
+            "fifo_gold_p95_ms": round(1e3 * fifo_p95, 2),
+            "control_gold_p95_ms": round(1e3 * ctrl_p95, 2),
+            "speedup": round(fifo_p95 / ctrl_p95, 2) if ctrl_p95 > 0 else None,
+            "deadline_hit_rate": round(stats.deadline_hit_rate, 4),
+            "config_epoch": stats.config_epoch,
+            "bitexact": all(
+                np.array_equal(res.output, fast_runs[idx].output)
+                for _, idx, res in resolved
+            ),
+            "report_match": all(
+                _reports_match(res.stats.report, fast_runs[idx].report)
+                for _, idx, res in resolved
+            ),
+        }
+    ]
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -422,6 +498,7 @@ def main(argv=None) -> int:
     results += bench_models(args.smoke, args.repeats)
     results += bench_batched(args.smoke, args.repeats)
     results += bench_dispatch(args.smoke, args.repeats)
+    results += bench_control(args.smoke, args.repeats)
 
     model_speedups = [
         r["speedup"] for r in results if r["kind"] == "model" and r["speedup"]
@@ -432,12 +509,16 @@ def main(argv=None) -> int:
     dispatch_speedups = [
         r["speedup"] for r in results if r["kind"] == "dispatch" and r["speedup"]
     ]
+    control_speedups = [
+        r["speedup"] for r in results if r["kind"] == "control" and r["speedup"]
+    ]
     payload = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
         "speedup_target": SPEEDUP_TARGET,
         "batched_target": BATCHED_TARGET,
         "dispatch_target": DISPATCH_TARGET,
+        "control_target": CONTROL_TARGET,
         "results": results,
         "summary": {
             "all_bitexact": all(r["bitexact"] for r in results),
@@ -451,6 +532,9 @@ def main(argv=None) -> int:
             "min_dispatch_speedup": min(dispatch_speedups),
             "max_dispatch_speedup": max(dispatch_speedups),
             "dispatch_target_met": min(dispatch_speedups) >= DISPATCH_TARGET,
+            "min_control_speedup": min(control_speedups),
+            "max_control_speedup": max(control_speedups),
+            "control_target_met": min(control_speedups) >= CONTROL_TARGET,
         },
     }
     if args.stamp:
@@ -487,6 +571,19 @@ def main(argv=None) -> int:
             f"  (p95 {r['p95_ms']:.1f} ms, "
             f"deadline hit {100 * r['deadline_hit_rate']:.0f}%)"
         )
+    print(
+        f"\n{'control plane':<{w}}  {'fifo p95':>10}  {'ctrl p95':>10}  "
+        f"{'speedup':>8}  exact"
+    )
+    for r in results:
+        if r["kind"] != "control":
+            continue
+        print(
+            f"{r['name']:<{w}}  {r['fifo_gold_p95_ms']:>8.1f}ms  "
+            f"{r['control_gold_p95_ms']:>8.1f}ms  {r['speedup']:>7.2f}x  "
+            f"{r['bitexact'] and r['report_match']}"
+            f"  (gold {r['gold_requests']}/{r['requests']} reqs)"
+        )
     s = payload["summary"]
     print(
         f"\nmodel speedups {s['min_model_speedup']:.1f}x.."
@@ -499,6 +596,10 @@ def main(argv=None) -> int:
         f"{s['max_dispatch_speedup']:.2f}x "
         f"(target >= {DISPATCH_TARGET:.1f}x: "
         f"{'MET' if s['dispatch_target_met'] else 'MISSED'}); "
+        f"control {s['min_control_speedup']:.2f}x.."
+        f"{s['max_control_speedup']:.2f}x "
+        f"(target >= {CONTROL_TARGET:.1f}x: "
+        f"{'MET' if s['control_target_met'] else 'MISSED'}); "
         f"bit-exact: {s['all_bitexact']}; cost parity: {s['all_reports_match']}"
     )
     print(f"wrote {args.output}")
@@ -511,6 +612,7 @@ def main(argv=None) -> int:
         s["target_met"]
         and s["batched_target_met"]
         and s["dispatch_target_met"]
+        and s["control_target_met"]
     ):
         return 1
     return 0

@@ -1,6 +1,6 @@
-"""Serving benchmarks: session batching and the sharded dispatcher.
+"""Serving benchmarks: session batching, the dispatcher, the control plane.
 
-Two series, two artifacts:
+Three series, three artifacts:
 
 * ``results/serving.txt`` — the PR-4 table
   (:func:`repro.eval.experiments.serving_throughput`): one warmed
@@ -11,18 +11,24 @@ Two series, two artifacts:
   behind a 4-worker :class:`~repro.serving.Dispatcher` under an
   open-loop arrival process, with p50/p95 latency, deadline-hit rate,
   shared-``PlanCache`` hit rate and the closed-loop speedup over a
-  single-worker session loop.
+  single-worker session loop;
+* ``results/control.txt`` — the PR-6 table
+  (:func:`repro.eval.experiments.control_serving`): a 4:1 priority mix
+  under FIFO vs the QoS batch former, a mid-flood live
+  ``apply_config`` and the autoscaler's resize events, with per-class
+  p50/p95/deadline-hit rows.
 
-Bit-exactness is asserted on every row of both tables.  Two entry
+Bit-exactness is asserted on every row of every table.  Two entry
 points:
 
 * ``pytest benchmarks/bench_serving.py`` — the pytest-benchmark flow
-  every other bench uses (writes both artifacts via ``emit``);
-* ``python benchmarks/bench_serving.py [--smoke]`` — the CI-friendly
-  CLI; ``--smoke`` shrinks the grids for shared runners, where the
-  speedup columns are advisory (bit-exactness is always a hard gate —
-  the >= 1.8x dispatcher wall-clock gate lives in full runs of
-  ``benchmarks/bench_perf.py``).
+  every other bench uses (writes the artifacts via ``emit``);
+* ``python benchmarks/bench_serving.py [--smoke] [--only SERIES]`` —
+  the CI-friendly CLI; ``--smoke`` shrinks the grids for shared
+  runners, where the speedup columns are advisory (bit-exactness is
+  always a hard gate — the wall-clock gates live in full runs of
+  ``benchmarks/bench_perf.py``), and ``--only`` (repeatable) selects a
+  subset of the three series.
 """
 
 from __future__ import annotations
@@ -36,10 +42,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 TITLE = "Serving — session run_batch vs per-call fast execution"
 DISPATCH_TITLE = "Dispatch — sharded multi-worker serving (open loop)"
+CONTROL_TITLE = "Control plane — priority QoS, live reconfig, autoscaling"
 FULL_BATCHES = (1, 2, 4, 8, 16)
 SMOKE_BATCHES = (1, 8)
 FULL_REQUESTS = 48
 SMOKE_REQUESTS = 16
+FULL_CONTROL_REQUESTS = 40
+SMOKE_CONTROL_REQUESTS = 20
 
 
 def test_serving_throughput(benchmark, emit):
@@ -72,11 +81,31 @@ def test_dispatch_serving(benchmark, emit):
     emit("dispatch", render_experiment(DISPATCH_TITLE, result))
 
 
+def test_control_serving(benchmark, emit):
+    from repro.eval.experiments import control_serving
+    from repro.eval.reporting import render_experiment
+
+    result = benchmark.pedantic(
+        lambda: control_serving(n_requests=FULL_CONTROL_REQUESTS),
+        rounds=1,
+        iterations=1,
+    )
+    headers, rows, notes = result
+    assert {row[0] for row in rows} == {"fifo", "control", "reconfig"}
+    assert all(row[-1] == "yes" for row in rows)  # bit-exact everywhere
+    emit("control", render_experiment(CONTROL_TITLE, result))
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
         "--smoke", action="store_true",
         help="CI mode: fewer batch sizes/requests; speedups are advisory",
+    )
+    ap.add_argument(
+        "--only", action="append",
+        choices=("serving", "dispatch", "control"),
+        help="run only the named series (repeatable; default: all three)",
     )
     ap.add_argument(
         "--output", type=Path, default=REPO_ROOT / "results" / "serving.txt",
@@ -87,42 +116,72 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "results" / "dispatch.txt",
         help="where to write the dispatcher table",
     )
+    ap.add_argument(
+        "--control-output", type=Path,
+        default=REPO_ROOT / "results" / "control.txt",
+        help="where to write the control-plane table",
+    )
     args = ap.parse_args(argv)
+    series = tuple(args.only) if args.only else ("serving", "dispatch", "control")
 
-    from repro.eval.experiments import dispatch_serving, serving_throughput
+    from repro.eval.experiments import (
+        control_serving,
+        dispatch_serving,
+        serving_throughput,
+    )
     from repro.eval.reporting import render_experiment
 
-    result = serving_throughput(
-        batch_sizes=SMOKE_BATCHES if args.smoke else FULL_BATCHES,
-        repeats=1 if args.smoke else 5,
-    )
-    text = render_experiment(TITLE, result)
-    args.output.parent.mkdir(exist_ok=True)
-    args.output.write_text(text)
-    print(text)
-    print(f"wrote {args.output}\n")
+    if "serving" in series:
+        result = serving_throughput(
+            batch_sizes=SMOKE_BATCHES if args.smoke else FULL_BATCHES,
+            repeats=1 if args.smoke else 5,
+        )
+        text = render_experiment(TITLE, result)
+        args.output.parent.mkdir(exist_ok=True)
+        args.output.write_text(text)
+        print(text)
+        print(f"wrote {args.output}\n")
+        _, rows, _ = result
+        if not all(row[5] == "yes" for row in rows):
+            print("FAIL: batched serving diverged from per-request execution")
+            return 1
+        speedups = [float(row[4].rstrip("x")) for row in rows if row[1] >= 8]
+        if not args.smoke and speedups and min(speedups) < 1.10:
+            print(f"FAIL: batch>=8 speedup {min(speedups):.2f}x < 1.10x target")
+            return 1
 
-    dispatch_result = dispatch_serving(
-        n_requests=SMOKE_REQUESTS if args.smoke else FULL_REQUESTS,
-    )
-    dispatch_text = render_experiment(DISPATCH_TITLE, dispatch_result)
-    args.dispatch_output.parent.mkdir(exist_ok=True)
-    args.dispatch_output.write_text(dispatch_text)
-    print(dispatch_text)
-    print(f"wrote {args.dispatch_output}")
+    if "dispatch" in series:
+        dispatch_result = dispatch_serving(
+            n_requests=SMOKE_REQUESTS if args.smoke else FULL_REQUESTS,
+        )
+        dispatch_text = render_experiment(DISPATCH_TITLE, dispatch_result)
+        args.dispatch_output.parent.mkdir(exist_ok=True)
+        args.dispatch_output.write_text(dispatch_text)
+        print(dispatch_text)
+        print(f"wrote {args.dispatch_output}\n")
+        _, dispatch_rows, _ = dispatch_result
+        if not all(row[-1] == "yes" for row in dispatch_rows):
+            print("FAIL: dispatcher serving diverged from per-request execution")
+            return 1
 
-    _, rows, _ = result
-    if not all(row[5] == "yes" for row in rows):
-        print("FAIL: batched serving diverged from per-request execution")
-        return 1
-    speedups = [float(row[4].rstrip("x")) for row in rows if row[1] >= 8]
-    if not args.smoke and speedups and min(speedups) < 1.10:
-        print(f"FAIL: batch>=8 speedup {min(speedups):.2f}x < 1.10x target")
-        return 1
-    _, dispatch_rows, _ = dispatch_result
-    if not all(row[-1] == "yes" for row in dispatch_rows):
-        print("FAIL: dispatcher serving diverged from per-request execution")
-        return 1
+    if "control" in series:
+        control_result = control_serving(
+            n_requests=(
+                SMOKE_CONTROL_REQUESTS if args.smoke
+                else FULL_CONTROL_REQUESTS
+            ),
+        )
+        control_text = render_experiment(CONTROL_TITLE, control_result)
+        args.control_output.parent.mkdir(exist_ok=True)
+        args.control_output.write_text(control_text)
+        print(control_text)
+        print(f"wrote {args.control_output}")
+        _, control_rows, _ = control_result
+        if not all(row[-1] == "yes" for row in control_rows):
+            print("FAIL: control-plane serving diverged from per-request "
+                  "execution")
+            return 1
+
     return 0
 
 

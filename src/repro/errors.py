@@ -27,6 +27,7 @@ __all__ = [
     "QuantizationError",
     "ServingError",
     "AdmissionError",
+    "ConfigError",
 ]
 
 
@@ -138,5 +139,16 @@ class AdmissionError(ServingError):
 
     Back-pressure is explicit: callers should retry later, raise the
     dispatcher's ``max_queue_depth``, or add workers — never silently
-    drop requests.
+    drop requests.  Under priority load shedding the error can also land
+    on an *already queued* low-priority request that was displaced by
+    higher-priority traffic; its waiter sees the same exception.
+    """
+
+
+class ConfigError(ServingError):
+    """A declarative fleet/tenant configuration is invalid.
+
+    Raised by :meth:`repro.serving.control.FleetConfig.validate` (and by
+    ``Dispatcher.apply_config``) *before* any state is touched, so a bad
+    config can never be half-applied to a live dispatcher.
     """

@@ -37,6 +37,8 @@ __all__ = [
     "execution_backend_speedup",
     "serving_throughput",
     "dispatch_serving",
+    "control_serving",
+    "priority_mix_trial",
     "ALL_EXPERIMENTS",
 ]
 
@@ -597,6 +599,219 @@ def dispatch_serving(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def priority_mix_trial(
+    compiled,
+    *,
+    n_requests: int = 40,
+    max_batch: int = 4,
+    scheduling: str = "weighted",
+    workers: int = 1,
+    gold_every: int = 5,
+    gold_deadline_s: float = 0.5,
+    seed: int = 0,
+):
+    """One 4:1 bronze:gold priority flood through a single dispatcher.
+
+    The measured protocol shared by the ``control`` experiment and the
+    gated ``kind: "control"`` series in ``benchmarks/bench_perf.py``:
+    two tenants serve the same compiled model — ``gold`` (priority 2,
+    weight 2, a tight deadline) and ``bronze`` (priority 0, the flood) —
+    behind one worker, and every fifth submission is gold.  Under
+    ``scheduling="fifo"`` the gold tail waits for the whole bronze
+    backlog; under ``"weighted"`` the priority class drains first.
+
+    Returns ``(pool, resolved, stats)``: the input pool, a list of
+    ``(tenant, pool_index, DispatchResult)`` in submission order, and
+    the final :class:`~repro.serving.DispatchStats` snapshot.
+    """
+    import numpy as np
+
+    from repro.serving import Dispatcher, FleetConfig, TenantPolicy
+
+    rng = np.random.default_rng(seed)
+    shape = compiled.graph.tensors[compiled.graph.inputs[0]].spec.shape
+    pool = [
+        rng.integers(-128, 128, size=shape, dtype=np.int8) for _ in range(4)
+    ]
+    cfg = FleetConfig(
+        tenants={
+            "gold": TenantPolicy(
+                weight=2.0, priority=2, deadline_s=gold_deadline_s
+            ),
+            "bronze": TenantPolicy(weight=1.0, priority=0),
+        },
+        min_workers=workers,
+        max_workers=workers,
+        max_batch=max_batch,
+        max_queue_depth=4 * n_requests,
+        default_deadline_s=60.0,
+        batch_timeout_s=0.0,
+        scheduling=scheduling,
+    )
+    with Dispatcher(
+        {"gold": compiled, "bronze": compiled}, workers=workers, config=cfg
+    ) as dispatcher:
+        tickets = []
+        for i in range(n_requests):
+            tenant = "gold" if i % gold_every == gold_every - 1 else "bronze"
+            idx = int(rng.integers(len(pool)))
+            tickets.append(
+                (tenant, idx, dispatcher.submit(pool[idx], tenant=tenant))
+            )
+        resolved = [(t, i, tk.result(300.0)) for t, i, tk in tickets]
+        stats = dispatcher.stats
+    return pool, resolved, stats
+
+
+def control_serving(
+    device: DeviceProfile = STM32F411RE,
+    *,
+    n_requests: int = 40,
+    max_batch: int = 4,
+    seed: int = 0,
+) -> Experiment:
+    """Extension: the dispatcher control plane under a priority mix.
+
+    Three phases over the VWW classifier, all bit-exact:
+
+    1. **fifo** — the 4:1 bronze:gold flood of
+       :func:`priority_mix_trial` under ``scheduling="fifo"`` (the
+       pre-control-plane head-tenant order): gold waits out the bronze
+       backlog;
+    2. **control** — the same flood under the declarative QoS config
+       (gold priority 2, weight 2): the batch former drains the gold
+       class first, collapsing its p95.  The gold-p95 ratio between the
+       phases is the tracked ``kind: "control"`` gate (>= 1.3x);
+    3. **reconfig** — a live fleet (1..3 workers, autoscaling on) takes
+       a mid-flood ``apply_config`` that flips bronze to the top
+       priority class and re-weights gold; the audit trail records the
+       config epoch and every autoscaler resize.
+
+    Every request in every phase is checked bit-identical to per-call
+    ``execution="fast"`` (parity-locked to ``"simulate"``) — the
+    control plane reorders and rescales, it never touches bits.
+    """
+    import numpy as np
+
+    from repro.serving import Dispatcher, FleetConfig, TenantPolicy
+
+    cm = compile_model(
+        build_classifier_graph("vww", classes=2), device=device
+    )
+    expected_pool: dict[int, np.ndarray] = {}
+
+    def check_exact(pool, resolved) -> dict[str, bool]:
+        ok = {}
+        for tenant, idx, res in resolved:
+            key = id(pool[idx])
+            if key not in expected_pool:
+                expected_pool[key] = cm.run(
+                    pool[idx], execution="fast"
+                ).output
+            exact = np.array_equal(res.output, expected_pool[key])
+            ok[tenant] = ok.get(tenant, True) and exact
+        return ok
+
+    def class_rows(phase, stats, exact):
+        rows = []
+        for tenant in ("gold", "bronze"):
+            ts = stats.per_tenant[tenant]
+            rows.append(
+                (
+                    phase,
+                    tenant,
+                    ts.requests,
+                    f"{1e3 * ts.p50_latency_s:.1f}",
+                    f"{1e3 * ts.p95_latency_s:.1f}",
+                    f"{100 * ts.deadline_hit_rate:.0f}%",
+                    "yes" if exact.get(tenant, True) else "NO",
+                )
+            )
+        return rows
+
+    trial = dict(n_requests=n_requests, max_batch=max_batch, seed=seed)
+    pool_f, res_f, stats_fifo = priority_mix_trial(
+        cm, scheduling="fifo", **trial
+    )
+    exact_fifo = check_exact(pool_f, res_f)
+    pool_c, res_c, stats_ctrl = priority_mix_trial(
+        cm, scheduling="weighted", **trial
+    )
+    exact_ctrl = check_exact(pool_c, res_c)
+
+    # phase 3: live reconfiguration + autoscaling under the same flood
+    rng = np.random.default_rng(seed + 1)
+    shape = cm.graph.tensors[cm.graph.inputs[0]].spec.shape
+    pool = [
+        rng.integers(-128, 128, size=shape, dtype=np.int8) for _ in range(4)
+    ]
+    cfg = FleetConfig(
+        tenants={
+            "gold": TenantPolicy(weight=2.0, priority=2),
+            "bronze": TenantPolicy(weight=1.0, priority=0),
+        },
+        min_workers=1,
+        max_workers=3,
+        max_batch=max_batch,
+        max_queue_depth=4 * n_requests,
+        default_deadline_s=60.0,
+        batch_timeout_s=0.0,
+        scale_cooldown_s=0.0,
+    )
+    with Dispatcher(
+        {"gold": cm, "bronze": cm}, workers=1, config=cfg
+    ) as dispatcher:
+        tickets = []
+        half = n_requests // 2
+        for i in range(n_requests):
+            if i == half:
+                # mid-flood: flip the priority order and re-weight, on
+                # the live fleet, while workers are mid-batch
+                dispatcher.apply_config(
+                    dispatcher.config.with_tenant(
+                        "bronze", priority=3, weight=4.0
+                    ).with_tenant("gold", weight=1.0)
+                )
+            tenant = "gold" if i % 5 == 4 else "bronze"
+            idx = int(rng.integers(len(pool)))
+            tickets.append(
+                (tenant, idx, dispatcher.submit(pool[idx], tenant=tenant))
+            )
+        res_r = [(t, i, tk.result(300.0)) for t, i, tk in tickets]
+        stats_reconf = dispatcher.stats
+    exact_reconf = check_exact(pool, res_r)
+    scale_events = [c for c in stats_reconf.audit if c.kind == "scale"]
+
+    gold_fifo_p95 = stats_fifo.per_tenant["gold"].p95_latency_s
+    gold_ctrl_p95 = stats_ctrl.per_tenant["gold"].p95_latency_s
+    speedup = gold_fifo_p95 / gold_ctrl_p95 if gold_ctrl_p95 > 0 else 0.0
+
+    headers = [
+        "Phase", "Class", "Requests", "p50 ms", "p95 ms",
+        "Deadline hit", "Bit-exact",
+    ]
+    rows = (
+        class_rows("fifo", stats_fifo, exact_fifo)
+        + class_rows("control", stats_ctrl, exact_ctrl)
+        + class_rows("reconfig", stats_reconf, exact_reconf)
+    )
+    notes = [
+        f"priority mix 4:1 bronze:gold, 1 worker, micro-batch <= "
+        f"{max_batch}; gold p95 {1e3 * gold_fifo_p95:.0f} ms (fifo) -> "
+        f"{1e3 * gold_ctrl_p95:.0f} ms (control): {speedup:.2f}x",
+        "tracked gate: kind 'control' in BENCH_perf.json "
+        "(benchmarks/bench_perf.py, gold p95 >= 1.3x better than fifo)",
+        f"reconfig phase: config epoch {stats_reconf.config_epoch}, "
+        f"{len(scale_events)} autoscaler resize(s), workers ended at "
+        f"{stats_reconf.workers} "
+        f"(audit: {'; '.join(s for c in scale_events for s in c.summary)})",
+        "every phase bit-exact vs per-call execution='fast' — the "
+        "control plane changes scheduling and fleet size, never bits",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -612,4 +827,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "backends": execution_backend_speedup,
     "serving": serving_throughput,
     "dispatch": dispatch_serving,
+    "control": control_serving,
 }

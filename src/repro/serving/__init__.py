@@ -1,6 +1,6 @@
 """Plan-once/run-many serving layer on top of the compiler.
 
-Two tiers.  A :class:`Session` is the single-caller path — compile a
+Three tiers.  A :class:`Session` is the single-caller path — compile a
 model once, then serve batches against the frozen plans, packed weights
 and per-stage cost templates:
 
@@ -18,11 +18,29 @@ workers, serving many tenants' models through one shared ``PlanCache``:
         ticket = d.submit(x, tenant="acme", deadline_s=0.05)
         print(ticket.result().latency_s, d.stats.p95_latency_s)
 
+The **control plane** makes the fleet declarative and live-tunable: a
+:class:`FleetConfig` carries per-tenant QoS policies (scheduling weight,
+priority class, deadline default, admission quota) and fleet bounds
+(``min_workers``/``max_workers``, batching, queue depth), the batch
+former schedules by priority class and weighted stride, overload sheds
+the lowest-priority work first, and an :class:`Autoscaler` moves the
+worker pool inside the configured range.  Reconfigure without a restart:
+
+    cfg = d.config.with_tenant("acme", weight=4.0, priority=1)
+    d.apply_config(cfg)          # validated, atomic, audited in d.stats
+
 Outputs and per-request cost reports stay bit-identical to
-``execution="simulate"`` under any interleaving — batching, sharding and
-tenant mixing change wall clock, never bits.
+``execution="simulate"`` under any interleaving — batching, sharding,
+tenant mixing and live reconfiguration change wall clock, never bits.
 """
 
+from repro.serving.control import (
+    Autoscaler,
+    ConfigChange,
+    ControlPlane,
+    FleetConfig,
+    TenantPolicy,
+)
 from repro.serving.dispatcher import (
     Dispatcher,
     DispatchResult,
@@ -38,6 +56,11 @@ from repro.serving.session import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "ConfigChange",
+    "ControlPlane",
+    "FleetConfig",
+    "TenantPolicy",
     "Dispatcher",
     "DispatchResult",
     "DispatchStats",

@@ -1,0 +1,442 @@
+"""Declarative control plane for the serving dispatcher.
+
+The data plane (queue → batch former → worker shards → sessions) stays
+bit-exact whatever happens; this module owns everything *operational*
+about it, as one small declarative model instead of ad-hoc setters:
+
+* :class:`TenantPolicy` — per-tenant QoS: scheduling ``weight``,
+  ``priority`` class, default ``deadline_s``, admission ``quota``;
+* :class:`FleetConfig` — the whole fleet: the tenant policy map plus
+  batching, admission and autoscaling knobs and the ``min_workers`` /
+  ``max_workers`` range;
+* :class:`ControlPlane` — validated atomic swap of the live config with
+  a subscriber protocol (:class:`ConfigSubscriber`) and an audit trail
+  of :class:`ConfigChange` records, surfaced in ``Dispatcher.stats``;
+* :class:`Autoscaler` — a pure decision function growing/shrinking the
+  worker pool from queue depth and the per-tenant EWMA service
+  estimates the queue already tracks.
+
+The shape follows the config/state/action split of network-element
+configuration daemons: consumers *subscribe* to config changes and
+re-derive their behavior from the new declarative state, so a change to
+tenant weights, priorities, quotas, deadlines or worker counts lands on
+a **live** dispatcher — no restart, no torn intermediate state, every
+change validated first and recorded in the audit trail.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Protocol, runtime_checkable
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "TenantPolicy",
+    "DEFAULT_POLICY",
+    "FleetConfig",
+    "ConfigChange",
+    "ConfigSubscriber",
+    "ControlPlane",
+    "Autoscaler",
+]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant quality-of-service policy.
+
+    Attributes
+    ----------
+    weight:
+        Scheduling weight among tenants of the same priority class; a
+        weight-2 tenant receives ~2x the batch slots of a weight-1
+        tenant under contention (stride scheduling in the batch former).
+    priority:
+        Priority class; higher classes are always scheduled before
+        lower ones, and load shedding evicts the lowest class first.
+    deadline_s:
+        Default deadline for this tenant's requests when ``submit`` does
+        not pass one (falls back to the fleet ``default_deadline_s``).
+    quota:
+        Admission quota: at most this many of the tenant's requests may
+        be queued at once (``None`` = only the global depth bound).
+    """
+
+    weight: float = 1.0
+    priority: int = 0
+    deadline_s: float | None = None
+    quota: int | None = None
+
+    def validate(self, tenant: str) -> None:
+        """Raise :class:`ConfigError` unless the policy is servable."""
+        if not (self.weight > 0 and math.isfinite(self.weight)):
+            raise ConfigError(
+                f"tenant {tenant!r}: weight must be a positive finite "
+                f"number, got {self.weight}"
+            )
+        if not isinstance(self.priority, int):
+            raise ConfigError(
+                f"tenant {tenant!r}: priority must be an int class, "
+                f"got {self.priority!r}"
+            )
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ConfigError(
+                f"tenant {tenant!r}: deadline_s must be positive, "
+                f"got {self.deadline_s}"
+            )
+        if self.quota is not None and self.quota <= 0:
+            raise ConfigError(
+                f"tenant {tenant!r}: quota must be positive (or None "
+                f"for unbounded), got {self.quota}"
+            )
+
+
+#: the policy of any tenant the config does not name explicitly
+DEFAULT_POLICY = TenantPolicy()
+
+#: batch-former scheduling disciplines a config may select
+SCHEDULING_MODES = ("weighted", "fifo")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Declarative configuration of one dispatcher fleet.
+
+    Immutable: reconfiguration builds a new instance (:meth:`evolve`,
+    :meth:`with_tenant`) and applies it atomically via
+    ``Dispatcher.apply_config``.  Every consumer re-reads the current
+    config on each decision, so a swap takes effect at the next batch
+    boundary without touching in-flight work.
+    """
+
+    #: per-tenant QoS policies; unnamed tenants get :data:`DEFAULT_POLICY`
+    tenants: Mapping[str, TenantPolicy] = field(default_factory=dict)
+    #: autoscaler range (equal values pin the fleet size)
+    min_workers: int = 1
+    max_workers: int = 4
+    #: micro-batch size cap / flush trigger
+    max_batch: int = 8
+    #: global admission-control bound on queued requests
+    max_queue_depth: int = 256
+    #: deadline for requests whose tenant policy sets none
+    default_deadline_s: float = 0.5
+    #: longest the batch former holds a head request for co-batching
+    batch_timeout_s: float = 0.002
+    #: batch former discipline: ``"weighted"`` (priority classes, then
+    #: weighted stride among the class) or ``"fifo"`` (head-tenant
+    #: arrival order, the pre-control-plane behavior)
+    scheduling: str = "weighted"
+    #: scale up when the per-worker backlog exceeds this many batches
+    scale_up_backlog: float = 1.0
+    #: scale down while backlog would fit this many batches per worker
+    #: on one fewer worker
+    scale_down_backlog: float = 0.25
+    #: consecutive low-load observations required before shrinking
+    scale_patience: int = 3
+    #: minimum seconds between autoscaler resizes
+    scale_cooldown_s: float = 0.05
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy (:data:`DEFAULT_POLICY` if unnamed)."""
+        return self.tenants.get(tenant, DEFAULT_POLICY)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on the first invalid field."""
+        for tenant, policy in self.tenants.items():
+            if not isinstance(policy, TenantPolicy):
+                raise ConfigError(
+                    f"tenant {tenant!r}: expected a TenantPolicy, "
+                    f"got {type(policy).__name__}"
+                )
+            policy.validate(tenant)
+        if self.min_workers <= 0:
+            raise ConfigError(
+                f"min_workers must be positive, got {self.min_workers}"
+            )
+        if self.max_workers < self.min_workers:
+            raise ConfigError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"min_workers ({self.min_workers})"
+            )
+        if self.max_batch <= 0:
+            raise ConfigError(
+                f"max_batch must be positive, got {self.max_batch}"
+            )
+        if self.max_queue_depth <= 0:
+            raise ConfigError(
+                f"max_queue_depth must be positive, "
+                f"got {self.max_queue_depth}"
+            )
+        if not self.default_deadline_s > 0:
+            raise ConfigError(
+                f"default_deadline_s must be positive, "
+                f"got {self.default_deadline_s}"
+            )
+        if self.batch_timeout_s < 0:
+            raise ConfigError(
+                f"batch_timeout_s must be >= 0, got {self.batch_timeout_s}"
+            )
+        if self.scheduling not in SCHEDULING_MODES:
+            raise ConfigError(
+                f"unknown scheduling {self.scheduling!r}; "
+                f"use one of {SCHEDULING_MODES}"
+            )
+        if self.scale_up_backlog <= 0 or self.scale_down_backlog < 0:
+            raise ConfigError(
+                "scale_up_backlog must be > 0 and scale_down_backlog >= 0"
+            )
+        if self.scale_patience <= 0 or self.scale_cooldown_s < 0:
+            raise ConfigError(
+                "scale_patience must be > 0 and scale_cooldown_s >= 0"
+            )
+
+    # -- functional update helpers -------------------------------------- #
+    def evolve(self, **changes) -> "FleetConfig":
+        """A copy with ``changes`` applied (the config stays immutable)."""
+        return replace(self, **changes)
+
+    def with_tenant(self, tenant: str, **policy_changes) -> "FleetConfig":
+        """A copy with one tenant's policy fields updated."""
+        tenants = dict(self.tenants)
+        tenants[tenant] = replace(self.policy(tenant), **policy_changes)
+        return replace(self, tenants=tenants)
+
+    def diff(self, old: "FleetConfig | None") -> tuple[str, ...]:
+        """Human-readable field-level differences vs ``old``."""
+        if old is None:
+            return (f"initial config: {self.summary()}",)
+        lines: list[str] = []
+        for name in (
+            "min_workers", "max_workers", "max_batch", "max_queue_depth",
+            "default_deadline_s", "batch_timeout_s", "scheduling",
+            "scale_up_backlog", "scale_down_backlog", "scale_patience",
+            "scale_cooldown_s",
+        ):
+            a, b = getattr(old, name), getattr(self, name)
+            if a != b:
+                lines.append(f"{name}: {a} -> {b}")
+        for tenant in sorted(set(old.tenants) | set(self.tenants)):
+            a, b = old.policy(tenant), self.policy(tenant)
+            if a != b:
+                lines.append(f"tenant {tenant!r}: {a} -> {b}")
+        return tuple(lines) if lines else ("no changes",)
+
+    def summary(self) -> str:
+        """One-line description for audit records."""
+        return (
+            f"workers {self.min_workers}..{self.max_workers}, "
+            f"max_batch {self.max_batch}, depth {self.max_queue_depth}, "
+            f"scheduling {self.scheduling!r}, "
+            f"{len(self.tenants)} tenant polic"
+            f"{'y' if len(self.tenants) == 1 else 'ies'}"
+        )
+
+
+@dataclass(frozen=True)
+class ConfigChange:
+    """One audit-trail entry: a config swap or a fleet resize."""
+
+    #: config epoch after this change (0 = construction)
+    epoch: int
+    #: monotonic-clock instant the change was applied
+    at_s: float
+    #: ``"config"`` (apply_config), ``"scale"`` (resize) or ``"init"``
+    kind: str
+    #: human-readable what-changed lines
+    summary: tuple[str, ...]
+
+
+@runtime_checkable
+class ConfigSubscriber(Protocol):
+    """Anything that re-derives behavior from the declarative config."""
+
+    def apply_config(
+        self, old: FleetConfig | None, new: FleetConfig
+    ) -> None:
+        """Adopt ``new``; must not fail (configs are pre-validated)."""
+        ...  # pragma: no cover — protocol
+
+
+class ControlPlane:
+    """Validated, atomic, audited ownership of the live config.
+
+    ``apply`` validates the candidate config *before* touching anything,
+    then swaps it and notifies every subscriber in subscription order
+    under one lock — a reader never observes half a reconfiguration.
+    The bounded audit trail records every swap (and, via
+    :meth:`record`, every autoscaler action) for ``stats``.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        *,
+        now: Callable[[], float] = time.monotonic,
+        audit_limit: int = 256,
+    ):
+        config.validate()
+        self._now = now
+        self._lock = threading.Lock()
+        self._subscribers: list[ConfigSubscriber] = []
+        self._config = config
+        self._epoch = 0
+        self._audit: deque[ConfigChange] = deque(maxlen=audit_limit)
+        self._audit.append(
+            ConfigChange(
+                epoch=0, at_s=now(), kind="init",
+                summary=config.diff(None),
+            )
+        )
+
+    @property
+    def config(self) -> FleetConfig:
+        """The live config (an immutable snapshot; reads need no lock)."""
+        return self._config
+
+    @property
+    def epoch(self) -> int:
+        """How many reconfigurations have been applied."""
+        return self._epoch
+
+    def subscribe(self, subscriber: ConfigSubscriber) -> None:
+        """Register for future swaps and replay the current config."""
+        with self._lock:
+            self._subscribers.append(subscriber)
+            subscriber.apply_config(None, self._config)
+
+    def apply(self, new: FleetConfig) -> ConfigChange:
+        """Validate, atomically swap, notify subscribers, audit.
+
+        A :class:`ConfigError` leaves the previous config fully in
+        force.  Applying an identical config is a recorded no-op (the
+        epoch still advances, so callers can fence on it).
+        """
+        if not isinstance(new, FleetConfig):
+            raise ConfigError(
+                f"apply_config expects a FleetConfig, "
+                f"got {type(new).__name__}"
+            )
+        new.validate()
+        with self._lock:
+            old = self._config
+            self._config = new
+            for subscriber in self._subscribers:
+                subscriber.apply_config(old, new)
+            self._epoch += 1
+            change = ConfigChange(
+                epoch=self._epoch, at_s=self._now(), kind="config",
+                summary=new.diff(old),
+            )
+            self._audit.append(change)
+            return change
+
+    def record(self, kind: str, *summary: str) -> ConfigChange:
+        """Append a non-config audit event (e.g. an autoscaler resize)."""
+        with self._lock:
+            change = ConfigChange(
+                epoch=self._epoch, at_s=self._now(), kind=kind,
+                summary=tuple(summary),
+            )
+            self._audit.append(change)
+            return change
+
+    def audit(self) -> tuple[ConfigChange, ...]:
+        """The audit trail, oldest first (bounded to ``audit_limit``)."""
+        with self._lock:
+            return tuple(self._audit)
+
+
+class Autoscaler:
+    """Worker-count decisions from queue depth and service estimates.
+
+    Stateless about the fleet itself — the dispatcher feeds every
+    observation in and applies the returned target — so the policy is
+    unit-testable with synthetic load and injected clocks.  Two signals:
+
+    * **backlog**: queued batches per worker
+      (``queue_depth / max_batch / workers``); above
+      ``scale_up_backlog`` the fleet grows toward the depth that would
+      bring it back under the threshold;
+    * **drain time**: with a per-tenant EWMA service estimate available,
+      the projected time to drain the backlog
+      (``batches * service_s / workers``); if it exceeds half the
+      default deadline, enough workers are requested to drain within
+      that budget — capacity planning, not just thresholding.
+
+    Shrinking needs ``scale_patience`` consecutive low-load
+    observations, and every resize respects ``scale_cooldown_s``; both
+    guard against thrash on bursty arrivals.  The ``min_workers`` /
+    ``max_workers`` clamp is enforced immediately, cooldown or not,
+    because it is a hard config bound rather than a load decision.
+    """
+
+    def __init__(self, config: FleetConfig | None = None):
+        self._config = config if config is not None else FleetConfig()
+        self._cool_until = 0.0
+        self._low_streak = 0
+
+    # -- ConfigSubscriber ----------------------------------------------- #
+    def apply_config(
+        self, old: FleetConfig | None, new: FleetConfig
+    ) -> None:
+        self._config = new
+        self._low_streak = 0
+
+    # -- decisions ------------------------------------------------------ #
+    def desired_workers(
+        self, *, queue_depth: int, service_s: float | None
+    ) -> int:
+        """Ideal fleet size for the observed load (before hysteresis)."""
+        cfg = self._config
+        backlog_batches = queue_depth / max(1, cfg.max_batch)
+        if service_s is not None and service_s > 0:
+            # drain the backlog within half the default deadline budget
+            budget_s = 0.5 * cfg.default_deadline_s
+            need = backlog_batches * service_s / max(budget_s, 1e-9)
+        else:
+            need = backlog_batches / cfg.scale_up_backlog
+        return max(cfg.min_workers, min(cfg.max_workers, math.ceil(need)))
+
+    def decide(
+        self,
+        *,
+        queue_depth: int,
+        workers: int,
+        service_s: float | None,
+        now: float,
+    ) -> int | None:
+        """New worker target, or ``None`` to leave the fleet alone."""
+        cfg = self._config
+        if workers < cfg.min_workers:
+            return cfg.min_workers
+        if workers > cfg.max_workers:
+            return cfg.max_workers
+        desired = self.desired_workers(
+            queue_depth=queue_depth, service_s=service_s
+        )
+        if desired > workers:
+            self._low_streak = 0
+            if now < self._cool_until:
+                return None
+            self._cool_until = now + cfg.scale_cooldown_s
+            return desired
+        backlog_batches = queue_depth / max(1, cfg.max_batch)
+        fits_smaller = (
+            workers > cfg.min_workers
+            and backlog_batches
+            <= cfg.scale_down_backlog * max(1, workers - 1)
+        )
+        if not fits_smaller:
+            self._low_streak = 0
+            return None
+        self._low_streak += 1
+        if self._low_streak < cfg.scale_patience or now < self._cool_until:
+            return None
+        self._low_streak = 0
+        self._cool_until = now + cfg.scale_cooldown_s
+        return workers - 1

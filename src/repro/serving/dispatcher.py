@@ -1,16 +1,29 @@
-"""Sharded multi-worker serving dispatcher with multi-tenant sessions.
+"""Sharded multi-worker serving dispatcher with a live control plane.
 
 The scale-out layer above :class:`~repro.serving.session.Session`:
 
 .. code-block:: text
 
+                      FleetConfig ──► ControlPlane ──► subscribers
+                                          │   (queue, autoscaler)
+                                          ▼ apply_config / audit
     submit() ──► RequestQueue ──► batch former ──► worker shards ──► Session
-                 (admission       (deadline-aware   (N threads or     (one per
-                  control)         micro-batches)    processes)        tenant)
+                 (admission +     (priority/QoS     (min..max        (one per
+                  load shedding)   micro-batches)    threads)         tenant)
 
-* the **queue** (:mod:`repro.serving.queue`) admits requests up to a
-  bound and forms same-tenant micro-batches under a deadline/size
-  policy;
+* the **control plane** (:mod:`repro.serving.control`) is a declarative
+  :class:`FleetConfig` — per-tenant QoS weights, priority classes,
+  deadline defaults and admission quotas, plus fleet-level batching and
+  ``min_workers``/``max_workers`` bounds — applied atomically to a
+  *live* dispatcher via :meth:`Dispatcher.apply_config`, every change
+  validated first and recorded in the audit trail ``stats`` surfaces;
+* the **queue** (:mod:`repro.serving.queue`) admits requests up to the
+  global and per-tenant bounds, sheds the lowest-priority work first
+  when full, and forms single-tenant micro-batches under a
+  priority/weighted-stride/deadline policy;
+* the **autoscaler** grows and shrinks the worker pool inside the
+  config's range from queue depth and the per-tenant EWMA service
+  estimates, with hysteresis; resizes land in the audit trail;
 * **workers** pop batches and dispatch them through the tenant's warmed
   :class:`Session`.  Thread workers are the default — the stacked-GEMM
   hot path releases the GIL inside NumPy/BLAS, so threads shard real
@@ -18,7 +31,8 @@ The scale-out layer above :class:`~repro.serving.session.Session`:
   ``workers="process"`` forks one worker pool instead and falls back to
   per-request dispatch (sessions are inherited copy-on-write; children
   return raw outputs and the parent re-attaches the shared cost
-  template);
+  template).  The fork pool keeps its initial size; autoscaling moves
+  only the thread shards in front of it;
 * **tenants** are independent compiled models behind one front door.
   All of them share the process-wide (or caller-supplied)
   :class:`~repro.compiler.cache.PlanCache` — see
@@ -26,12 +40,12 @@ The scale-out layer above :class:`~repro.serving.session.Session`:
   per-plan cost-template cache, all lock-protected.
 
 Correctness is load-bearing: whatever the arrival order, batch
-composition and tenant mix, every request's outputs and
-``RequestStats``/``CostReport`` are bit-identical to running it alone
-with ``execution="simulate"`` (property-tested in
-``tests/serving/test_dispatcher.py``).  Workers default to the
-``"turbo"`` backend, whose BLAS-rate arithmetic is exact by
-construction (:mod:`repro.kernels.turbo`).
+composition, tenant mix or reconfiguration interleaving, every served
+request's outputs and ``RequestStats``/``CostReport`` are bit-identical
+to running it alone with ``execution="simulate"`` (property-tested in
+``tests/serving/test_dispatcher.py`` and
+``tests/serving/test_control.py``).  Scheduling and scaling change wall
+clock and *which* requests are shed under overload — never bits.
 """
 
 from __future__ import annotations
@@ -48,6 +62,12 @@ import numpy as np
 
 from repro.compiler.cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
 from repro.errors import ServingError
+from repro.serving.control import (
+    Autoscaler,
+    ConfigChange,
+    ControlPlane,
+    FleetConfig,
+)
 from repro.serving.queue import RequestQueue, Ticket
 from repro.serving.session import RequestResult, Session
 
@@ -129,6 +149,14 @@ class DispatchStats:
     wall_s: float = 0.0
     per_tenant: dict[str, TenantStats] = field(default_factory=dict)
     plan_cache: CacheStats | None = None
+    #: admitted requests later evicted by priority load shedding
+    shed: int = 0
+    #: current worker-shard target (autoscaler/config controlled)
+    workers: int = 0
+    #: how many reconfigurations ``apply_config`` has applied
+    config_epoch: int = 0
+    #: the control plane's audit trail, oldest first
+    audit: tuple[ConfigChange, ...] = ()
 
     @property
     def requests_per_s(self) -> float:
@@ -201,15 +229,23 @@ def _finalize_dispatcher(registry_key, pool, queue, frozen_weights) -> None:
         w.setflags(write=True)
 
 
-def _worker_entry(dispatcher_ref: "weakref.ref", worker_id: int) -> None:
+def _worker_entry(
+    dispatcher_ref: "weakref.ref", worker_id: int, retire_ids: set[int]
+) -> None:
     """Worker thread body, holding the dispatcher only weakly.
 
     Strong references are re-taken per batch and dropped before the
     blocking ``pop_batch`` wait, so an abandoned dispatcher can be
     garbage collected — its finalizer then closes the queue, which
-    wakes the workers and lets them exit.
+    wakes the workers and lets them exit.  ``retire_ids`` is the
+    autoscaler's shrink signal: a worker that finds its id there exits
+    at the next scheduling point without claiming work (the set is
+    shared state, deliberately not a dispatcher reference).
     """
     while True:
+        if worker_id in retire_ids:
+            retire_ids.discard(worker_id)
+            return
         dispatcher = dispatcher_ref()
         if dispatcher is None:
             return
@@ -219,8 +255,14 @@ def _worker_entry(dispatcher_ref: "weakref.ref", worker_id: int) -> None:
         # the dict's bound .get keeps the dict alive, not the dispatcher
         estimate = dispatcher._service_s.get
         del dispatcher
-        batch = queue.pop_batch(max_batch, batch_timeout_s, estimate)
+        batch = queue.pop_batch(
+            max_batch,
+            batch_timeout_s,
+            estimate,
+            stop=lambda: worker_id in retire_ids,
+        )
         if batch is None:
+            retire_ids.discard(worker_id)
             return
         dispatcher = dispatcher_ref()
         if dispatcher is None:
@@ -237,7 +279,7 @@ def _worker_entry(dispatcher_ref: "weakref.ref", worker_id: int) -> None:
 
 
 class Dispatcher:
-    """Queue → deadline-aware micro-batches → N worker shards → sessions.
+    """Queue → QoS micro-batches → worker shards → sessions, live-tunable.
 
     Parameters
     ----------
@@ -245,28 +287,29 @@ class Dispatcher:
         ``{tenant name: CompiledModel}`` (or a single ``CompiledModel``,
         served as tenant ``"default"``).
     workers:
-        Number of worker shards.
+        Initial number of worker shards (clamped into the config's
+        ``min_workers..max_workers`` range; the autoscaler moves the
+        fleet inside it afterwards).
     worker_mode:
         ``"thread"`` (default; shards share every cache and the GEMMs
         release the GIL) or ``"process"`` (fork a pool; per-request
-        dispatch inside each formed batch).
+        dispatch inside each formed batch; the pool keeps its initial
+        size).
     execution:
         Backend for every tenant session; the ``"turbo"`` default keeps
         bit-exactness while running the stacked GEMMs at BLAS rate.
-    max_batch:
-        Micro-batch size cap (also the flush trigger).
-    max_queue_depth:
-        Admission-control bound; breaching it raises
-        :class:`~repro.errors.AdmissionError` at ``submit``.
-    default_deadline_s:
-        Deadline budget for requests that do not pass their own.
-    batch_timeout_s:
-        Longest the batch former holds the oldest request waiting for
-        co-batchable traffic (deadline pressure can flush earlier).
+    max_batch, max_queue_depth, default_deadline_s, batch_timeout_s:
+        Shorthand for the matching :class:`FleetConfig` fields when no
+        ``config`` is given.
     plan_cache:
         The shared :class:`PlanCache` whose hit/miss statistics the
         dispatcher reports (default: the process-wide cache every
         ``repro.compile`` call already goes through).
+    config:
+        Full declarative :class:`FleetConfig` (overrides the shorthand
+        kwargs above).  Without one, a fixed-size config pinning
+        ``min_workers = max_workers = workers`` reproduces the classic
+        fixed-fleet behavior.  Swap it live with :meth:`apply_config`.
     """
 
     def __init__(
@@ -281,6 +324,7 @@ class Dispatcher:
         default_deadline_s: float = 0.5,
         batch_timeout_s: float = 0.002,
         plan_cache: PlanCache | None = None,
+        config: FleetConfig | None = None,
     ):
         if workers <= 0:
             raise ServingError(f"need at least one worker, got {workers}")
@@ -295,6 +339,16 @@ class Dispatcher:
             raise ServingError(
                 "default_deadline_s must be > 0 and batch_timeout_s >= 0"
             )
+        if config is None:
+            # classic fixed fleet: exactly `workers` shards, no scaling
+            config = FleetConfig(
+                min_workers=workers,
+                max_workers=workers,
+                max_batch=max_batch,
+                max_queue_depth=max_queue_depth,
+                default_deadline_s=default_deadline_s,
+                batch_timeout_s=batch_timeout_s,
+            )
         if not isinstance(models, Mapping):
             models = {"default": models}
         if not models:
@@ -302,9 +356,6 @@ class Dispatcher:
         self.workers = workers
         self.worker_mode = worker_mode
         self.execution = execution
-        self.max_batch = max_batch
-        self.default_deadline_s = default_deadline_s
-        self.batch_timeout_s = batch_timeout_s
         self.plan_cache = (
             plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
         )
@@ -313,7 +364,12 @@ class Dispatcher:
             tenant: Session(cm, execution=execution, max_batch=max_batch)
             for tenant, cm in models.items()
         }
-        self.queue = RequestQueue(max_queue_depth)
+        #: the control plane: validated atomic config swaps + audit trail
+        self.control = ControlPlane(config)
+        self.queue = RequestQueue(config=config)
+        self._autoscaler = Autoscaler(config)
+        self.control.subscribe(self.queue)
+        self.control.subscribe(self._autoscaler)
         self._seq = 0
         self._admitted = 0
         self._submit_lock = threading.Lock()
@@ -347,17 +403,18 @@ class Dispatcher:
             self, _finalize_dispatcher, id(self), self._pool, self.queue,
             self._frozen_weights,
         )
-        self._threads = [
-            threading.Thread(
-                target=_worker_entry,
-                args=(weakref.ref(self), i),
-                name=f"dispatcher-worker-{i}",
-                daemon=True,
-            )
-            for i in range(workers)
-        ]
-        for th in self._threads:
-            th.start()
+        # worker-shard fleet: id -> thread, resized live by the
+        # autoscaler / apply_config; `_retire_ids` is the shrink signal
+        # shared with the workers (never a dispatcher reference)
+        self._scale_lock = threading.Lock()
+        self._threads: dict[int, threading.Thread] = {}
+        self._retire_ids: set[int] = set()
+        self._next_worker_id = 0
+        self._target_workers = min(
+            max(workers, config.min_workers), config.max_workers
+        )
+        with self._scale_lock:
+            self._spawn_workers(self._target_workers)
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -428,6 +485,130 @@ class Dispatcher:
             raise
 
     # ------------------------------------------------------------------ #
+    # control plane
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> FleetConfig:
+        """The live declarative config (an immutable snapshot)."""
+        return self.control.config
+
+    @property
+    def max_batch(self) -> int:
+        return self.control.config.max_batch
+
+    @property
+    def batch_timeout_s(self) -> float:
+        return self.control.config.batch_timeout_s
+
+    @property
+    def default_deadline_s(self) -> float:
+        return self.control.config.default_deadline_s
+
+    @property
+    def worker_count(self) -> int:
+        """The current worker-shard target (live threads converge to it)."""
+        return self._target_workers
+
+    @property
+    def live_workers(self) -> int:
+        """Worker threads currently alive (lags the target briefly)."""
+        with self._scale_lock:
+            return sum(
+                1
+                for wid, th in self._threads.items()
+                if th.is_alive() and wid not in self._retire_ids
+            )
+
+    def apply_config(self, new_config: FleetConfig) -> ConfigChange:
+        """Reconfigure the **live** dispatcher; returns the audit record.
+
+        Validated first (:class:`~repro.errors.ConfigError` leaves
+        everything untouched), then swapped atomically: the queue's
+        batch former, admission control and load shedding, the
+        autoscaler's bounds, the per-tenant deadline defaults and the
+        worker-count clamp all re-derive from the new config at their
+        next decision point.  In-flight batches are never interrupted,
+        admitted requests are never dropped by a reconfiguration, and
+        outputs stay bit-exact — the config changes *scheduling*, not
+        arithmetic.
+        """
+        if self._closed:
+            raise ServingError(
+                "dispatcher is closed; apply_config needs a live fleet"
+            )
+        change = self.control.apply(new_config)
+        # hard clamp into the new range right away (the autoscaler only
+        # moves the fleet on load observations)
+        target = min(
+            max(self._target_workers, new_config.min_workers),
+            new_config.max_workers,
+        )
+        if target != self._target_workers:
+            self._resize(target, reason=f"config epoch {change.epoch}")
+        self.queue.kick()
+        return change
+
+    def _resize(self, target: int, *, reason: str) -> None:
+        """Grow/shrink the worker-shard fleet to ``target`` threads."""
+        with self._scale_lock:
+            if self._closed:
+                return
+            old = self._target_workers
+            if target == old:
+                return
+            self._target_workers = target
+            if target > old:
+                self._spawn_workers(target - old)
+            else:
+                # retire the newest shards first; they exit at their
+                # next scheduling point without claiming work
+                live = sorted(
+                    wid
+                    for wid, th in self._threads.items()
+                    if th.is_alive() and wid not in self._retire_ids
+                )
+                for wid in live[target:]:
+                    self._retire_ids.add(wid)
+        self.control.record(
+            "scale", f"workers {old} -> {target} ({reason})"
+        )
+        self.queue.kick()  # wake parked workers so retirements land
+
+    def _spawn_workers(self, count: int) -> None:
+        """Start ``count`` fresh worker threads (scale lock held)."""
+        for _ in range(count):
+            wid = self._next_worker_id
+            self._next_worker_id += 1
+            th = threading.Thread(
+                target=_worker_entry,
+                args=(weakref.ref(self), wid, self._retire_ids),
+                name=f"dispatcher-worker-{wid}",
+                daemon=True,
+            )
+            self._threads[wid] = th
+            th.start()
+
+    def _maybe_autoscale(self) -> None:
+        """One autoscaler observation (called on submit / batch done)."""
+        if self._closed:
+            return
+        with self._stats_lock:
+            estimates = [
+                s for s in self._service_s.values() if s is not None
+            ]
+        service_s = (
+            sum(estimates) / len(estimates) if estimates else None
+        )
+        target = self._autoscaler.decide(
+            queue_depth=len(self.queue),
+            workers=self._target_workers,
+            service_s=service_s,
+            now=time.monotonic(),
+        )
+        if target is not None and target != self._target_workers:
+            self._resize(target, reason="autoscale")
+
+    # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
     def submit(
@@ -442,7 +623,8 @@ class Dispatcher:
 
         Validation happens here, at admission — a malformed request is
         the submitter's error and must never poison the co-batched
-        requests of other callers.
+        requests of other callers.  The deadline default comes from the
+        tenant's policy, falling back to the fleet default.
         """
         if self._closed:
             raise ServingError("dispatcher is closed; no new requests")
@@ -455,7 +637,12 @@ class Dispatcher:
             ) from None
         feeds = self._validate(session, x, feeds, tenant)
         if deadline_s is None:
-            deadline_s = self.default_deadline_s
+            policy = self.control.config.policy(tenant)
+            deadline_s = (
+                policy.deadline_s
+                if policy.deadline_s is not None
+                else self.control.config.default_deadline_s
+            )
         if deadline_s <= 0:
             raise ServingError(
                 f"deadline_s must be positive, got {deadline_s}"
@@ -476,6 +663,7 @@ class Dispatcher:
             self._admitted += 1
             if self._first_submit_t is None:
                 self._first_submit_t = now
+        self._maybe_autoscale()
         return ticket
 
     def run_many(
@@ -617,6 +805,7 @@ class Dispatcher:
                     deadline_met=t1 <= ticket.deadline_t,
                 )
             )
+        self._maybe_autoscale()
 
     # ------------------------------------------------------------------ #
     # lifecycle / introspection
@@ -648,6 +837,10 @@ class Dispatcher:
                 wall_s=wall,
                 per_tenant=per_tenant,
                 plan_cache=self.plan_cache.stats,
+                shed=self.queue.shed,
+                workers=self._target_workers,
+                config_epoch=self.control.epoch,
+                audit=self.control.audit(),
             )
 
     def close(self, timeout: float | None = 30.0) -> None:
@@ -656,7 +849,9 @@ class Dispatcher:
             return
         self._closed = True
         self.queue.close()
-        for th in self._threads:
+        with self._scale_lock:
+            threads = list(self._threads.values())
+        for th in threads:
             th.join(timeout)
         self._finalizer()  # idempotent: registry + pool teardown
         self._pool = None

@@ -1,28 +1,36 @@
-"""Admission-controlled request queue with deadline-aware micro-batching.
+"""Admission-controlled request queue with QoS-aware micro-batching.
 
 The serving front-end half of the dispatcher: callers submit
 :class:`Ticket`\\ s (one per request), workers pop *micro-batches*.  The
-queue owns the two scheduling policies the ISSUE's north star needs:
+queue owns the scheduling policies of the serving layer, all of them
+driven by the declarative :class:`~repro.serving.control.FleetConfig`
+it subscribes to:
 
-* **admission control** — the queue is bounded; a submit against a full
-  queue raises :class:`~repro.errors.AdmissionError` instead of letting
-  latency grow without bound.  Back-pressure is explicit and counted.
-* **deadline-aware batch forming** — a batch is flushed to a worker when
-  it reaches ``max_batch``, when the oldest queued request has waited
-  ``batch_timeout_s`` (the classic micro-batching knob), or when that
-  request's *deadline budget* forces dispatch: once the time left to its
-  deadline shrinks to the tenant's estimated batch service time, waiting
-  for more traffic would convert a deadline hit into a miss.
+* **admission control** — the queue is bounded globally
+  (``max_queue_depth``) and per tenant (the policy ``quota``); a submit
+  over either bound raises :class:`~repro.errors.AdmissionError`
+  instead of letting latency grow without bound.  Back-pressure is
+  explicit and counted.
+* **priority load shedding** — when the queue is full and a
+  higher-priority request arrives, the newest queued request of the
+  *lowest* priority class is evicted (its waiter gets the
+  :class:`AdmissionError`) so important traffic is never turned away
+  while junk occupies the queue.
+* **QoS-aware batch forming** — a tenant's batch becomes *due* when it
+  reaches ``max_batch``, when its oldest request has waited
+  ``batch_timeout_s``, or when that request's deadline budget shrinks
+  to the tenant's estimated batch service time.  Among due tenants the
+  former picks the highest priority class first, then the smallest
+  weighted stride pass inside the class (a weight-2 tenant gets ~2x the
+  slots of a weight-1 peer), then FIFO arrival.  ``scheduling="fifo"``
+  restores the pre-control-plane head-tenant arrival order.
 
-Batches are always formed from the **globally oldest** request's tenant
-(requests of different tenants run different models and can never share
-a stacked GEMM).  Because the head of the queue defines every batch,
-tenants are served FIFO at batch granularity — a heavy tenant cannot
-starve a light one, which the dispatcher's starvation tests assert.
-
-All state is guarded by one condition variable; ``pop_batch`` re-derives
-its view of the queue after every wait, so any number of workers can
-block in it concurrently without double-claiming a request.
+Batches are always single-tenant (different tenants run different
+models and can never share a stacked GEMM) and FIFO *within* the
+tenant.  All state is guarded by one condition variable; ``pop_batch``
+re-derives its view after every wait, so any number of workers can
+block in it concurrently without double-claiming a request, and a
+live ``apply_config`` lands at the next scheduling decision.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.errors import AdmissionError, ServingError
+from repro.serving.control import FleetConfig
 
 __all__ = ["Ticket", "RequestQueue"]
 
@@ -42,7 +51,8 @@ class Ticket:
     """One submitted request: feeds in, a future for the result out.
 
     Created by :meth:`~repro.serving.dispatcher.Dispatcher.submit`;
-    fulfilled (or failed) exactly once by a dispatcher worker.
+    fulfilled (or failed) exactly once by a dispatcher worker — or
+    failed by the queue itself when priority load shedding evicts it.
     """
 
     __slots__ = (
@@ -97,30 +107,44 @@ class Ticket:
 
 
 class RequestQueue:
-    """Bounded FIFO of tickets with micro-batch forming.
+    """Bounded ticket queue with QoS-aware micro-batch forming.
 
     Parameters
     ----------
     max_depth:
-        Admission-control bound on queued (not yet dispatched) requests.
+        Admission-control bound (shorthand for a default
+        :class:`FleetConfig` with that ``max_queue_depth``).
+    config:
+        Full declarative config; overrides ``max_depth``.  The queue is
+        a :class:`~repro.serving.control.ConfigSubscriber` — a live
+        dispatcher swaps configs via :meth:`apply_config`.
     now:
         Clock override for tests (defaults to :func:`time.monotonic`).
     """
 
     def __init__(
-        self, max_depth: int, *, now: Callable[[], float] = time.monotonic
+        self,
+        max_depth: int | None = None,
+        *,
+        config: FleetConfig | None = None,
+        now: Callable[[], float] = time.monotonic,
     ):
-        if max_depth <= 0:
-            raise ServingError(
-                f"queue max_depth must be positive, got {max_depth}"
+        if config is None:
+            config = FleetConfig(
+                max_queue_depth=max_depth if max_depth is not None else 256
             )
-        self.max_depth = max_depth
+        config.validate()
+        self._config = config
         self._now = now
         self._items: list[Ticket] = []
         self._cond = threading.Condition()
         self._closed = False
+        #: weighted-stride pass per tenant (the fairness state)
+        self._pass: dict[str, float] = {}
         #: admission-control rejections over the queue's lifetime
         self.rejected = 0
+        #: queued requests evicted by priority load shedding
+        self.shed = 0
         #: deepest the queue ever got
         self.peak_depth = 0
 
@@ -133,22 +157,133 @@ class RequestQueue:
         with self._cond:
             return self._closed
 
+    @property
+    def max_depth(self) -> int:
+        """The live global admission bound (config-derived)."""
+        return self._config.max_queue_depth
+
+    # ------------------------------------------------------------------ #
+    # control plane
+    # ------------------------------------------------------------------ #
+    def apply_config(
+        self, old: FleetConfig | None, new: FleetConfig
+    ) -> None:
+        """Adopt ``new`` (:class:`ConfigSubscriber` protocol).
+
+        Takes effect at the next admission / scheduling decision:
+        already-queued requests above a tightened quota or depth bound
+        stay queued and drain normally — reconfiguration never drops
+        work that was legally admitted (only priority shedding does,
+        and only in favor of strictly more important work).
+        """
+        with self._cond:
+            self._config = new
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake every blocked ``pop_batch`` to re-read external state.
+
+        Used by the dispatcher after worker retirements are posted so a
+        worker parked in the wait loop notices its ``stop`` signal.
+        """
+        with self._cond:
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
     def put(self, ticket: Ticket) -> None:
-        """Admit ``ticket`` or raise :class:`AdmissionError` (queue full)."""
+        """Admit ``ticket`` or raise :class:`AdmissionError`.
+
+        Over-quota and over-depth submissions are rejected — except
+        that a full queue holding strictly lower-priority work sheds
+        its newest lowest-priority request (failing *that* ticket with
+        :class:`AdmissionError`) to admit the more important newcomer.
+        """
         with self._cond:
             if self._closed:
                 raise ServingError(
                     "queue is closed; the dispatcher is shutting down"
                 )
-            if len(self._items) >= self.max_depth:
-                self.rejected += 1
-                raise AdmissionError(
-                    f"request queue at capacity ({self.max_depth}); "
-                    "retry later, raise max_queue_depth, or add workers"
+            cfg = self._config
+            policy = cfg.policy(ticket.tenant)
+            if policy.quota is not None:
+                queued = sum(
+                    1 for t in self._items if t.tenant == ticket.tenant
                 )
+                if queued >= policy.quota:
+                    self.rejected += 1
+                    raise AdmissionError(
+                        f"tenant {ticket.tenant!r} is at its admission "
+                        f"quota ({policy.quota} queued); retry later or "
+                        "raise the tenant's quota via apply_config"
+                    )
+            if len(self._items) >= cfg.max_queue_depth:
+                victim = self._shed_candidate(policy.priority)
+                if victim is None:
+                    self.rejected += 1
+                    raise AdmissionError(
+                        f"request queue at capacity "
+                        f"({cfg.max_queue_depth}); retry later, raise "
+                        "max_queue_depth, or add workers"
+                    )
+                self._items.remove(victim)
+                self.shed += 1
+                victim._fail(
+                    AdmissionError(
+                        f"request {victim.request_seq} "
+                        f"({victim.tenant!r}, priority "
+                        f"{cfg.policy(victim.tenant).priority}) was shed "
+                        "from a full queue to admit higher-priority "
+                        "work; retry later or raise max_queue_depth"
+                    )
+                )
+            self._seed_pass(ticket.tenant)
             self._items.append(ticket)
             self.peak_depth = max(self.peak_depth, len(self._items))
             self._cond.notify_all()
+
+    def _shed_candidate(self, incoming_priority: int) -> Ticket | None:
+        """The queued ticket to evict for an ``incoming_priority`` request.
+
+        The *newest* request of the strictly-lowest priority class below
+        the newcomer (newest: it has waited least, so failing it wastes
+        the least progress).  ``None`` when nothing queued is strictly
+        less important — then the newcomer itself is rejected.
+        """
+        cfg = self._config
+        victim: Ticket | None = None
+        victim_priority = incoming_priority
+        for t in self._items:
+            p = cfg.policy(t.tenant).priority
+            if p < victim_priority or (
+                victim is not None
+                and p == victim_priority
+                and t.request_seq > victim.request_seq
+            ):
+                victim = t
+                victim_priority = p
+        return victim
+
+    def _seed_pass(self, tenant: str) -> None:
+        """Stride bookkeeping for a tenant (re)entering the queue.
+
+        A tenant with no queued work joins at the *minimum* pass of the
+        currently active tenants (the virtual time), so an idle spell
+        neither banks an unfair burst (a stale low pass) nor penalizes
+        the return.  An empty queue resets the epoch entirely, keeping
+        the passes bounded over a long-lived dispatcher.
+        """
+        if not self._items:
+            self._pass.clear()
+            self._pass[tenant] = 0.0
+            return
+        if any(t.tenant == tenant for t in self._items):
+            return
+        floor = min(
+            self._pass.get(t.tenant, 0.0) for t in self._items
+        )
+        self._pass[tenant] = max(self._pass.get(tenant, 0.0), floor)
 
     def close(self) -> None:
         """Stop admitting; workers drain what is queued, then get ``None``."""
@@ -156,54 +291,159 @@ class RequestQueue:
             self._closed = True
             self._cond.notify_all()
 
+    # ------------------------------------------------------------------ #
+    # batch forming
+    # ------------------------------------------------------------------ #
     def pop_batch(
         self,
         max_batch: int,
         batch_timeout_s: float,
         service_estimate: Callable[[str], float | None],
+        *,
+        stop: Callable[[], bool] | None = None,
     ) -> list[Ticket] | None:
         """Block until a micro-batch is due; ``None`` once closed and empty.
 
-        The batch holds the oldest request plus every other queued
-        request of the *same tenant* in FIFO order (capped at
-        ``max_batch``).  Flush happens at whichever comes first:
+        A tenant is *due* when its queued count reaches ``max_batch``,
+        its oldest request has waited ``batch_timeout_s``, that
+        request's remaining deadline budget drops to the tenant's
+        estimated service time (``service_estimate(tenant)``; ``None``
+        while the tenant has no history), or the queue is closed
+        (drain).  Among due tenants the scheduler picks by priority
+        class, then weighted stride pass, then arrival order; the batch
+        is the tenant's oldest ``max_batch`` requests in FIFO order.
 
-        * the batch is full,
-        * the oldest request has waited ``batch_timeout_s``,
-        * the oldest request's remaining deadline budget drops to the
-          tenant's estimated service time (``service_estimate(tenant)``;
-          ``None`` while the tenant has no history),
-        * the queue is closed (drain what is there).
+        ``stop`` (checked after every wake) lets the dispatcher retire
+        this worker without closing the queue — the autoscaler's shrink
+        path; a retired pop returns ``None`` without claiming work.
 
-        Safe for any number of concurrent worker threads: the queue view
-        is re-derived under the lock after every wait, and removal is
-        atomic with the flush decision.
+        Safe for any number of concurrent worker threads: the queue
+        view is re-derived under the lock after every wait, and removal
+        is atomic with the due decision.
         """
         with self._cond:
             while True:
+                if stop is not None and stop():
+                    return None
                 if not self._items:
                     if self._closed:
                         return None
                     self._cond.wait()
                     continue
-                head = self._items[0]
-                tenant = head.tenant
-                batch = [t for t in self._items if t.tenant == tenant]
-                if len(batch) > max_batch:
-                    batch = batch[:max_batch]
+                cfg = self._config
                 now_t = self._now()
-                flush_at = head.enqueue_t + batch_timeout_s
-                est = service_estimate(tenant)
-                if est is not None:
-                    # dispatch early enough that service can still finish
-                    # inside the oldest request's deadline
-                    flush_at = min(flush_at, head.deadline_t - est)
-                if (
-                    len(batch) >= max_batch
+                if cfg.scheduling == "fifo":
+                    tenant = self._items[0].tenant
+                else:
+                    tenant = self._select_tenant(
+                        cfg, max_batch, batch_timeout_s,
+                        service_estimate, now_t,
+                    )
+                if tenant is None:
+                    # nothing due: sleep until the earliest head could
+                    # become due (puts/closes/config swaps notify)
+                    wake_at = min(
+                        self._flush_at(
+                            head, batch_timeout_s, service_estimate
+                        )
+                        for head in self._heads().values()
+                    )
+                    self._cond.wait(max(0.0, wake_at - now_t))
+                    continue
+                head = next(
+                    t for t in self._items if t.tenant == tenant
+                )
+                count = sum(
+                    1 for t in self._items if t.tenant == tenant
+                )
+                due = (
+                    count >= max_batch
                     or self._closed
-                    or now_t >= flush_at
-                ):
-                    for t in batch:
-                        self._items.remove(t)
-                    return batch
-                self._cond.wait(flush_at - now_t)
+                    or now_t
+                    >= self._flush_at(
+                        head, batch_timeout_s, service_estimate
+                    )
+                )
+                if not due:
+                    # fifo mode: the head tenant alone defines the batch
+                    self._cond.wait(
+                        max(
+                            0.0,
+                            self._flush_at(
+                                head, batch_timeout_s, service_estimate
+                            )
+                            - now_t,
+                        )
+                    )
+                    continue
+                batch = [
+                    t for t in self._items if t.tenant == tenant
+                ][:max_batch]
+                for t in batch:
+                    self._items.remove(t)
+                policy = cfg.policy(tenant)
+                self._pass[tenant] = self._pass.get(
+                    tenant, 0.0
+                ) + len(batch) / policy.weight
+                return batch
+
+    def _heads(self) -> dict[str, Ticket]:
+        """Oldest queued ticket per tenant, in arrival order."""
+        heads: dict[str, Ticket] = {}
+        for t in self._items:
+            if t.tenant not in heads:
+                heads[t.tenant] = t
+        return heads
+
+    @staticmethod
+    def _flush_at(
+        head: Ticket,
+        batch_timeout_s: float,
+        service_estimate: Callable[[str], float | None],
+    ) -> float:
+        """When ``head``'s tenant becomes due regardless of batch size."""
+        flush_at = head.enqueue_t + batch_timeout_s
+        est = service_estimate(head.tenant)
+        if est is not None:
+            # dispatch early enough that service can still finish
+            # inside the oldest request's deadline
+            flush_at = min(flush_at, head.deadline_t - est)
+        return flush_at
+
+    def _select_tenant(
+        self,
+        cfg: FleetConfig,
+        max_batch: int,
+        batch_timeout_s: float,
+        service_estimate: Callable[[str], float | None],
+        now_t: float,
+    ) -> str | None:
+        """The due tenant to serve next, or ``None`` if nothing is due.
+
+        Highest priority class first; inside the class, the smallest
+        weighted stride pass; ties broken by arrival order.  Fullness
+        (``count >= max_batch``) makes a tenant due immediately — a
+        full batch gains nothing by waiting.
+        """
+        heads = self._heads()
+        counts: dict[str, int] = {}
+        for t in self._items:
+            counts[t.tenant] = counts.get(t.tenant, 0) + 1
+        due = [
+            tenant
+            for tenant, head in heads.items()
+            if self._closed
+            or counts[tenant] >= max_batch
+            or now_t
+            >= self._flush_at(head, batch_timeout_s, service_estimate)
+        ]
+        if not due:
+            return None
+        return min(
+            due,
+            key=lambda tenant: (
+                -cfg.policy(tenant).priority,
+                self._pass.get(tenant, 0.0),
+                heads[tenant].request_seq,
+            ),
+        )

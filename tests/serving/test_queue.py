@@ -14,6 +14,7 @@ import time
 import pytest
 
 from repro.errors import AdmissionError, ServingError
+from repro.serving.control import FleetConfig, TenantPolicy
 from repro.serving.queue import RequestQueue, Ticket
 
 NO_ESTIMATE = {}.get  # service_estimate with no history for any tenant
@@ -132,6 +133,119 @@ class TestBatchForming:
         for t in threads:
             t.join(10.0)
         assert sorted(claimed) == list(range(30))
+
+
+class TestQoS:
+    """Config-driven scheduling: priority, weights, quotas, shedding."""
+
+    def test_priority_class_served_first(self):
+        cfg = FleetConfig(
+            tenants={"gold": TenantPolicy(priority=2)}, max_queue_depth=16
+        )
+        q = RequestQueue(config=cfg)
+        for seq, tenant in enumerate(["bronze", "bronze", "gold", "gold"]):
+            q.put(ticket(tenant, seq))
+        first = q.pop_batch(8, 0.0, NO_ESTIMATE)
+        second = q.pop_batch(8, 0.0, NO_ESTIMATE)
+        assert all(t.tenant == "gold" for t in first)
+        assert [t.request_seq for t in first] == [2, 3]
+        assert all(t.tenant == "bronze" for t in second)
+
+    def test_weighted_stride_share(self):
+        cfg = FleetConfig(
+            tenants={
+                "heavy": TenantPolicy(weight=3.0),
+                "light": TenantPolicy(weight=1.0),
+            },
+            max_queue_depth=256,
+        )
+        q = RequestQueue(config=cfg)
+        for i in range(60):
+            q.put(ticket("heavy", 2 * i))
+            q.put(ticket("light", 2 * i + 1))
+        served = [q.pop_batch(4, 0.0, NO_ESTIMATE)[0].tenant for _ in range(12)]
+        # a 3:1 weight ratio yields ~3x the batch slots under contention
+        assert served.count("heavy") == 9
+        assert served.count("light") == 3
+
+    def test_tenant_quota_rejects_independently_of_depth(self):
+        cfg = FleetConfig(
+            tenants={"capped": TenantPolicy(quota=2)}, max_queue_depth=16
+        )
+        q = RequestQueue(config=cfg)
+        q.put(ticket("capped", 0))
+        q.put(ticket("capped", 1))
+        with pytest.raises(AdmissionError, match="quota"):
+            q.put(ticket("capped", 2))
+        assert q.rejected == 1
+        q.put(ticket("other", 3))  # depth bound untouched for peers
+
+    def test_full_queue_sheds_newest_lowest_priority(self):
+        cfg = FleetConfig(
+            tenants={"gold": TenantPolicy(priority=2)}, max_queue_depth=2
+        )
+        q = RequestQueue(config=cfg)
+        old_bronze, new_bronze = ticket("bronze", 0), ticket("bronze", 1)
+        q.put(old_bronze)
+        q.put(new_bronze)
+        q.put(ticket("gold", 2))  # full -> evict the *newest* bronze
+        assert q.shed == 1
+        with pytest.raises(AdmissionError, match="shed"):
+            new_bronze.result(0.0)
+        assert not old_bronze.done()
+        batch = q.pop_batch(8, 0.0, NO_ESTIMATE)
+        assert [t.request_seq for t in batch] == [2]
+
+    def test_equal_priority_full_queue_still_rejects_newcomer(self):
+        cfg = FleetConfig(max_queue_depth=2)
+        q = RequestQueue(config=cfg)
+        q.put(ticket("a", 0))
+        q.put(ticket("b", 1))
+        with pytest.raises(AdmissionError, match="capacity"):
+            q.put(ticket("c", 2))  # nothing strictly less important
+        assert q.shed == 0 and q.rejected == 1
+
+    def test_fifo_mode_preserves_head_tenant_order(self):
+        cfg = FleetConfig(
+            tenants={"b": TenantPolicy(priority=5)},
+            scheduling="fifo",
+            max_queue_depth=16,
+        )
+        q = RequestQueue(config=cfg)
+        for seq, tenant in enumerate("aabb"):
+            q.put(ticket(tenant, seq))
+        first = q.pop_batch(8, 0.0, NO_ESTIMATE)
+        # fifo ignores b's priority: the head request's tenant (a) wins
+        assert all(t.tenant == "a" for t in first)
+
+    def test_apply_config_retunes_live_queue(self):
+        q = RequestQueue(config=FleetConfig(max_queue_depth=1))
+        q.put(ticket("a", 0))
+        with pytest.raises(AdmissionError):
+            q.put(ticket("a", 1))
+        q.apply_config(None, FleetConfig(max_queue_depth=4))
+        q.put(ticket("a", 1))  # the raised bound admits immediately
+        assert len(q) == 2
+        assert q.max_depth == 4
+
+    def test_stop_retires_blocked_worker_without_claiming(self):
+        q = RequestQueue(config=FleetConfig())
+        stop = threading.Event()
+        out = []
+
+        def worker():
+            out.append(q.pop_batch(8, 10.0, NO_ESTIMATE, stop=stop.is_set))
+
+        th = threading.Thread(target=worker)
+        th.start()
+        time.sleep(0.02)
+        stop.set()
+        q.kick()
+        th.join(5.0)
+        assert not th.is_alive()
+        assert out == [None]
+        q.put(ticket("a", 0))
+        assert len(q) == 1  # the retired worker claimed nothing
 
 
 class TestTicket:
