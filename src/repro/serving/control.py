@@ -377,6 +377,9 @@ class Autoscaler:
 
     def __init__(self, config: FleetConfig | None = None):
         self._config = config if config is not None else FleetConfig()
+        # decide() is called from every submitter and worker thread;
+        # the streak/cooldown bookkeeping must not be torn between them
+        self._lock = threading.Lock()
         self._cool_until = 0.0
         self._low_streak = 0
 
@@ -384,8 +387,9 @@ class Autoscaler:
     def apply_config(
         self, old: FleetConfig | None, new: FleetConfig
     ) -> None:
-        self._config = new
-        self._low_streak = 0
+        with self._lock:
+            self._config = new
+            self._low_streak = 0
 
     # -- decisions ------------------------------------------------------ #
     def desired_workers(
@@ -410,33 +414,42 @@ class Autoscaler:
         service_s: float | None,
         now: float,
     ) -> int | None:
-        """New worker target, or ``None`` to leave the fleet alone."""
-        cfg = self._config
-        if workers < cfg.min_workers:
-            return cfg.min_workers
-        if workers > cfg.max_workers:
-            return cfg.max_workers
-        desired = self.desired_workers(
-            queue_depth=queue_depth, service_s=service_s
-        )
-        if desired > workers:
-            self._low_streak = 0
-            if now < self._cool_until:
+        """New worker target, or ``None`` to leave the fleet alone.
+
+        Serialized internally: concurrent observers (every submit and
+        batch completion calls in) would otherwise tear the shrink
+        streak and let two callers both pass the cooldown check.
+        """
+        with self._lock:
+            cfg = self._config
+            if workers < cfg.min_workers:
+                return cfg.min_workers
+            if workers > cfg.max_workers:
+                return cfg.max_workers
+            desired = self.desired_workers(
+                queue_depth=queue_depth, service_s=service_s
+            )
+            if desired > workers:
+                self._low_streak = 0
+                if now < self._cool_until:
+                    return None
+                self._cool_until = now + cfg.scale_cooldown_s
+                return desired
+            backlog_batches = queue_depth / max(1, cfg.max_batch)
+            fits_smaller = (
+                workers > cfg.min_workers
+                and backlog_batches
+                <= cfg.scale_down_backlog * max(1, workers - 1)
+            )
+            if not fits_smaller:
+                self._low_streak = 0
                 return None
-            self._cool_until = now + cfg.scale_cooldown_s
-            return desired
-        backlog_batches = queue_depth / max(1, cfg.max_batch)
-        fits_smaller = (
-            workers > cfg.min_workers
-            and backlog_batches
-            <= cfg.scale_down_backlog * max(1, workers - 1)
-        )
-        if not fits_smaller:
+            self._low_streak += 1
+            if (
+                self._low_streak < cfg.scale_patience
+                or now < self._cool_until
+            ):
+                return None
             self._low_streak = 0
-            return None
-        self._low_streak += 1
-        if self._low_streak < cfg.scale_patience or now < self._cool_until:
-            return None
-        self._low_streak = 0
-        self._cool_until = now + cfg.scale_cooldown_s
-        return workers - 1
+            self._cool_until = now + cfg.scale_cooldown_s
+            return workers - 1

@@ -61,7 +61,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.compiler.cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
-from repro.errors import ServingError
+from repro.errors import ConfigError, ServingError
 from repro.serving.control import (
     Autoscaler,
     ConfigChange,
@@ -202,6 +202,12 @@ LATENCY_WINDOW = 4096
 #: bound on one process-pool request round-trip; a dead pool child never
 #: completes its ApplyResult, so an unbounded get() would hang a worker
 PROCESS_RESULT_TIMEOUT_S = 120.0
+
+#: floor on the per-tenant Session batch cap.  Sessions are built with
+#: ``max(SESSION_BATCH_CAP, construction max_batch)`` so apply_config can
+#: raise the fleet's ``max_batch`` live without forming batches the
+#: sessions would reject; configs above the cap are rejected up front.
+SESSION_BATCH_CAP = 256
 
 
 def _process_serve(registry_key: int, tenant: str, feeds):
@@ -359,9 +365,18 @@ class Dispatcher:
         self.plan_cache = (
             plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
         )
-        #: one warmed session per tenant; plans/packs/templates frozen here
+        #: one warmed session per tenant; plans/packs/templates frozen here.
+        #: The session batch cap is fixed at construction with headroom
+        #: above the initial config so apply_config can raise ``max_batch``
+        #: live — the batch former must never form a batch the sessions
+        #: reject (that would fail every ticket in it).
+        self._session_max_batch = max(
+            SESSION_BATCH_CAP, max_batch, config.max_batch
+        )
         self.sessions: dict[str, Session] = {
-            tenant: Session(cm, execution=execution, max_batch=max_batch)
+            tenant: Session(
+                cm, execution=execution, max_batch=self._session_max_batch
+            )
             for tenant, cm in models.items()
         }
         #: the control plane: validated atomic config swaps + audit trail
@@ -530,49 +545,90 @@ class Dispatcher:
         next decision point.  In-flight batches are never interrupted,
         admitted requests are never dropped by a reconfiguration, and
         outputs stay bit-exact — the config changes *scheduling*, not
-        arithmetic.
+        arithmetic.  ``max_batch`` may be raised live up to the session
+        batch cap fixed at construction
+        (``max(SESSION_BATCH_CAP, initial max_batch)``); beyond it the
+        config is rejected, because the sessions would refuse the
+        batches the former would then build.
         """
         if self._closed:
             raise ServingError(
                 "dispatcher is closed; apply_config needs a live fleet"
             )
+        if (
+            isinstance(new_config, FleetConfig)
+            and new_config.max_batch > self._session_max_batch
+        ):
+            raise ConfigError(
+                f"max_batch {new_config.max_batch} exceeds the per-tenant "
+                f"session batch cap ({self._session_max_batch}) fixed at "
+                "construction; build the dispatcher with a config whose "
+                "max_batch covers the largest value you plan to apply live"
+            )
         change = self.control.apply(new_config)
         # hard clamp into the new range right away (the autoscaler only
-        # moves the fleet on load observations)
-        target = min(
-            max(self._target_workers, new_config.min_workers),
-            new_config.max_workers,
-        )
-        if target != self._target_workers:
-            self._resize(target, reason=f"config epoch {change.epoch}")
+        # moves the fleet on load observations); target is derived under
+        # the scale lock so a concurrent autoscale resize cannot leave
+        # the clamp operating on a stale worker count
+        with self._scale_lock:
+            target = min(
+                max(self._target_workers, new_config.min_workers),
+                new_config.max_workers,
+            )
+            old = self._resize_locked(target)
+        if old is not None:
+            self.control.record(
+                "scale",
+                f"workers {old} -> {target} (config epoch {change.epoch})",
+            )
         self.queue.kick()
         return change
 
     def _resize(self, target: int, *, reason: str) -> None:
         """Grow/shrink the worker-shard fleet to ``target`` threads."""
         with self._scale_lock:
-            if self._closed:
-                return
-            old = self._target_workers
-            if target == old:
-                return
-            self._target_workers = target
-            if target > old:
-                self._spawn_workers(target - old)
-            else:
-                # retire the newest shards first; they exit at their
-                # next scheduling point without claiming work
-                live = sorted(
-                    wid
-                    for wid, th in self._threads.items()
-                    if th.is_alive() and wid not in self._retire_ids
-                )
-                for wid in live[target:]:
-                    self._retire_ids.add(wid)
+            old = self._resize_locked(target)
+        if old is None:
+            return
         self.control.record(
             "scale", f"workers {old} -> {target} ({reason})"
         )
         self.queue.kick()  # wake parked workers so retirements land
+
+    def _resize_locked(self, target: int) -> int | None:
+        """Resize to ``target`` (scale lock held); old target if changed."""
+        if self._closed or target == self._target_workers:
+            return None
+        self._prune_dead_workers()
+        old = self._target_workers
+        self._target_workers = target
+        if target > old:
+            self._spawn_workers(target - old)
+        else:
+            # retire the newest shards first; they exit at their
+            # next scheduling point without claiming work
+            live = sorted(
+                wid
+                for wid, th in self._threads.items()
+                if th.is_alive() and wid not in self._retire_ids
+            )
+            for wid in live[target:]:
+                self._retire_ids.add(wid)
+        return old
+
+    def _prune_dead_workers(self) -> None:
+        """Drop exited threads from the registry (scale lock held).
+
+        Retired workers leave their Thread objects behind; without
+        pruning, a long-lived autoscaled fleet grows ``_threads``
+        without bound across shrink/grow cycles.
+        """
+        dead = [
+            wid for wid, th in self._threads.items() if not th.is_alive()
+        ]
+        for wid in dead:
+            del self._threads[wid]
+            self._retire_ids.discard(wid)
 
     def _spawn_workers(self, count: int) -> None:
         """Start ``count`` fresh worker threads (scale lock held)."""

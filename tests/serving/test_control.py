@@ -263,6 +263,85 @@ class TestLiveReconfiguration:
             assert d.config.min_workers == d.config.max_workers == 2
             assert d.max_batch == 3
 
+    def test_config_max_batch_above_kwarg_default_serves(self, compiled_cls):
+        # regression: sessions must accept batches as large as the
+        # config's max_batch, not just the constructor kwarg's default
+        # (8) — a 16-wide batch used to fail every ticket in it
+        cfg = FleetConfig(
+            min_workers=1, max_workers=1, max_batch=16,
+            default_deadline_s=30.0, batch_timeout_s=0.05,
+        )
+        with Dispatcher(compiled_cls, workers=1, config=cfg) as d:
+            rng = np.random.default_rng(7)
+            xs = [
+                random_int8(rng, input_shape(compiled_cls))
+                for _ in range(16)
+            ]
+            results = d.run_many(xs, timeout=60.0)
+            for x, res in zip(xs, results):
+                np.testing.assert_array_equal(
+                    res.output, compiled_cls.run(x, execution="fast").output
+                )
+            assert d.stats.failed == 0
+
+    def test_apply_config_can_raise_max_batch_live(self, compiled_cls):
+        cfg = FleetConfig(
+            min_workers=1, max_workers=1, max_batch=2,
+            default_deadline_s=30.0,
+        )
+        with Dispatcher(compiled_cls, workers=1, config=cfg) as d:
+            d.apply_config(cfg.evolve(max_batch=64))
+            rng = np.random.default_rng(8)
+            xs = [
+                random_int8(rng, input_shape(compiled_cls))
+                for _ in range(12)
+            ]
+            results = d.run_many(xs, timeout=60.0)
+            for x, res in zip(xs, results):
+                np.testing.assert_array_equal(
+                    res.output, compiled_cls.run(x, execution="fast").output
+                )
+            assert d.stats.failed == 0
+
+    def test_apply_config_rejects_max_batch_over_session_cap(
+        self, compiled_cls
+    ):
+        cfg = FleetConfig(min_workers=1, max_workers=1)
+        with Dispatcher(compiled_cls, workers=1, config=cfg) as d:
+            with pytest.raises(ConfigError, match="session batch cap"):
+                d.apply_config(cfg.evolve(max_batch=100_000))
+            assert d.config == cfg and d.stats.config_epoch == 0
+
+    def test_resize_cycles_prune_dead_worker_threads(self, compiled_cls):
+        cfg = FleetConfig(min_workers=1, max_workers=3)
+        with Dispatcher(compiled_cls, workers=1, config=cfg) as d:
+
+            def wait_workers(n):
+                deadline = time.monotonic() + 5.0
+                while d.live_workers != n and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert d.live_workers == n
+
+            for _ in range(4):
+                d.apply_config(cfg.evolve(min_workers=3, max_workers=3))
+                wait_workers(3)
+                d.apply_config(cfg.evolve(min_workers=1, max_workers=1))
+                wait_workers(1)
+            d.apply_config(cfg.evolve(min_workers=2, max_workers=2))
+            wait_workers(2)
+            # the registry must not hoard a Thread per retired shard;
+            # once the retirees exit, pruning leaves only the live fleet
+            deadline = time.monotonic() + 5.0
+            n = len(d._threads)
+            while time.monotonic() < deadline:
+                with d._scale_lock:
+                    d._prune_dead_workers()
+                    n = len(d._threads)
+                if n <= 2:
+                    break
+                time.sleep(0.01)
+            assert n <= 2
+
     def test_autoscaler_grows_under_backlog(self, compiled_cls):
         cfg = FleetConfig(
             min_workers=1, max_workers=3, max_batch=1,
