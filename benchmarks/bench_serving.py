@@ -16,7 +16,15 @@ Three series, three artifacts:
   (:func:`repro.eval.experiments.control_serving`): a 4:1 priority mix
   under FIFO vs the QoS batch former, a mid-flood live
   ``apply_config`` and the autoscaler's resize events, with per-class
-  p50/p95/deadline-hit rows.
+  p50/p95/deadline-hit rows;
+* ``results/chaos.txt`` — the PR-7 table
+  (:func:`repro.eval.experiments.chaos_serving`): a seeded
+  ``FaultPlan`` storm (5% request poison + one worker crash + one
+  pool-child kill) followed by a circuit-breaker degrade/restore
+  cycle; the gate asserts that only the poisoned requests fail, that
+  ``admitted == completed + failed + shed`` balances, that every
+  crash/rebuild/degradation lands in the audit trail, and that all
+  surviving outputs stay bit-exact.
 
 Bit-exactness is asserted on every row of every table.  Two entry
 points:
@@ -43,12 +51,16 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 TITLE = "Serving — session run_batch vs per-call fast execution"
 DISPATCH_TITLE = "Dispatch — sharded multi-worker serving (open loop)"
 CONTROL_TITLE = "Control plane — priority QoS, live reconfig, autoscaling"
+CHAOS_TITLE = "Chaos — fault storm, quarantine, breaker degradation"
 FULL_BATCHES = (1, 2, 4, 8, 16)
 SMOKE_BATCHES = (1, 8)
 FULL_REQUESTS = 48
 SMOKE_REQUESTS = 16
 FULL_CONTROL_REQUESTS = 40
 SMOKE_CONTROL_REQUESTS = 20
+FULL_CHAOS_REQUESTS = 48
+SMOKE_CHAOS_REQUESTS = 24
+CHAOS_SEED = 0  # fixed: the storm must poison the same requests every run
 
 
 def test_serving_throughput(benchmark, emit):
@@ -96,6 +108,26 @@ def test_control_serving(benchmark, emit):
     emit("control", render_experiment(CONTROL_TITLE, result))
 
 
+def test_chaos_serving(benchmark, emit):
+    from repro.eval.experiments import chaos_serving
+    from repro.eval.reporting import render_experiment
+
+    result = benchmark.pedantic(
+        lambda: chaos_serving(n_requests=FULL_CHAOS_REQUESTS, seed=CHAOS_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    headers, rows, notes = result
+    assert {row[0] for row in rows} == {"storm", "degrade"}
+    # "yes" on the storm TOTAL row certifies containment (only poisoned
+    # requests failed), the admitted == completed + failed + shed
+    # balance, and the crash/pool events in the audit trail; "yes" on
+    # the degrade row certifies a full degrade -> restore cycle with
+    # zero failures.  Every row also certifies bit-exactness.
+    assert all(row[-1] == "yes" for row in rows)
+    emit("chaos", render_experiment(CHAOS_TITLE, result))
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -104,8 +136,8 @@ def main(argv=None) -> int:
     )
     ap.add_argument(
         "--only", action="append",
-        choices=("serving", "dispatch", "control"),
-        help="run only the named series (repeatable; default: all three)",
+        choices=("serving", "dispatch", "control", "chaos"),
+        help="run only the named series (repeatable; default: all four)",
     )
     ap.add_argument(
         "--output", type=Path, default=REPO_ROOT / "results" / "serving.txt",
@@ -121,10 +153,19 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "results" / "control.txt",
         help="where to write the control-plane table",
     )
+    ap.add_argument(
+        "--chaos-output", type=Path,
+        default=REPO_ROOT / "results" / "chaos.txt",
+        help="where to write the chaos (fault-tolerance) table",
+    )
     args = ap.parse_args(argv)
-    series = tuple(args.only) if args.only else ("serving", "dispatch", "control")
+    series = (
+        tuple(args.only) if args.only
+        else ("serving", "dispatch", "control", "chaos")
+    )
 
     from repro.eval.experiments import (
+        chaos_serving,
         control_serving,
         dispatch_serving,
         serving_throughput,
@@ -180,6 +221,27 @@ def main(argv=None) -> int:
         if not all(row[-1] == "yes" for row in control_rows):
             print("FAIL: control-plane serving diverged from per-request "
                   "execution")
+            return 1
+
+    if "chaos" in series:
+        chaos_result = chaos_serving(
+            n_requests=(
+                SMOKE_CHAOS_REQUESTS if args.smoke else FULL_CHAOS_REQUESTS
+            ),
+            seed=CHAOS_SEED,
+        )
+        chaos_text = render_experiment(CHAOS_TITLE, chaos_result)
+        args.chaos_output.parent.mkdir(exist_ok=True)
+        args.chaos_output.write_text(chaos_text)
+        print(chaos_text)
+        print(f"wrote {args.chaos_output}")
+        _, chaos_rows, _ = chaos_result
+        # a "NO" here means poison escaped quarantine, the admission
+        # accounting failed to balance, a crash/rebuild went unaudited,
+        # or a surviving output diverged from execution='fast'
+        if not all(row[-1] == "yes" for row in chaos_rows):
+            print("FAIL: fault storm broke a chaos invariant "
+                  "(containment / balance / audit / bit-exactness)")
             return 1
 
     return 0

@@ -28,6 +28,9 @@ __all__ = [
     "ServingError",
     "AdmissionError",
     "ConfigError",
+    "InjectedFaultError",
+    "WorkerCrashError",
+    "RequestFailedError",
 ]
 
 
@@ -152,3 +155,65 @@ class ConfigError(ServingError):
     ``Dispatcher.apply_config``) *before* any state is touched, so a bad
     config can never be half-applied to a live dispatcher.
     """
+
+
+class InjectedFaultError(ReproError):
+    """A fault deliberately injected by :mod:`repro.serving.faults`.
+
+    Raised at a named injection point when the active
+    :class:`~repro.serving.faults.FaultPlan` says so — never in
+    production (the injector is a no-op unless a plan is supplied).
+    Carries the site name so resilience tests can assert *which* failure
+    mode the serving layer just survived.
+    """
+
+    def __init__(self, site: str, message: str = "injected fault"):
+        self.site = site
+        self.message = message
+        super().__init__(f"{message} at injection point {site!r}")
+
+    def __reduce__(self):
+        # raised inside process-pool children and re-raised in the
+        # parent; the default exception pickling would re-call
+        # __init__ with the formatted string as the site
+        return (type(self), (self.site, self.message))
+
+
+class WorkerCrashError(InjectedFaultError):
+    """An injected whole-worker crash (``kind="crash"`` faults).
+
+    Deliberately *not* caught by the batch-failure path: it escapes the
+    worker loop and kills the worker thread, exactly like an unhandled
+    bug would, so the supervisor's detect-and-respawn machinery is
+    exercised for real.
+    """
+
+
+class RequestFailedError(ServingError):
+    """One request definitively failed after quarantine and retries.
+
+    The dispatcher's poison-request discipline: when a batch faults, the
+    member requests are re-run in isolation so only the offending
+    ticket(s) receive this error — innocent co-batched requests still
+    succeed.  ``__cause__`` carries the final underlying exception;
+    ``tenant``/``request_seq``/``attempts`` identify what was tried.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        request_seq: int,
+        attempts: int,
+        cause: BaseException | None = None,
+        detail: str = "",
+    ):
+        self.tenant = tenant
+        self.request_seq = request_seq
+        self.attempts = attempts
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"request {request_seq} ({tenant!r}) failed after "
+            f"{attempts} attempt{'s' if attempts != 1 else ''}{extra}: "
+            f"{cause!r}"
+        )
+        self.__cause__ = cause

@@ -812,6 +812,303 @@ def control_serving(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def chaos_serving(
+    device: DeviceProfile = STM32F411RE,
+    *,
+    n_requests: int = 48,
+    fault_rate: float = 0.05,
+    seed: int = 0,
+    max_batch: int = 4,
+    workers: int = 2,
+) -> Experiment:
+    """Extension: fault-tolerant serving under a seeded fault storm.
+
+    Two phases over the VWW classifier, driven by a deterministic
+    :class:`~repro.serving.FaultPlan` (every poisoned-or-not decision is
+    a pure hash of ``(seed, site, key)``, so the same requests are
+    poisoned on every run and in every process):
+
+    1. **storm** — ``fault_rate`` of requests are poisoned at the
+       ``"dispatch.request"`` injection point (they fail on every
+       attempt), one worker thread is crashed mid-flood
+       (``"worker.loop"``), and — when fork pools are available — one
+       process-pool child is killed with ``os._exit`` while holding a
+       batch (``"process.child"``, transient: its quarantine re-run
+       succeeds).  The acceptance bar: *only* the poisoned requests
+       fail (quarantine shields their co-batched neighbours),
+       ``admitted == completed + failed + shed`` balances, and the
+       crash/pool-rebuild/quarantine events all land in the control
+       plane's audit trail;
+    2. **degrade** — a finite budget of ``"backend.turbo"`` faults
+       trips the per-tenant circuit breaker (threshold 2): batches
+       degrade to the ``"batched"`` backend, cooldown probes re-try
+       turbo until the fault budget exhausts, and the breaker closes
+       again — ``degrade`` then ``restore`` in the audit trail, zero
+       failed requests.
+
+    Every successful output in both phases is checked bit-identical to
+    per-call ``execution="fast"`` (parity-locked to ``"simulate"``) —
+    quarantine re-runs, pool rebuilds and backend degradation change
+    wall clock and routing, never bits.
+    """
+    import multiprocessing
+    import time
+
+    import numpy as np
+
+    from repro.errors import RequestFailedError, ServingError
+    from repro.serving import (
+        Dispatcher,
+        FaultInjector,
+        FaultPlan,
+        FaultSpec,
+        FleetConfig,
+        RetryPolicy,
+        TenantPolicy,
+    )
+
+    cm = compile_model(
+        build_classifier_graph("vww", classes=2), device=device
+    )
+    shape = cm.graph.tensors[cm.graph.inputs[0]].spec.shape
+    rng = np.random.default_rng(seed)
+    pool = [
+        rng.integers(-128, 128, size=shape, dtype=np.int8) for _ in range(4)
+    ]
+    refs = [cm.run(x, execution="fast").output for x in pool]
+    worker_mode = (
+        "process"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "thread"
+    )
+
+    # ---- phase 1: the storm ----------------------------------------- #
+    specs = [FaultSpec(site="dispatch.request", rate=fault_rate)]
+    poisoned = set(
+        FaultInjector(FaultPlan(seed=seed, specs=tuple(specs))).preview(
+            "dispatch.request", range(n_requests)
+        )
+    )
+    if not poisoned:
+        # the rate draw can miss every key at small n; poison one
+        # request explicitly so the containment check keeps its teeth
+        specs.append(
+            FaultSpec(site="dispatch.request", keys=(n_requests // 2,))
+        )
+        poisoned = {n_requests // 2}
+    victim = next(i for i in range(n_requests) if i not in poisoned)
+    specs.append(
+        FaultSpec(site="worker.loop", kind="crash", keys=(0,), max_fires=1)
+    )
+    if worker_mode == "process":
+        # kill the pool child that picks up the victim's batch; the
+        # fault is transient (fail_attempts=1) so the quarantine re-run
+        # against the rebuilt pool succeeds
+        specs.append(
+            FaultSpec(
+                site="process.child",
+                kind="exit",
+                keys=(victim,),
+                fail_attempts=1,
+                max_fires=1,
+            )
+        )
+    plan = FaultPlan(seed=seed, specs=tuple(specs))
+
+    tenants = ("acme", "globex")
+    cfg = FleetConfig(
+        tenants={t: TenantPolicy() for t in tenants},
+        min_workers=workers,
+        max_workers=workers,
+        max_batch=max_batch,
+        max_queue_depth=4 * n_requests,
+        default_deadline_s=60.0,
+        batch_timeout_s=0.0,
+        retry=RetryPolicy(max_attempts=3),
+        supervise_interval_s=0.01,
+        process_result_timeout_s=2.0,
+    )
+    submitted = {t: 0 for t in tenants}
+    ok = {t: 0 for t in tenants}
+    fail_seqs = {t: set() for t in tenants}
+    exact = {t: True for t in tenants}
+    with Dispatcher(
+        {t: cm for t in tenants},
+        workers=workers,
+        worker_mode=worker_mode,
+        config=cfg,
+        faults=plan,
+    ) as dispatcher:
+        tickets = []
+        for i in range(n_requests):
+            tenant = tenants[i % 2]
+            idx = int(rng.integers(len(pool)))
+            submitted[tenant] += 1
+            tickets.append(
+                (tenant, idx, dispatcher.submit(pool[idx], tenant=tenant))
+            )
+        for tenant, idx, ticket in tickets:
+            try:
+                res = ticket.result(300.0)
+            except RequestFailedError:
+                fail_seqs[tenant].add(ticket.request_seq)
+            else:
+                ok[tenant] += 1
+                if not np.array_equal(res.output, refs[idx]):
+                    exact[tenant] = False
+        storm = dispatcher.stats
+    kinds = [c.kind for c in storm.audit]
+    # submission is single-threaded, so request_seq == submit index and
+    # the poisoned seqs split across tenants by the same i % 2 rule
+    expect = {
+        t: {s for s in poisoned if tenants[s % 2] == t} for t in tenants
+    }
+    contained = all(fail_seqs[t] == expect[t] for t in tenants)
+    balanced = (
+        storm.submitted == storm.completed + storm.failed + storm.shed
+    )
+    crash_audited = "crash" in kinds and storm.worker_crashes >= 1
+    pool_audited = worker_mode != "process" or (
+        "pool" in kinds and storm.pool_rebuilds >= 1
+    )
+
+    def storm_row(tenant):
+        ts = storm.per_tenant[tenant]
+        row_ok = exact[tenant] and fail_seqs[tenant] == expect[tenant]
+        return (
+            "storm",
+            tenant,
+            submitted[tenant],
+            ok[tenant],
+            len(fail_seqs[tenant]),
+            ts.quarantined,
+            f"{1e3 * ts.p95_latency_s:.1f}",
+            "yes" if row_ok else "NO",
+        )
+
+    storm_ok = (
+        all(exact.values())
+        and contained
+        and balanced
+        and crash_audited
+        and pool_audited
+    )
+    rows = [storm_row(t) for t in tenants]
+    rows.append(
+        (
+            "storm",
+            "TOTAL",
+            storm.submitted,
+            storm.completed,
+            storm.failed,
+            storm.quarantined,
+            f"{1e3 * storm.p95_latency_s:.1f}",
+            "yes" if storm_ok else "NO",
+        )
+    )
+
+    # ---- phase 2: breaker degrade + restore ------------------------- #
+    plan2 = FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(site="backend.turbo", max_fires=6),),
+    )
+    cfg2 = FleetConfig(
+        tenants={"canary": TenantPolicy()},
+        min_workers=1,
+        max_workers=1,
+        max_batch=1,
+        max_queue_depth=4 * n_requests,
+        default_deadline_s=60.0,
+        batch_timeout_s=0.0,
+        retry=RetryPolicy(max_attempts=3),
+        breaker_threshold=2,
+        breaker_cooldown_s=0.05,
+    )
+    degr_served = degr_ok = degr_failed = 0
+    degr_exact = True
+    with Dispatcher(
+        {"canary": cm}, workers=1, config=cfg2, faults=plan2
+    ) as d2:
+
+        def serve_one():
+            nonlocal degr_served, degr_ok, degr_failed, degr_exact
+            idx = int(rng.integers(len(pool)))
+            degr_served += 1
+            try:
+                res = d2.submit(pool[idx], tenant="canary").result(60.0)
+            except ServingError:
+                degr_failed += 1
+            else:
+                degr_ok += 1
+                if not np.array_equal(res.output, refs[idx]):
+                    degr_exact = False
+
+        for _ in range(30):
+            serve_one()
+            time.sleep(0.005)
+        # the fault budget is finite, so a cooldown probe eventually
+        # succeeds and closes the breaker; keep probing until it does
+        for _ in range(40):
+            if not d2.stats.degraded:
+                break
+            time.sleep(0.06)
+            serve_one()
+        degr = d2.stats
+    degr_kinds = [c.kind for c in degr.audit]
+    degr_row_ok = (
+        degr_exact
+        and degr_failed == 0
+        and "degrade" in degr_kinds
+        and "restore" in degr_kinds
+        and not degr.degraded
+    )
+    rows.append(
+        (
+            "degrade",
+            "canary",
+            degr_served,
+            degr_ok,
+            degr_failed,
+            degr.quarantined,
+            f"{1e3 * degr.per_tenant['canary'].p95_latency_s:.1f}",
+            "yes" if degr_row_ok else "NO",
+        )
+    )
+
+    headers = [
+        "Phase", "Tenant", "Req", "OK", "Failed", "Quar", "p95 ms", "Exact",
+    ]
+    notes = [
+        f"storm: {worker_mode} mode, {workers} workers, seed {seed}, "
+        f"{100 * fault_rate:.0f}% request poison (seqs "
+        f"{sorted(poisoned)}), 1 worker crash"
+        + (
+            f", 1 pool-child kill (seq {victim}, transient)"
+            if worker_mode == "process"
+            else ""
+        ),
+        f"containment: failed seqs {sorted(s for f in fail_seqs.values() for s in f)} "
+        f"== poisoned seqs ({'yes' if contained else 'NO'}); balance: "
+        f"{storm.submitted} submitted == {storm.completed} completed + "
+        f"{storm.failed} failed + {storm.shed} shed "
+        f"({'yes' if balanced else 'NO'})",
+        f"storm audit: {kinds.count('crash')} crash, "
+        f"{kinds.count('pool')} pool rebuild, "
+        f"{kinds.count('quarantine')} quarantine event(s); "
+        f"{storm.quarantined} request(s) quarantined, "
+        f"{storm.retries} backoff retries",
+        f"degrade: breaker threshold 2, cooldown 50 ms, 6-fault budget "
+        f"on 'backend.turbo' -> {degr_kinds.count('degrade')} degrade / "
+        f"{degr_kinds.count('restore')} restore event(s), "
+        f"{degr_failed} failed request(s), breaker "
+        f"{'closed' if not degr.degraded else 'OPEN'} at exit",
+        "every successful output bit-exact vs per-call execution='fast' "
+        "— quarantine, pool rebuilds and degradation never touch bits",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -828,4 +1125,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "serving": serving_throughput,
     "dispatch": dispatch_serving,
     "control": control_serving,
+    "chaos": chaos_serving,
 }

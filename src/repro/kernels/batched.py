@@ -54,6 +54,21 @@ from repro.mcu.profiler import CostReport
 
 __all__ = ["BatchedBackend", "CostTemplate", "pack_i32"]
 
+#: lazily bound :func:`repro.serving.faults.perhaps` — the kernels layer
+#: sits below serving, so the fault hook is resolved on first use instead
+#: of imported at module load (which would cycle through serving's init).
+_perhaps = None
+
+
+def _fault_hook(site: str) -> None:
+    """Fire ``site`` against the thread's scoped fault injector, if any."""
+    global _perhaps
+    if _perhaps is None:
+        from repro.serving.faults import perhaps
+
+        _perhaps = perhaps
+    _perhaps(site)
+
 
 @dataclass(frozen=True)
 class CostTemplate:
@@ -178,6 +193,7 @@ class BatchedBackend(FastBackend):
         """
         from repro.runtime.pipeline import PipelineResult
 
+        _fault_hook(f"backend.{self.name}")
         if len(xs) == 0:
             raise KernelError("run_pipeline_batch needs a non-empty batch")
         first = np.asarray(xs[0])

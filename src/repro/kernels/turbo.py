@@ -42,7 +42,7 @@ from repro.kernels.base import (
     pack_i32,
     register_execution_backend,
 )
-from repro.kernels.batched import BatchedBackend
+from repro.kernels.batched import BatchedBackend, _fault_hook
 from repro.quant import requantize_fast
 
 __all__ = ["TurboBackend", "I32_SAFE_K", "gemm_is_exact"]
@@ -70,6 +70,7 @@ class TurboBackend(BatchedBackend):
         self, x2d: np.ndarray, w: np.ndarray,
         w2d_shape: tuple[int, int] | None = None,
     ) -> np.ndarray:
+        _fault_hook("backend.turbo.gemm")
         if not gemm_is_exact(x2d.shape[1]):
             return super()._gemm(x2d, w, w2d_shape)
         wp = cached_pack(w, 0, pack_f64)

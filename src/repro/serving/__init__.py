@@ -29,9 +29,21 @@ worker pool inside the configured range.  Reconfigure without a restart:
     cfg = d.config.with_tenant("acme", weight=4.0, priority=1)
     d.apply_config(cfg)          # validated, atomic, audited in d.stats
 
+The **resilience layer** keeps the fleet honest under failure: a
+seedable :class:`FaultPlan` injects reproducible faults at named points
+(:mod:`repro.serving.faults`), the dispatcher quarantines poison
+requests so innocent co-batched tickets still succeed, a supervisor
+respawns crashed workers and rebuilds broken process pools, and a
+per-(tenant, backend) :class:`CircuitBreaker` degrades a failing
+``"turbo"`` session to ``"batched"``/``"fast"`` — bit-exact by
+construction, so degradation is invisible to outputs — then probes its
+way back after cooldown.  Every crash, restart and degradation is an
+audited event in the control plane's trail.
+
 Outputs and per-request cost reports stay bit-identical to
 ``execution="simulate"`` under any interleaving — batching, sharding,
-tenant mixing and live reconfiguration change wall clock, never bits.
+tenant mixing, live reconfiguration and failure recovery change wall
+clock, never bits.
 """
 
 from repro.serving.control import (
@@ -39,8 +51,11 @@ from repro.serving.control import (
     ConfigChange,
     ControlPlane,
     FleetConfig,
+    RetryPolicy,
     TenantPolicy,
 )
+from repro.serving.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.serving.resilience import CircuitBreaker
 from repro.serving.dispatcher import (
     Dispatcher,
     DispatchResult,
@@ -57,9 +72,14 @@ from repro.serving.session import (
 
 __all__ = [
     "Autoscaler",
+    "CircuitBreaker",
     "ConfigChange",
     "ControlPlane",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FleetConfig",
+    "RetryPolicy",
     "TenantPolicy",
     "Dispatcher",
     "DispatchResult",

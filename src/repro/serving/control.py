@@ -34,16 +34,78 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Protocol, runtime_checkable
 
 from repro.errors import ConfigError
+from repro.serving.faults import stable_uniform
 
 __all__ = [
     "TenantPolicy",
     "DEFAULT_POLICY",
+    "RetryPolicy",
     "FleetConfig",
     "ConfigChange",
     "ConfigSubscriber",
     "ControlPlane",
     "Autoscaler",
 ]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry with exponential backoff + deterministic jitter.
+
+    Governs the dispatcher's quarantine path: after a batch faults, each
+    member request is re-run in isolation up to ``max_attempts`` times.
+    Between attempts the worker sleeps :meth:`backoff` seconds —
+    exponential in the attempt number, jittered by a *deterministic*
+    hash draw (:func:`~repro.serving.faults.stable_uniform` over the
+    request key), and always budgeted against the ticket's remaining
+    deadline: a retry that could not finish in time is not attempted.
+
+    ``max_attempts=1`` (the default) means one isolation run and no
+    backoff sleeps — quarantine itself is not optional, only the extra
+    attempts are.
+    """
+
+    #: total isolation attempts per quarantined request (>= 1)
+    max_attempts: int = 1
+    #: sleep before attempt 2 (seconds); doubles-by-``multiplier`` after
+    backoff_s: float = 0.002
+    #: exponential growth factor between attempts
+    multiplier: float = 2.0
+    #: jitter fraction: each sleep is scaled by ``1 ± jitter`` via a
+    #: deterministic per-(key, attempt) draw
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"retry.max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0:
+            raise ConfigError(
+                f"retry.backoff_s must be >= 0, got {self.backoff_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"retry.multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ConfigError(
+                f"retry.jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def backoff(self, attempt: int, key: int = 0) -> float:
+        """Sleep before isolation attempt ``attempt`` (2-based).
+
+        Deterministic: the jitter draw depends only on ``(key,
+        attempt)``, so a chaos run's recovery timeline replays exactly.
+        """
+        if attempt <= 1 or self.backoff_s <= 0:
+            return 0.0
+        base = self.backoff_s * self.multiplier ** (attempt - 2)
+        if self.jitter <= 0:
+            return base
+        u = stable_uniform(0, "retry.backoff", key, attempt)
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
 
 
 @dataclass(frozen=True)
@@ -140,6 +202,18 @@ class FleetConfig:
     scale_patience: int = 3
     #: minimum seconds between autoscaler resizes
     scale_cooldown_s: float = 0.05
+    #: quarantine retry policy (isolation attempts, backoff, jitter)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: consecutive per-(tenant, backend) failures that open the circuit
+    #: breaker and degrade the session's execution backend
+    breaker_threshold: int = 4
+    #: seconds an open breaker waits before probing the primary backend
+    breaker_cooldown_s: float = 0.5
+    #: supervisor sweep period (dead-worker detection and respawn)
+    supervise_interval_s: float = 0.05
+    #: how long the parent waits on one process-pool result before
+    #: declaring the child dead and rebuilding the pool
+    process_result_timeout_s: float = 120.0
 
     def policy(self, tenant: str) -> TenantPolicy:
         """The tenant's policy (:data:`DEFAULT_POLICY` if unnamed)."""
@@ -194,6 +268,32 @@ class FleetConfig:
             raise ConfigError(
                 "scale_patience must be > 0 and scale_cooldown_s >= 0"
             )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ConfigError(
+                f"retry must be a RetryPolicy, "
+                f"got {type(self.retry).__name__}"
+            )
+        self.retry.validate()
+        if self.breaker_threshold <= 0:
+            raise ConfigError(
+                f"breaker_threshold must be positive, "
+                f"got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s < 0:
+            raise ConfigError(
+                f"breaker_cooldown_s must be >= 0, "
+                f"got {self.breaker_cooldown_s}"
+            )
+        if not self.supervise_interval_s > 0:
+            raise ConfigError(
+                f"supervise_interval_s must be positive, "
+                f"got {self.supervise_interval_s}"
+            )
+        if not self.process_result_timeout_s > 0:
+            raise ConfigError(
+                f"process_result_timeout_s must be positive, "
+                f"got {self.process_result_timeout_s}"
+            )
 
     # -- functional update helpers -------------------------------------- #
     def evolve(self, **changes) -> "FleetConfig":
@@ -215,7 +315,9 @@ class FleetConfig:
             "min_workers", "max_workers", "max_batch", "max_queue_depth",
             "default_deadline_s", "batch_timeout_s", "scheduling",
             "scale_up_backlog", "scale_down_backlog", "scale_patience",
-            "scale_cooldown_s",
+            "scale_cooldown_s", "retry", "breaker_threshold",
+            "breaker_cooldown_s", "supervise_interval_s",
+            "process_result_timeout_s",
         ):
             a, b = getattr(old, name), getattr(self, name)
             if a != b:

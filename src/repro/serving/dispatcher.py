@@ -51,6 +51,7 @@ clock and *which* requests are shed under overload — never bits.
 from __future__ import annotations
 
 import math
+import multiprocessing
 import threading
 import time
 import weakref
@@ -61,7 +62,14 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.compiler.cache import DEFAULT_PLAN_CACHE, CacheStats, PlanCache
-from repro.errors import ConfigError, ServingError
+from repro.errors import (
+    ConfigError,
+    InjectedFaultError,
+    RequestFailedError,
+    ServingError,
+    WorkerCrashError,
+)
+from repro.serving import faults as _faults
 from repro.serving.control import (
     Autoscaler,
     ConfigChange,
@@ -69,6 +77,7 @@ from repro.serving.control import (
     FleetConfig,
 )
 from repro.serving.queue import RequestQueue, Ticket
+from repro.serving.resilience import CircuitBreaker, supervisor_loop
 from repro.serving.session import RequestResult, Session
 
 __all__ = ["DispatchResult", "TenantStats", "DispatchStats", "Dispatcher"]
@@ -120,6 +129,11 @@ class TenantStats:
     deadline_hits: int = 0
     deadline_misses: int = 0
     latencies_s: tuple[float, ...] = ()
+    #: requests that definitively failed (quarantine exhausted, worker
+    #: lost mid-batch, or still queued at close)
+    failed: int = 0
+    #: requests re-run in isolation after their batch faulted
+    quarantined: int = 0
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -157,6 +171,19 @@ class DispatchStats:
     config_epoch: int = 0
     #: the control plane's audit trail, oldest first
     audit: tuple[ConfigChange, ...] = ()
+    #: requests re-run in isolation after a batch fault (quarantine)
+    quarantined: int = 0
+    #: extra isolation attempts beyond the first (backoff retries)
+    retries: int = 0
+    #: worker threads the supervisor respawned after a crash
+    worker_crashes: int = 0
+    #: process pools rebuilt after a child death / broken pipe
+    pool_rebuilds: int = 0
+    #: tenants currently degraded by an open circuit breaker
+    #: (tenant -> the fallback backend serving it right now)
+    degraded: Mapping[str, str] = field(default_factory=dict)
+    #: worker ids that failed to join within ``close(timeout)``
+    unjoined_workers: tuple[int, ...] = ()
 
     @property
     def requests_per_s(self) -> float:
@@ -195,11 +222,17 @@ class DispatchStats:
 #: and the IPC payload stays (feeds in, outputs out) — no model pickling.
 _PROCESS_SESSIONS: dict[int, Mapping[str, Session]] = {}
 
+#: dispatcher-id -> fault injector, registered before the pool forks so
+#: children evaluate the same plan (decisions are pure hash draws, so a
+#: request poisoned in the parent is poisoned in every child too)
+_PROCESS_INJECTORS: dict[int, "_faults.FaultInjector"] = {}
+
 #: how many recent per-request latencies each tenant's percentile window
 #: keeps; a fleet running for days must not grow stats without bound
 LATENCY_WINDOW = 4096
 
-#: bound on one process-pool request round-trip; a dead pool child never
+#: default bound on one process-pool request round-trip (the live value
+#: is ``FleetConfig.process_result_timeout_s``); a dead pool child never
 #: completes its ApplyResult, so an unbounded get() would hang a worker
 PROCESS_RESULT_TIMEOUT_S = 120.0
 
@@ -210,24 +243,53 @@ PROCESS_RESULT_TIMEOUT_S = 120.0
 SESSION_BATCH_CAP = 256
 
 
-def _process_serve(registry_key: int, tenant: str, feeds):
-    """Child-side entry: run one request, return only the output tensors."""
+def _process_serve(
+    registry_key: int,
+    tenant: str,
+    feeds,
+    request_seq: int | None = None,
+    attempt: int = 0,
+    execution: str | None = None,
+):
+    """Child-side entry: run one request, return only the output tensors.
+
+    ``request_seq``/``attempt`` establish the fault-injection scope (the
+    ``"process.child"`` point fires here, keyed by the request, which is
+    how a chaos plan kills a specific child mid-flood); ``execution``
+    carries the parent-side circuit breaker's backend choice.
+    """
     session = _PROCESS_SESSIONS[registry_key][tenant]
-    return session.run_batch([feeds])[0].outputs
+    injector = _PROCESS_INJECTORS.get(registry_key)
+    if injector is None:
+        return session.run_batch([feeds], execution=execution)[0].outputs
+    with _faults.scope(
+        injector, tenant=tenant, key=request_seq, attempt=attempt
+    ):
+        _faults.perhaps("process.child")
+        return session.run_batch([feeds], execution=execution)[0].outputs
 
 
-def _finalize_dispatcher(registry_key, pool, queue, frozen_weights) -> None:
+def _finalize_dispatcher(
+    registry_key, pool_box, queue, frozen_weights, supervisor_stop
+) -> None:
     """Tear down everything a dropped dispatcher would otherwise leak.
 
     Registered as a ``weakref.finalize`` (and invoked by ``close()``):
-    closes the queue so blocked workers drain and exit, drops the fork
-    registry entry, kills the pool, and re-thaws weights frozen at fork.
-    Runs for abandoned dispatchers because the worker threads hold only
-    a *weak* reference back to the dispatcher (see ``_worker_entry``) —
-    a bound-method thread target would pin it alive forever.
+    stops the supervisor, closes the queue so blocked workers drain and
+    exit, drops the fork registry entries, kills the pool, and re-thaws
+    weights frozen at fork.  Runs for abandoned dispatchers because the
+    worker and supervisor threads hold only *weak* references back to
+    the dispatcher — a bound-method thread target would pin it alive
+    forever.  ``pool_box`` is a one-slot holder rather than the pool
+    itself: a pool rebuild mid-flight swaps the slot, and the finalizer
+    must kill whatever pool is current *then*, not the one that existed
+    at construction.
     """
+    supervisor_stop.set()
     queue.close()
     _PROCESS_SESSIONS.pop(registry_key, None)
+    _PROCESS_INJECTORS.pop(registry_key, None)
+    pool, pool_box[0] = pool_box[0], None
     if pool is not None:
         pool.terminate()
         pool.join()
@@ -236,7 +298,31 @@ def _finalize_dispatcher(registry_key, pool, queue, frozen_weights) -> None:
 
 
 def _worker_entry(
-    dispatcher_ref: "weakref.ref", worker_id: int, retire_ids: set[int]
+    dispatcher_ref: "weakref.ref",
+    worker_id: int,
+    retire_ids: set[int],
+    clean_exits: set[int],
+) -> None:
+    """Worker thread target: the loop, minus injected-crash noise.
+
+    An *injected* crash (:class:`~repro.errors.InjectedFaultError` and
+    its ``WorkerCrashError`` subclass) kills the thread exactly like a
+    real bug would — no ``clean_exits`` record, so the supervisor sees
+    a crash and respawns — but dies silently instead of spraying the
+    default threading excepthook over every chaos test's output.  Real
+    bugs still traceback.
+    """
+    try:
+        _worker_loop(dispatcher_ref, worker_id, retire_ids, clean_exits)
+    except InjectedFaultError:
+        return
+
+
+def _worker_loop(
+    dispatcher_ref: "weakref.ref",
+    worker_id: int,
+    retire_ids: set[int],
+    clean_exits: set[int],
 ) -> None:
     """Worker thread body, holding the dispatcher only weakly.
 
@@ -245,16 +331,32 @@ def _worker_entry(
     garbage collected — its finalizer then closes the queue, which
     wakes the workers and lets them exit.  ``retire_ids`` is the
     autoscaler's shrink signal: a worker that finds its id there exits
-    at the next scheduling point without claiming work (the set is
-    shared state, deliberately not a dispatcher reference).
+    at the next scheduling point without claiming work.  Every
+    *deliberate* exit path records itself in ``clean_exits`` first, so
+    the supervisor can tell a retired worker from a crashed one (both
+    sets are shared state, deliberately not dispatcher references).
+
+    A worker dies like a real buggy worker would: the ``"worker.loop"``
+    fault point fires *before* any work is claimed (an injected crash
+    orphans no batch), and an exception escaping ``_serve_batch`` first
+    fails whatever tickets that batch still owes (no waiter may hang on
+    a dead thread), then propagates and kills the thread — detection
+    and respawn belong to the supervisor, not to the patient.
     """
     while True:
         if worker_id in retire_ids:
             retire_ids.discard(worker_id)
+            clean_exits.add(worker_id)
             return
         dispatcher = dispatcher_ref()
         if dispatcher is None:
+            clean_exits.add(worker_id)
             return
+        injector = dispatcher._faults
+        if injector is not None:
+            # raises WorkerCrashError for kind="crash" specs; the frame
+            # (and its strong reference) dies with the thread
+            injector.fire("worker.loop", key=worker_id)
         queue = dispatcher.queue
         max_batch = dispatcher.max_batch
         batch_timeout_s = dispatcher.batch_timeout_s
@@ -269,6 +371,7 @@ def _worker_entry(
         )
         if batch is None:
             retire_ids.discard(worker_id)
+            clean_exits.add(worker_id)
             return
         dispatcher = dispatcher_ref()
         if dispatcher is None:
@@ -280,7 +383,11 @@ def _worker_entry(
             for ticket in batch:
                 ticket._fail(error)
             return
-        dispatcher._serve_batch(worker_id, batch)
+        try:
+            dispatcher._serve_batch(worker_id, batch)
+        except BaseException as exc:  # noqa: BLE001 — fail tickets, then die
+            dispatcher._worker_died(worker_id, batch, exc)
+            raise
         del dispatcher
 
 
@@ -316,6 +423,11 @@ class Dispatcher:
         kwargs above).  Without one, a fixed-size config pinning
         ``min_workers = max_workers = workers`` reproduces the classic
         fixed-fleet behavior.  Swap it live with :meth:`apply_config`.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultPlan` (or prepared
+        injector) evaluated at the serving path's named injection
+        points — chaos testing only; ``None`` (the default) reduces
+        every hook to an ``is None`` check.
     """
 
     def __init__(
@@ -331,6 +443,7 @@ class Dispatcher:
         batch_timeout_s: float = 0.002,
         plan_cache: PlanCache | None = None,
         config: FleetConfig | None = None,
+        faults: "_faults.FaultPlan | _faults.FaultInjector | None" = None,
     ):
         if workers <= 0:
             raise ServingError(f"need at least one worker, got {workers}")
@@ -365,6 +478,9 @@ class Dispatcher:
         self.plan_cache = (
             plan_cache if plan_cache is not None else DEFAULT_PLAN_CACHE
         )
+        self._faults = (
+            None if faults is None else _faults.FaultInjector(faults)
+        )
         #: one warmed session per tenant; plans/packs/templates frozen here.
         #: The session batch cap is fixed at construction with headroom
         #: above the initial config so apply_config can raise ``max_batch``
@@ -398,6 +514,8 @@ class Dispatcher:
         self._tenant_batches = {t: 0 for t in self.sessions}
         self._tenant_hits = {t: 0 for t in self.sessions}
         self._tenant_misses = {t: 0 for t in self.sessions}
+        self._tenant_failed = {t: 0 for t in self.sessions}
+        self._tenant_quarantined = {t: 0 for t in self.sessions}
         self._tenant_latencies: dict[str, deque[float]] = {
             t: deque(maxlen=LATENCY_WINDOW) for t in self.sessions
         }
@@ -405,31 +523,64 @@ class Dispatcher:
         self._service_s: dict[str, float | None] = {
             t: None for t in self.sessions
         }
+        self._quarantined = 0
+        self._retries = 0
+        self._worker_crashes = 0
+        self._pool_rebuilds = 0
+        self._unjoined_workers: tuple[int, ...] = ()
         self._closed = False
+        #: per-tenant circuit breakers degrading a failing backend down
+        #: DEGRADE_CHAIN; config_fn closes over the control plane (not
+        #: self) to keep the dispatcher free of uncollectable cycles
+        control = self.control
+        self._breakers: dict[str, CircuitBreaker] = {
+            t: CircuitBreaker(execution, lambda: control.config)
+            for t in self.sessions
+        }
 
-        self._pool = None
+        # one-slot pool holder: a rebuild swaps the slot in place, so
+        # the finalizer (registered once, below) always kills the
+        # *current* pool rather than the construction-time one
+        self._pool_box: list = [None]
+        self._pool_lock = threading.Lock()
         self._frozen_weights: list[np.ndarray] = []
         if worker_mode == "process":
-            self._pool = self._fork_pool()
+            self._pool_box[0] = self._fork_pool()
+        self._supervisor_stop = threading.Event()
         # unconditional cleanup for abandoned dispatchers (any mode):
-        # closes the queue (waking and retiring the workers), drops the
-        # fork registry entry, kills the pool, re-thaws frozen weights
+        # stops the supervisor, closes the queue (waking and retiring
+        # the workers), drops the fork registry entries, kills the
+        # current pool, re-thaws frozen weights
         self._finalizer = weakref.finalize(
-            self, _finalize_dispatcher, id(self), self._pool, self.queue,
-            self._frozen_weights,
+            self, _finalize_dispatcher, id(self), self._pool_box,
+            self.queue, self._frozen_weights, self._supervisor_stop,
         )
         # worker-shard fleet: id -> thread, resized live by the
         # autoscaler / apply_config; `_retire_ids` is the shrink signal
-        # shared with the workers (never a dispatcher reference)
+        # and `_clean_exits` the deliberate-exit log, both shared with
+        # the workers (never a dispatcher reference)
         self._scale_lock = threading.Lock()
         self._threads: dict[int, threading.Thread] = {}
         self._retire_ids: set[int] = set()
+        self._clean_exits: set[int] = set()
         self._next_worker_id = 0
         self._target_workers = min(
             max(workers, config.min_workers), config.max_workers
         )
         with self._scale_lock:
             self._spawn_workers(self._target_workers)
+        self._supervisor = threading.Thread(
+            target=supervisor_loop,
+            args=(weakref.ref(self), self._supervisor_stop),
+            name="dispatcher-supervisor",
+            daemon=True,
+        )
+        self._supervisor.start()
+
+    @property
+    def _pool(self):
+        """The current process pool (swapped in place by rebuilds)."""
+        return self._pool_box[0]
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -472,11 +623,14 @@ class Dispatcher:
                 "workers='process' needs fork() (POSIX); "
                 "use worker_mode='thread' on this platform"
             ) from None
-        # children must inherit the sessions: register before forking.
+        # children must inherit the sessions (and any fault injector):
+        # register before forking.
         # fork() copying a mutex held by *another* thread would deadlock
         # the children; the at-fork handlers in repro.kernels.base fork
         # at a quiescent point for every serving-path lock.
         _PROCESS_SESSIONS[id(self)] = self.sessions
+        if self._faults is not None:
+            _PROCESS_INJECTORS[id(self)] = self._faults
         # children serve the weights as forked, so in-place mutation in
         # the parent can never reach them: freeze the arrays for the
         # dispatcher's lifetime so a mutation raises at the write site
@@ -495,6 +649,7 @@ class Dispatcher:
             return ctx.Pool(processes=self.workers)
         except BaseException:
             _PROCESS_SESSIONS.pop(id(self), None)
+            _PROCESS_INJECTORS.pop(id(self), None)
             for w in self._frozen_weights:
                 w.setflags(write=True)
             raise
@@ -629,6 +784,7 @@ class Dispatcher:
         for wid in dead:
             del self._threads[wid]
             self._retire_ids.discard(wid)
+            self._clean_exits.discard(wid)
 
     def _spawn_workers(self, count: int) -> None:
         """Start ``count`` fresh worker threads (scale lock held)."""
@@ -637,12 +793,57 @@ class Dispatcher:
             self._next_worker_id += 1
             th = threading.Thread(
                 target=_worker_entry,
-                args=(weakref.ref(self), wid, self._retire_ids),
+                args=(
+                    weakref.ref(self), wid, self._retire_ids,
+                    self._clean_exits,
+                ),
                 name=f"dispatcher-worker-{wid}",
                 daemon=True,
             )
             self._threads[wid] = th
             th.start()
+
+    def _supervise(self) -> None:
+        """One watchdog sweep: respawn worker threads that crashed.
+
+        A *crashed* worker is one whose thread exited without recording
+        itself in ``_clean_exits`` — retirement, queue close and
+        dispatcher teardown all do, so anything else died of an
+        exception.  The sweep prunes the corpses, respawns up to the
+        current target (``min_workers..max_workers`` still governs the
+        target itself) and audits the crash; it deliberately does *not*
+        diagnose causes — dead is dead, and the only correct response
+        is a fresh thread.
+        """
+        if self._closed:
+            return
+        with self._scale_lock:
+            if self._closed:
+                return
+            crashed = [
+                wid
+                for wid, th in self._threads.items()
+                if not th.is_alive() and wid not in self._clean_exits
+            ]
+            self._prune_dead_workers()
+            live = sum(
+                1
+                for wid, th in self._threads.items()
+                if wid not in self._retire_ids
+            )
+            deficit = self._target_workers - live
+            if deficit > 0:
+                self._spawn_workers(deficit)
+        if crashed:
+            with self._stats_lock:
+                self._worker_crashes += len(crashed)
+            self.control.record(
+                "crash",
+                f"worker{'s' if len(crashed) != 1 else ''} "
+                f"{crashed} crashed; respawned to "
+                f"{self._target_workers} shard(s)",
+            )
+            self.queue.kick()
 
     def _maybe_autoscale(self) -> None:
         """One autoscaler observation (called on submit / batch done)."""
@@ -791,44 +992,209 @@ class Dispatcher:
     # workers
     # ------------------------------------------------------------------ #
     def _serve_batch(self, worker_id: int, batch: list[Ticket]) -> None:
-        """Execute one formed micro-batch (called from ``_worker_entry``)."""
+        """Execute one formed micro-batch (called from ``_worker_entry``).
+
+        The happy path is one co-batched session dispatch.  On failure
+        the batch is **quarantined**: each member is re-run in
+        isolation (with the config's retry/backoff budgeted against its
+        deadline), so only the offending request(s) fail — with a typed
+        :class:`RequestFailedError` — while innocents still succeed.
+        Every attempt feeds the tenant's circuit breaker, which may
+        degrade the execution backend for subsequent batches (bit-exact
+        by construction, so degradation never shows in outputs).
+        """
         tenant = batch[0].tenant
-        session = self.sessions[tenant]
+        breaker = self._breakers[tenant]
+        execution, probe = breaker.plan_execution()
         t0 = time.monotonic()
         try:
-            if self._pool is not None:
-                # process mode: per-request dispatch across the pool;
-                # children return outputs, the parent re-attaches the
-                # shared cost template
-                handles = [
-                    self._pool.apply_async(
-                        _process_serve, (id(self), tenant, t.feeds)
-                    )
-                    for t in batch
-                ]
-                # bounded: a dead pool child never completes its
-                # ApplyResult, and a hung get() would lose this worker
-                outputs = [
-                    h.get(PROCESS_RESULT_TIMEOUT_S) for h in handles
-                ]
-                t1 = time.monotonic()
-                served = session.package_results(
-                    outputs, latency_s=t1 - t0
-                )
-            else:
-                served = session.run_batch([t.feeds for t in batch])
-                t1 = time.monotonic()
-        except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
-            with self._stats_lock:
-                self._failed += len(batch)
-            error = ServingError(
-                f"worker {worker_id} failed a batch of {len(batch)} "
-                f"for tenant {tenant!r}: {exc!r}"
+            served, t1 = self._execute_once(
+                tenant, batch, attempt=0, execution=execution
             )
-            error.__cause__ = exc
-            for t in batch:
-                t._fail(error)
+        except WorkerCrashError:
+            # a whole-worker crash, not a request fault: let it escape —
+            # the worker-entry safety net fails the batch and the
+            # supervisor respawns the thread
+            raise
+        except BaseException as exc:  # noqa: BLE001 — quarantined below
+            # the failed attempt still took real service time; feeding
+            # it into the EWMA keeps the drain model honest for tenants
+            # whose requests always fault
+            self._note_failure(tenant, time.monotonic() - t0)
+            self._breaker_event(
+                tenant, breaker.record(False, probe=probe)
+            )
+            self._quarantine(worker_id, tenant, batch, exc)
             return
+        self._breaker_event(tenant, breaker.record(True, probe=probe))
+        self._complete(worker_id, tenant, batch, served, t0, t1)
+        self._maybe_autoscale()
+
+    def _execute_once(
+        self,
+        tenant: str,
+        tickets: list[Ticket],
+        *,
+        attempt: int,
+        execution: str | None,
+    ) -> tuple[list[RequestResult], float]:
+        """One dispatch attempt for ``tickets``; returns ``(served, t1)``.
+
+        Fires the ``"dispatch.request"`` fault point once per ticket
+        (keyed by request seq, so a poisoned request poisons every
+        batch it lands in — the quarantine invariant), then runs the
+        batch through the pool or the tenant session under the fault
+        scope.  A process-pool transport failure (dead child → result
+        timeout, broken pipe) triggers a pool rebuild before re-raising
+        so the *next* attempt runs against a healthy pool.
+        """
+        session = self.sessions[tenant]
+        injector = self._faults
+        if injector is not None:
+            for t in tickets:
+                injector.fire(
+                    "dispatch.request",
+                    key=t.request_seq,
+                    tenant=tenant,
+                    attempt=attempt,
+                )
+        t0 = time.monotonic()
+        pool = self._pool
+        if pool is not None:
+            handles = [
+                pool.apply_async(
+                    _process_serve,
+                    (
+                        id(self), tenant, t.feeds, t.request_seq,
+                        attempt, execution,
+                    ),
+                )
+                for t in tickets
+            ]
+            # bounded: a dead pool child never completes its
+            # ApplyResult, and a hung get() would lose this worker
+            timeout = self.config.process_result_timeout_s
+            try:
+                outputs = [h.get(timeout) for h in handles]
+            except (
+                multiprocessing.TimeoutError, OSError, EOFError
+            ) as exc:
+                self._rebuild_pool(pool, exc)
+                raise
+            t1 = time.monotonic()
+            served = session.package_results(outputs, latency_s=t1 - t0)
+        elif injector is not None:
+            with _faults.scope(
+                injector,
+                tenant=tenant,
+                key=tickets[0].request_seq,
+                attempt=attempt,
+            ):
+                served = session.run_batch(
+                    [t.feeds for t in tickets], execution=execution
+                )
+            t1 = time.monotonic()
+        else:
+            served = session.run_batch(
+                [t.feeds for t in tickets], execution=execution
+            )
+            t1 = time.monotonic()
+        return served, t1
+
+    def _quarantine(
+        self,
+        worker_id: int,
+        tenant: str,
+        batch: list[Ticket],
+        batch_exc: BaseException,
+    ) -> None:
+        """Re-run a failed batch's members individually (poison isolation)."""
+        with self._stats_lock:
+            self._quarantined += len(batch)
+            self._tenant_quarantined[tenant] += len(batch)
+        self.control.record(
+            "quarantine",
+            f"worker {worker_id}: batch of {len(batch)} for "
+            f"{tenant!r} quarantined after {batch_exc!r}",
+        )
+        for ticket in batch:
+            self._serve_single(worker_id, tenant, ticket, batch_exc)
+        self._maybe_autoscale()
+
+    def _serve_single(
+        self,
+        worker_id: int,
+        tenant: str,
+        ticket: Ticket,
+        batch_exc: BaseException,
+    ) -> None:
+        """Isolation attempts for one quarantined ticket.
+
+        Attempt numbering is shared with the fault plan: the failed
+        batch run was attempt 0, isolation runs are 1, 2, ... — so a
+        spec with ``fail_attempts=1`` models a transient fault that the
+        first isolation re-run survives.  Backoff sleeps are budgeted
+        against the ticket's remaining deadline: a retry that could not
+        finish in time is not attempted at all.
+        """
+        breaker = self._breakers[tenant]
+        retry = self.config.retry
+        last_exc = batch_exc
+        attempts = 0
+        for k in range(1, retry.max_attempts + 1):
+            if k > 1:
+                delay = retry.backoff(k, key=ticket.request_seq)
+                est = self._service_s.get(tenant) or 0.0
+                budget = ticket.deadline_t - time.monotonic()
+                if delay + est > max(0.0, budget):
+                    break
+                if delay > 0:
+                    time.sleep(delay)
+                with self._stats_lock:
+                    self._retries += 1
+            attempts = k
+            execution, probe = breaker.plan_execution()
+            t0 = time.monotonic()
+            try:
+                served, t1 = self._execute_once(
+                    tenant, [ticket], attempt=k, execution=execution
+                )
+            except WorkerCrashError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 — retried/failed
+                last_exc = exc
+                self._note_failure(tenant, time.monotonic() - t0)
+                self._breaker_event(
+                    tenant, breaker.record(False, probe=probe)
+                )
+                continue
+            self._breaker_event(
+                tenant, breaker.record(True, probe=probe)
+            )
+            self._complete(worker_id, tenant, [ticket], served, t0, t1)
+            return
+        error = RequestFailedError(
+            tenant,
+            ticket.request_seq,
+            attempts + 1,  # the batch attempt plus the isolation runs
+            cause=last_exc,
+            detail="quarantined after a failed batch",
+        )
+        with self._stats_lock:
+            self._failed += 1
+            self._tenant_failed[tenant] += 1
+        ticket._fail(error)
+
+    def _complete(
+        self,
+        worker_id: int,
+        tenant: str,
+        batch: list[Ticket],
+        served: list[RequestResult],
+        t0: float,
+        t1: float,
+    ) -> None:
+        """Success bookkeeping + fulfillment for one dispatch attempt."""
         service_s = t1 - t0
         with self._stats_lock:
             prev = self._service_s[tenant]
@@ -861,7 +1227,96 @@ class Dispatcher:
                     deadline_met=t1 <= ticket.deadline_t,
                 )
             )
-        self._maybe_autoscale()
+
+    def _note_failure(self, tenant: str, service_s: float) -> None:
+        """Fold a *failed* attempt's duration into the EWMA estimate.
+
+        Without this, a tenant whose requests always fault would freeze
+        the estimate at its last healthy value and starve the
+        autoscaler's drain model of the real (wasted) service time.
+        """
+        with self._stats_lock:
+            prev = self._service_s[tenant]
+            self._service_s[tenant] = (
+                service_s
+                if prev is None
+                else 0.5 * prev + 0.5 * service_s
+            )
+
+    def _breaker_event(
+        self, tenant: str, transition: str | None
+    ) -> None:
+        """Audit a circuit-breaker state change (``None`` = no change)."""
+        if transition is None:
+            return
+        breaker = self._breakers[tenant]
+        if transition == "open":
+            self.control.record(
+                "degrade",
+                f"tenant {tenant!r}: circuit opened after repeated "
+                f"failures; {breaker.primary!r} -> {breaker.fallback!r} "
+                "(bit-exact, wall clock only)",
+            )
+        else:
+            self.control.record(
+                "restore",
+                f"tenant {tenant!r}: probe succeeded; "
+                f"{breaker.primary!r} restored",
+            )
+
+    def _worker_died(
+        self, worker_id: int, batch: list[Ticket], exc: BaseException
+    ) -> None:
+        """Last rites for a worker dying mid-batch (called by the worker).
+
+        Fails whatever tickets the batch still owes — a waiter must
+        never hang on a thread that no longer exists — and audits the
+        death.  Respawning is the supervisor's job.
+        """
+        pending = [t for t in batch if not t.done()]
+        if pending:
+            error = ServingError(
+                f"worker {worker_id} crashed mid-batch ({exc!r}); "
+                f"{len(pending)} request(s) were lost with it"
+            )
+            error.__cause__ = exc
+            with self._stats_lock:
+                self._failed += len(pending)
+                for t in pending:
+                    self._tenant_failed[t.tenant] += 1
+            for t in pending:
+                t._fail(error)
+        self.control.record(
+            "crash",
+            f"worker {worker_id} died serving {batch[0].tenant!r}: "
+            f"{exc!r} ({len(pending)} request(s) lost)",
+        )
+
+    def _rebuild_pool(self, broken, cause: BaseException) -> None:
+        """Replace a broken process pool (dead child / severed pipe).
+
+        Identity-checked under the pool lock: concurrent workers whose
+        results all timed out against the same corpse rebuild it once,
+        and latecomers see the fresh pool already in the slot.  The
+        fork registries (sessions, injector) and frozen weights are
+        dispatcher-scoped, not pool-scoped, so the new children inherit
+        the same state the originals did.
+        """
+        rebuilt = False
+        with self._pool_lock:
+            if not self._closed and self._pool_box[0] is broken:
+                broken.terminate()
+                broken.join()
+                ctx = multiprocessing.get_context("fork")
+                self._pool_box[0] = ctx.Pool(processes=self.workers)
+                rebuilt = True
+        if rebuilt:
+            with self._stats_lock:
+                self._pool_rebuilds += 1
+            self.control.record(
+                "pool",
+                f"process pool rebuilt after {cause!r}",
+            )
 
     # ------------------------------------------------------------------ #
     # lifecycle / introspection
@@ -877,6 +1332,8 @@ class Dispatcher:
                     deadline_hits=self._tenant_hits[t],
                     deadline_misses=self._tenant_misses[t],
                     latencies_s=tuple(self._tenant_latencies[t]),
+                    failed=self._tenant_failed[t],
+                    quarantined=self._tenant_quarantined[t],
                 )
                 for t in self.sessions
             }
@@ -897,20 +1354,72 @@ class Dispatcher:
                 workers=self._target_workers,
                 config_epoch=self.control.epoch,
                 audit=self.control.audit(),
+                quarantined=self._quarantined,
+                retries=self._retries,
+                worker_crashes=self._worker_crashes,
+                pool_rebuilds=self._pool_rebuilds,
+                degraded={
+                    t: b.fallback
+                    for t, b in self._breakers.items()
+                    if b.state == "open"
+                },
+                unjoined_workers=self._unjoined_workers,
             )
 
-    def close(self, timeout: float | None = 30.0) -> None:
-        """Drain the queue, stop the workers, release the process pool."""
+    def close(self, timeout: float | None = 30.0) -> tuple[int, ...]:
+        """Drain the queue, stop the workers, release the process pool.
+
+        ``timeout`` is one **shared** deadline for the whole fleet, not
+        a per-thread allowance (N threads each granted 30 s would make
+        the worst-case close N x 30 s).  Workers drain what is already
+        queued before exiting; any ticket still queued once the
+        deadline passes is *failed* with :class:`ServingError` — a
+        waiter must never deadlock on a dispatcher that shut down.
+        Returns the ids of workers that failed to join in time (also
+        surfaced as ``stats.unjoined_workers`` and audited); empty on a
+        clean close.
+        """
         if self._closed:
-            return
+            return self._unjoined_workers
         self._closed = True
+        self._supervisor_stop.set()
         self.queue.close()
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
         with self._scale_lock:
-            threads = list(self._threads.values())
-        for th in threads:
-            th.join(timeout)
+            threads = dict(self._threads)
+        unjoined = []
+        for wid, th in threads.items():
+            if deadline is None:
+                th.join()
+            else:
+                th.join(max(0.0, deadline - time.monotonic()))
+            if th.is_alive():
+                unjoined.append(wid)
+        self._unjoined_workers = tuple(unjoined)
+        if unjoined:
+            self.control.record(
+                "close",
+                f"worker{'s' if len(unjoined) != 1 else ''} {unjoined} "
+                f"failed to join within {timeout}s",
+            )
+        # whatever is still queued now has no worker left to serve it
+        leftovers = self.queue.drain()
+        if leftovers:
+            with self._stats_lock:
+                self._failed += len(leftovers)
+                for t in leftovers:
+                    self._tenant_failed[t.tenant] += 1
+            error = ServingError(
+                "dispatcher closed before this request could be "
+                "served; submit to a live dispatcher (or close with a "
+                "longer timeout to let the queue drain)"
+            )
+            for t in leftovers:
+                t._fail(error)
         self._finalizer()  # idempotent: registry + pool teardown
-        self._pool = None
+        return self._unjoined_workers
 
     def __enter__(self) -> "Dispatcher":
         return self

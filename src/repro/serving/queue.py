@@ -291,6 +291,20 @@ class RequestQueue:
             self._closed = True
             self._cond.notify_all()
 
+    def drain(self) -> list[Ticket]:
+        """Atomically remove and return every queued ticket.
+
+        The dispatcher's close path calls this after the worker join
+        deadline: whatever is still queued then has no worker left to
+        serve it, and each ticket must be *failed* (never abandoned) so
+        no waiter deadlocks on a dispatcher that already shut down.
+        """
+        with self._cond:
+            items, self._items = self._items, []
+            self._pass.clear()
+            self._cond.notify_all()
+            return items
+
     # ------------------------------------------------------------------ #
     # batch forming
     # ------------------------------------------------------------------ #

@@ -36,6 +36,7 @@ import numpy as np
 from repro.errors import CompileError, ServingError
 from repro.kernels.base import cached_pack, get_execution_backend
 from repro.mcu.profiler import CostReport
+from repro.serving import faults as _faults
 
 __all__ = ["RequestStats", "RequestResult", "SessionStats", "Session"]
 
@@ -142,6 +143,13 @@ class Session:
         activations of a batch are materialized at once, so an unbounded
         batch is a host-memory foot-gun; oversized batches are rejected
         with an actionable error instead of silently thrashing.
+    faults:
+        Optional :class:`~repro.serving.faults.FaultPlan` (or prepared
+        :class:`~repro.serving.faults.FaultInjector`).  When given, the
+        session evaluates the ``"session.run_batch"`` injection point on
+        every dispatch — the hook chaos tests use to make a standalone
+        session flaky.  ``None`` (the default) costs one ``is None``
+        check per batch.
 
     Thread-safe: the numeric pass runs outside any lock (the GEMMs
     release the GIL), while request-id allocation and the aggregate
@@ -150,7 +158,12 @@ class Session:
     """
 
     def __init__(
-        self, compiled, *, execution: str = "batched", max_batch: int = 256
+        self,
+        compiled,
+        *,
+        execution: str = "batched",
+        max_batch: int = 256,
+        faults: "_faults.FaultPlan | _faults.FaultInjector | None" = None,
     ):
         if max_batch <= 0:
             raise ServingError(
@@ -159,6 +172,9 @@ class Session:
         self.compiled = compiled
         self.execution = execution
         self.max_batch = max_batch
+        self._faults = (
+            None if faults is None else _faults.FaultInjector(faults)
+        )
         self._lock = threading.Lock()
         self._backend = get_execution_backend(execution)
         if not compiled.fits():
@@ -232,7 +248,11 @@ class Session:
         return self.run_batch([request], strict=strict)[0]
 
     def run_batch(
-        self, requests: Sequence, *, strict: bool = True
+        self,
+        requests: Sequence,
+        *,
+        strict: bool = True,
+        execution: str | None = None,
     ) -> list[RequestResult]:
         """Serve a batch; element ``i`` of the result answers request ``i``.
 
@@ -240,9 +260,17 @@ class Session:
         ``{input name: array}`` feeds mapping.  Outputs and per-request
         cost reports are bit-identical to serving each request alone via
         ``CompiledModel.run`` — batching changes wall clock, never bits.
+
+        ``execution`` overrides the session's backend for this one batch
+        — how the dispatcher's circuit breaker degrades a failing
+        ``"turbo"`` session to ``"batched"``/``"fast"`` without
+        re-warming anything.  Every registered backend is bit-exact and
+        the modeled cost is plan-determined, so the session's frozen
+        cost template stays valid under the override.
         """
         if len(requests) == 0:
             raise CompileError("run_batch needs at least one request")
+        _faults.perhaps("session.run_batch", self._faults)
         if len(requests) > self.max_batch:
             raise ServingError(
                 f"batch of {len(requests)} exceeds this session's "
@@ -281,7 +309,10 @@ class Session:
                     )
                 xs.append(np.asarray(feeds[name]))
             results = seg.pipeline.run_batch(
-                xs, plan=seg.plan, strict=strict, execution=self.execution
+                xs,
+                plan=seg.plan,
+                strict=strict,
+                execution=execution or self.execution,
             )
             out_name = seg.lowered.output_name
             spec_shape = graph.tensors[out_name].spec.shape
