@@ -15,7 +15,17 @@ vs a single-worker ``Session.run_batch`` loop at batch 8 (target:
 fifth ``kind: "control"`` series tracks the control plane: under a 4:1
 bronze:gold priority mix on one worker, the QoS batch former must land
 gold's p95 latency >= 1.3x better than the FIFO order it replaced —
-still bit-exact.
+still bit-exact.  A sixth ``kind: "fleet"`` series tracks the fleet
+evaluation subsystem: a seeded heterogeneous trace (M4 + M7 tenants,
+diurnal + MMPP arrivals) replayed against a real dispatcher under
+virtual-time dilation, graded against the M/G/k capacity model.  Its
+hard gate is *accuracy*, not wall clock: request-weighted mean p95 and
+deadline-hit prediction errors must stay < 20% (enforced in smoke runs
+too — the model grades itself against what the same run measured, so
+runner speed cancels out), admission accounting must balance, and
+sampled replayed outputs must stay bit-exact vs per-call
+``execution="fast"``.  Replay throughput (>= 500 req/s) is enforced in
+full runs only.
 
 Usage::
 
@@ -44,10 +54,9 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: the one place the schema version lives; bumped to v4 for the control
-#: series (the v3 additions — dispatch series, optional ``--stamp``
-#: ``unix_time`` field — are unchanged)
-SCHEMA = "bench_perf/v4"
+#: the one place the schema version lives; bumped to v5 for the fleet
+#: series (the v4 additions — control series — are unchanged)
+SCHEMA = "bench_perf/v5"
 SPEEDUP_TARGET = 20.0  # PR-2 acceptance: >=20x on full-model inference
 BATCHED_TARGET = 1.10  # PR-4 acceptance: >=1.10x req/s at batch >= 8 (vww)
 DISPATCH_TARGET = 1.8  # PR-5 acceptance: >=1.8x req/s, 4-worker dispatcher
@@ -57,6 +66,18 @@ DISPATCH_WORKERS = 4
 DISPATCH_REQUESTS = 32
 CONTROL_REQUESTS = 40
 CONTROL_BATCH = 4
+#: PR-8 acceptance: M/G/k prediction errors (weighted mean) < 20%
+FLEET_ERROR_TARGET = 0.20
+#: PR-8 acceptance, full runs only: sustained replay throughput
+FLEET_THROUGHPUT_TARGET = 500.0  # completed requests per wall second
+#: both fleet modes target the same ~830 req/s mean arrival rate
+#: (moderate single-worker utilization, the model's validated regime)
+FLEET_REQUESTS = 20_000
+FLEET_DILATION = 3_600.0
+FLEET_WINDOW_S = 7_200.0
+FLEET_SMOKE_REQUESTS = 2_000
+FLEET_SMOKE_DILATION = 36_000.0
+FLEET_SMOKE_WINDOW_S = 21_600.0
 MIN_MEASURE_S = 0.05  # minimum total time per measurement window
 
 
@@ -473,6 +494,97 @@ def bench_control(smoke: bool, repeats: int):
 
 
 # --------------------------------------------------------------------------- #
+# fleet (trace replay vs the M/G/k capacity model)
+# --------------------------------------------------------------------------- #
+def bench_fleet(smoke: bool, repeats: int):
+    """``kind: "fleet"`` series: trace replay graded by the M/G/k model.
+
+    One seeded heterogeneous replay (four tenants across the M4 and M7
+    device classes, diurnal + MMPP arrivals, Zipf skew) through
+    :func:`repro.eval.experiments.fleet_trial`, with three checks:
+
+    * **accuracy** — the model's predicted p95 and deadline-hit rate per
+      window must land within ``FLEET_ERROR_TARGET`` of measured
+      (request-weighted mean), and admission accounting must balance;
+    * **bit-exactness** — a sample of replayed outputs (up to 8 per
+      tenant) recomputed with per-call ``execution="fast"`` on the same
+      deterministic pool feeds must match bit for bit;
+    * **cost parity** — each tenant's model stays ``"fast"`` vs
+      ``"simulate"`` parity-locked on a pool input (the fleet library's
+      chains are tiny, so the simulate passes cost milliseconds).
+    """
+    from repro.eval.experiments import fleet_trial
+    from repro.fleet.replay import build_fleet, input_pools
+
+    n = FLEET_SMOKE_REQUESTS if smoke else FLEET_REQUESTS
+    trace, result, report = fleet_trial(
+        n_requests=n,
+        dilation=FLEET_SMOKE_DILATION if smoke else FLEET_DILATION,
+        window_s=FLEET_SMOKE_WINDOW_S if smoke else FLEET_WINDOW_S,
+    )
+    compiled = build_fleet(trace)
+    pools = input_pools(trace, compiled)
+    pool_sizes = {t.name: t.pool_size for t in trace.spec.tenants}
+
+    bitexact = True
+    checked = {t.name: 0 for t in trace.spec.tenants}
+    refs = {}
+    for rec in result.records:
+        if rec.outcome != "completed" or checked[rec.tenant] >= 8:
+            continue
+        checked[rec.tenant] += 1
+        draw = int(trace.input_draw[rec.index]) % pool_sizes[rec.tenant]
+        key = (rec.tenant, draw)
+        if key not in refs:
+            refs[key] = compiled[rec.tenant].run(
+                feeds=pools[rec.tenant][draw], execution="fast"
+            )
+        bitexact = bitexact and np.array_equal(
+            rec.output, refs[key].output
+        )
+
+    report_match = True
+    for tenant, pool in pools.items():
+        fast = compiled[tenant].run(feeds=pool[0], execution="fast")
+        sim = compiled[tenant].run(feeds=pool[0])
+        bitexact = bitexact and np.array_equal(fast.output, sim.output)
+        report_match = report_match and _reports_match(
+            fast.report, sim.report
+        )
+
+    counts = result.outcome_counts()
+    return [
+        {
+            "name": f"fleet-heterogeneous@{n}req",
+            "kind": "fleet",
+            "requests": n,
+            "workers": result.config.workers,
+            "dilation": result.config.dilation,
+            "device_classes": sorted(set(result.device_classes.values())),
+            "trace_digest": trace.digest(),
+            "outputs_digest": result.outputs_digest(),
+            "completed": counts["completed"],
+            "failed": counts["failed"],
+            "shed": counts["shed"],
+            "rejected": counts["rejected"],
+            "balanced": result.balanced,
+            "replay_wall_s": round(result.wall_s, 3),
+            "replay_requests_per_s": round(result.requests_per_s, 1),
+            "windows_graded": len(report.rows),
+            "windows_skipped": report.windows_skipped,
+            "overhead_ms": round(1e3 * report.overhead_s, 3),
+            "mean_p95_error": round(report.mean_p95_error, 4),
+            "max_p95_error": round(report.max_p95_error, 4),
+            "mean_hit_error": round(report.mean_hit_error, 4),
+            "max_hit_error": round(report.max_hit_error, 4),
+            "model_validated": report.passed(FLEET_ERROR_TARGET),
+            "bitexact": bitexact,
+            "report_match": report_match,
+        }
+    ]
+
+
+# --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -499,6 +611,7 @@ def main(argv=None) -> int:
     results += bench_batched(args.smoke, args.repeats)
     results += bench_dispatch(args.smoke, args.repeats)
     results += bench_control(args.smoke, args.repeats)
+    results += bench_fleet(args.smoke, args.repeats)
 
     model_speedups = [
         r["speedup"] for r in results if r["kind"] == "model" and r["speedup"]
@@ -512,6 +625,7 @@ def main(argv=None) -> int:
     control_speedups = [
         r["speedup"] for r in results if r["kind"] == "control" and r["speedup"]
     ]
+    fleet_entries = [r for r in results if r["kind"] == "fleet"]
     payload = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
@@ -519,6 +633,8 @@ def main(argv=None) -> int:
         "batched_target": BATCHED_TARGET,
         "dispatch_target": DISPATCH_TARGET,
         "control_target": CONTROL_TARGET,
+        "fleet_error_target": FLEET_ERROR_TARGET,
+        "fleet_throughput_target": FLEET_THROUGHPUT_TARGET,
         "results": results,
         "summary": {
             "all_bitexact": all(r["bitexact"] for r in results),
@@ -535,6 +651,23 @@ def main(argv=None) -> int:
             "min_control_speedup": min(control_speedups),
             "max_control_speedup": max(control_speedups),
             "control_target_met": min(control_speedups) >= CONTROL_TARGET,
+            "fleet_mean_p95_error": max(
+                r["mean_p95_error"] for r in fleet_entries
+            ),
+            "fleet_mean_hit_error": max(
+                r["mean_hit_error"] for r in fleet_entries
+            ),
+            "fleet_model_validated": all(
+                r["model_validated"] and r["balanced"]
+                for r in fleet_entries
+            ),
+            "fleet_requests_per_s": min(
+                r["replay_requests_per_s"] for r in fleet_entries
+            ),
+            "fleet_throughput_met": min(
+                r["replay_requests_per_s"] for r in fleet_entries
+            )
+            >= FLEET_THROUGHPUT_TARGET,
         },
     }
     if args.stamp:
@@ -584,6 +717,22 @@ def main(argv=None) -> int:
             f"{r['bitexact'] and r['report_match']}"
             f"  (gold {r['gold_requests']}/{r['requests']} reqs)"
         )
+    print(
+        f"\n{'fleet':<{w}}  {'replay':>10}  {'p95 err':>10}  "
+        f"{'hit err':>8}  valid"
+    )
+    for r in results:
+        if r["kind"] != "fleet":
+            continue
+        print(
+            f"{r['name']:<{w}}  {r['replay_wall_s']:>9.1f}s  "
+            f"{100 * r['mean_p95_error']:>9.1f}%  "
+            f"{100 * r['mean_hit_error']:>7.1f}%  "
+            f"{r['model_validated'] and r['balanced']}"
+            f"  ({r['replay_requests_per_s']:.0f} req/s, "
+            f"{r['windows_graded']} windows, "
+            f"overhead {r['overhead_ms']:.2f} ms)"
+        )
     s = payload["summary"]
     print(
         f"\nmodel speedups {s['min_model_speedup']:.1f}x.."
@@ -600,19 +749,28 @@ def main(argv=None) -> int:
         f"{s['max_control_speedup']:.2f}x "
         f"(target >= {CONTROL_TARGET:.1f}x: "
         f"{'MET' if s['control_target_met'] else 'MISSED'}); "
+        f"fleet model error p95 {100 * s['fleet_mean_p95_error']:.1f}% / "
+        f"hit {100 * s['fleet_mean_hit_error']:.1f}% "
+        f"(target < {100 * FLEET_ERROR_TARGET:.0f}%: "
+        f"{'MET' if s['fleet_model_validated'] else 'MISSED'}); "
         f"bit-exact: {s['all_bitexact']}; cost parity: {s['all_reports_match']}"
     )
     print(f"wrote {args.output}")
-    # parity is deterministic — always a hard gate.  The wall-clock targets
-    # are only enforced in full runs: smoke mode runs on shared CI workers
-    # where the timings are too noisy to fail a build.
+    # parity is deterministic — always a hard gate.  So is the fleet
+    # model-validation gate: it compares predictions against what the
+    # same run measured, so runner speed cancels out.  The wall-clock
+    # targets are only enforced in full runs: smoke mode runs on shared
+    # CI workers where the timings are too noisy to fail a build.
     if not (s["all_bitexact"] and s["all_reports_match"]):
+        return 1
+    if not s["fleet_model_validated"]:
         return 1
     if not args.smoke and not (
         s["target_met"]
         and s["batched_target_met"]
         and s["dispatch_target_met"]
         and s["control_target_met"]
+        and s["fleet_throughput_met"]
     ):
         return 1
     return 0

@@ -39,6 +39,10 @@ __all__ = [
     "dispatch_serving",
     "control_serving",
     "priority_mix_trial",
+    "chaos_serving",
+    "fleet_trace_spec",
+    "fleet_trial",
+    "fleet_eval",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1109,6 +1113,203 @@ def chaos_serving(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def fleet_trace_spec(n_requests: int = 100_000, seed: int = 42):
+    """The heterogeneous fleet workload every fleet artifact replays.
+
+    Four tenants spanning both device classes (two compiled on the
+    Cortex-M4 part, two on the Cortex-M7 part), Zipf-skewed so ``alpha``
+    dominates, with distinct priorities and deadlines — behind one
+    dispatcher.  Arrivals follow a 24 h diurnal curve (peak at 20:00
+    virtual) modulated by a calm/burst MMPP, sized so a single worker
+    runs at moderate utilization: the regime where the M/G/k model is
+    supposed to be accurate and the validation gate is meaningful.
+    """
+    from repro.fleet import TenantSpec, TraceSpec
+
+    return TraceSpec(
+        seed=seed,
+        n_requests=n_requests,
+        horizon_s=86_400.0,
+        tenants=(
+            TenantSpec(
+                name="alpha", model="tiny-chain-4", device="F411RE",
+                priority=2, weight=2.0, deadline_s=0.25,
+            ),
+            TenantSpec(
+                name="beta", model="tiny-chain-6", device="F767ZI",
+                priority=1, deadline_s=0.25,
+            ),
+            TenantSpec(
+                name="gamma", model="tiny-chain-2", device="F411RE",
+                priority=1, deadline_s=0.10,
+            ),
+            TenantSpec(
+                name="delta", model="wide-chain-4", device="F767ZI",
+                priority=0, deadline_s=0.50,
+            ),
+        ),
+        zipf_s=1.1,
+        diurnal_amplitude=0.5,
+        peak_hour=20.0,
+        burst_multiplier=1.6,
+        burst_dwell_s=1200.0,
+        calm_dwell_s=4800.0,
+    )
+
+
+def fleet_trial(
+    *,
+    n_requests: int = 100_000,
+    dilation: float = 720.0,
+    window_s: float = 7200.0,
+    workers: int = 1,
+    seed: int = 42,
+    min_window_requests: int = 150,
+):
+    """Generate → replay → validate: the measured fleet protocol.
+
+    The shared core of the ``fleet`` experiment below and the gated
+    ``kind: "fleet"`` series in ``benchmarks/bench_perf.py``: generate
+    the seeded heterogeneous trace, replay it open-loop against a real
+    dispatcher under virtual-time dilation, then grade the M/G/k model
+    window by window against what was measured.  The queue-depth bound
+    is set far above anything the sized load can reach, so nothing is
+    shed and the outcome counts (and the outputs digest) are a pure
+    function of the trace.
+
+    Returns ``(trace, result, report)``.
+    """
+    from repro.fleet import ReplayConfig, generate_trace, validate_model
+    from repro.fleet.replay import replay
+
+    trace = generate_trace(fleet_trace_spec(n_requests, seed))
+    result = replay(
+        trace,
+        config=ReplayConfig(
+            dilation=dilation,
+            workers=workers,
+            window_s=window_s,
+            max_queue_depth=65_536,
+        ),
+    )
+    report = validate_model(result, min_requests=min_window_requests)
+    return trace, result, report
+
+
+def fleet_eval(
+    *,
+    n_requests: int = 100_000,
+    dilation: float = 720.0,
+    window_s: float = 7200.0,
+    workers: int = 1,
+    seed: int = 42,
+    min_window_requests: int = 150,
+) -> Experiment:
+    """Extension: fleet-scale trace replay vs the M/G/k capacity model.
+
+    Replays a seeded 100k-request, 24 h-virtual trace — four tenants,
+    M4 + M7 device classes, diurnal + MMPP arrivals, Zipf skew — against
+    a real :class:`~repro.serving.Dispatcher` under virtual-time
+    dilation, then grades the analytical M/G/k model window by window:
+    predicted p95 latency and deadline-hit rate vs measured, with a
+    <20 % request-weighted mean error gate on both.  The notes close the
+    loop with the planner: the minimal worker count the validated model
+    says would hold the SLO at twice the peak window's arrival rate.
+
+    Determinism anchors carried in the notes: the trace digest (bit
+    identical per spec in any process) and the outputs digest (a pure
+    function of the trace — dilation, worker count and scheduling must
+    not change it while nothing is shed).
+    """
+    from repro.fleet import ServiceProfile, SLOTarget, plan_capacity
+
+    trace, result, report = fleet_trial(
+        n_requests=n_requests,
+        dilation=dilation,
+        window_s=window_s,
+        workers=workers,
+        seed=seed,
+        min_window_requests=min_window_requests,
+    )
+    headers = [
+        "Window", "Req", "rho", "Meas p95 ms", "Pred p95 ms", "p95 err",
+        "Meas hit", "Pred hit", "hit err",
+    ]
+    rows = [
+        (
+            r.window,
+            r.requests,
+            f"{r.utilization:.2f}",
+            f"{1e3 * r.measured_p95_s:.1f}",
+            f"{1e3 * r.predicted_p95_s:.1f}",
+            f"{100 * r.p95_error:.1f}%",
+            f"{100 * r.measured_hit_rate:.1f}%",
+            f"{100 * r.predicted_hit_rate:.1f}%",
+            f"{100 * r.hit_error:.1f}%",
+        )
+        for r in report.rows
+    ]
+
+    # close the loop: plan capacity for 2x the peak graded window's rate
+    # from that window's own measured service profile
+    merged = result.telemetry.merged("tenant")
+    peak_w = max(
+        (r.window for r in report.rows),
+        key=lambda w: merged[w].completed,
+    )
+    peak_rate = merged[peak_w].completed / (window_s / dilation)
+    profile = ServiceProfile.from_window(
+        merged[peak_w], overhead_s=report.overhead_s
+    )
+    slo = SLOTarget(
+        p95_latency_s=0.025, deadline_hit_rate=0.99, deadline_s=0.25
+    )
+    plan = plan_capacity(
+        arrival_rate_rps=2.0 * peak_rate,
+        profile=profile,
+        slo=slo,
+        ca2=float(trace.window_ca2(window_s)[peak_w]),
+    )
+
+    counts = result.outcome_counts()
+    tenant_counts = trace.tenant_counts()
+    mix = ", ".join(
+        f"{t.name}({result.device_classes[t.name]} {t.model}) "
+        f"{tenant_counts[t.name]}"
+        for t in trace.spec.tenants
+    )
+    notes = [
+        f"trace: digest {trace.digest()}, {len(trace)} requests over "
+        f"{trace.spec.horizon_s / 3600:.0f}h virtual; tenants: {mix}",
+        f"replay: dilation {dilation:g}x, {workers} worker(s), "
+        f"{result.wall_s:.1f}s wall ({result.requests_per_s:.0f} req/s "
+        f"served), max submit lag {1e3 * result.max_submit_lag_s:.1f} ms",
+        f"outcomes: {counts['completed']} completed, "
+        f"{counts['failed']} failed, {counts['shed']} shed, "
+        f"{counts['rejected']} rejected; admitted == completed + failed "
+        f"+ shed: {'yes' if result.balanced else 'NO'}; outputs digest "
+        f"{result.outputs_digest()} (dilation-invariant)",
+        f"validation: weighted mean p95 error "
+        f"{100 * report.mean_p95_error:.1f}% "
+        f"(max {100 * report.max_p95_error:.1f}%), hit-rate error "
+        f"{100 * report.mean_hit_error:.1f}% "
+        f"(max {100 * report.max_hit_error:.1f}%), overhead "
+        f"{1e3 * report.overhead_s:.2f} ms, {len(report.rows)} window(s) "
+        f"graded / {report.windows_skipped} skipped; gate (<20% weighted "
+        f"mean): {'PASS' if report.passed(0.20) else 'FAIL'}",
+        f"capacity plan: {plan.workers} worker(s) "
+        f"{'meet' if plan.feasible else 'CANNOT meet'} p95 <= "
+        f"{1e3 * slo.p95_latency_s:.0f} ms and hit >= "
+        f"{100 * slo.deadline_hit_rate:.0f}% at 2x peak "
+        f"({2 * peak_rate:.0f} req/s) — {len(plan.evaluated)} model "
+        f"evaluations instead of a replay sweep",
+        "tracked gate: kind 'fleet' in BENCH_perf.json "
+        "(benchmarks/bench_perf.py, weighted mean errors < 20%)",
+    ]
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -1126,4 +1327,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "dispatch": dispatch_serving,
     "control": control_serving,
     "chaos": chaos_serving,
+    "fleet": fleet_eval,
 }

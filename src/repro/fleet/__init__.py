@@ -1,0 +1,75 @@
+"""Trace-driven fleet evaluation and capacity planning.
+
+Layers (one module each):
+
+* :mod:`repro.fleet.trace` — seeded deterministic trace generation
+  (diurnal + MMPP arrivals, Zipf tenant skew, columnar storage);
+* :mod:`repro.fleet.replay` — replays a trace against a real
+  :class:`~repro.serving.Dispatcher` over a heterogeneous device fleet
+  under virtual-time dilation;
+* :mod:`repro.fleet.telemetry` — the shared percentile/histogram
+  helpers and streaming per-window, per-tenant, per-device-class stats;
+* :mod:`repro.fleet.model` / :mod:`repro.fleet.planner` — the M/G/k
+  analytical model validated against measured replays, and the
+  SLO-driven worker-count planner built on it.
+
+Attribute access is lazy (PEP 562): ``repro.serving.dispatcher``
+imports :func:`~repro.fleet.telemetry.percentile` from this package's
+telemetry module, while :mod:`repro.fleet.replay` imports the serving
+layer — resolving the replay exports only on first use keeps that pair
+acyclic.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # trace
+    "TenantSpec": "repro.fleet.trace",
+    "TraceSpec": "repro.fleet.trace",
+    "Trace": "repro.fleet.trace",
+    "generate_trace": "repro.fleet.trace",
+    # telemetry
+    "percentile": "repro.fleet.telemetry",
+    "LatencyHistogram": "repro.fleet.telemetry",
+    "WindowStats": "repro.fleet.telemetry",
+    "WindowedTelemetry": "repro.fleet.telemetry",
+    # replay — the replay() entry point itself is NOT re-exported: the
+    # function shares its name with its submodule, and the import system
+    # binds the submodule onto the package the moment anything from it
+    # is touched, shadowing a lazy function export in an order-dependent
+    # way.  Import it as ``from repro.fleet.replay import replay``.
+    "MODEL_LIBRARY": "repro.fleet.replay",
+    "ReplayConfig": "repro.fleet.replay",
+    "RequestRecord": "repro.fleet.replay",
+    "ReplayResult": "repro.fleet.replay",
+    "build_fleet": "repro.fleet.replay",
+    "input_pools": "repro.fleet.replay",
+    # model + planner
+    "erlang_c": "repro.fleet.model",
+    "ServiceProfile": "repro.fleet.model",
+    "WindowPrediction": "repro.fleet.model",
+    "FleetModel": "repro.fleet.model",
+    "ValidationReport": "repro.fleet.model",
+    "validate_model": "repro.fleet.model",
+    "SLOTarget": "repro.fleet.planner",
+    "CapacityPlan": "repro.fleet.planner",
+    "plan_capacity": "repro.fleet.planner",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.fleet' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,466 @@
+"""M/G/k analytical model of the dispatcher, validated against replays.
+
+The MLSYSIM framing: treat the serving fleet as a first-principles
+queueing system and check the math against the measured system, so
+capacity questions get analytical answers instead of brute-force sweeps.
+
+The model sees the dispatcher the way the workers do — as a queue of
+**batch** jobs: requests arriving at rate λ coalesce into micro-batches
+of mean size B̄, so batch jobs arrive at λ/B̄ and occupy one of k workers
+for a measured service span S.  Three standard pieces compose the
+prediction:
+
+* **Erlang-C** gives the probability an arriving batch finds all k
+  workers busy (offered load a = λ·S/B̄);
+* the **Allen–Cunneen approximation** corrects the M/M/k mean wait for
+  measured arrival burstiness (ca², from the trace's inter-arrival SCV)
+  and service variability (cs², from the replayed batch spans);
+* the conditional wait is taken **exponential** with that mean, and the
+  latency distribution is its convolution with the *empirical* span
+  distribution plus a calibrated constant dispatch overhead — solved by
+  bisection for any quantile, and evaluated directly for deadline-hit
+  probabilities.
+
+Parameterization is entirely from measurement (the per-plan service
+spans the dispatcher's EWMA tracking already observes, winsorized at p99
+so a scheduler stall cannot masquerade as service variance), which is
+what makes the <20 % validation gate meaningful: the model must get the
+*queueing*, not fit the noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.fleet.telemetry import WindowStats, percentile
+
+__all__ = [
+    "erlang_c",
+    "ServiceProfile",
+    "WindowPrediction",
+    "FleetModel",
+    "WindowValidation",
+    "ValidationReport",
+    "validate_model",
+]
+
+#: utilization above which predictions are clamped (and flagged): the
+#: steady-state formulas diverge at ρ→1, but a transiently saturated
+#: window still deserves a finite, pessimistic answer
+RHO_CLAMP = 0.95
+
+#: service-variability cap after winsorization — one surviving outlier
+#: must not dominate the Allen–Cunneen correction
+CS2_CAP = 4.0
+
+#: arrival-burstiness cap, same rationale
+CA2_CAP = 2.0
+
+
+def erlang_c(k: int, a: float) -> float:
+    """P(wait) for M/M/k at offered load ``a`` (1.0 when saturated).
+
+    Computed via the numerically stable inverse-Erlang-B recurrence —
+    no factorials, fine for thousands of servers.
+    """
+    if k <= 0:
+        raise ServingError(f"need at least one server, got k={k}")
+    if a <= 0.0:
+        return 0.0
+    if a >= k:
+        return 1.0
+    inv_b = 1.0
+    for j in range(1, k + 1):
+        inv_b = 1.0 + inv_b * j / a
+    return 1.0 / (1.0 + (1.0 - a / k) * (inv_b - 1.0))
+
+
+@dataclass(frozen=True)
+class ServiceProfile:
+    """Measured service parameterization of one window (or one fleet).
+
+    ``spans_s`` are the batch service spans, ascending and winsorized at
+    their own p99; ``overhead_s`` is the calibrated constant part of the
+    queue wait (batch-forming hold + dispatch overhead) that every
+    request pays regardless of load.
+    """
+
+    #: winsorized batch service spans, ascending (seconds)
+    spans_s: tuple[float, ...]
+    mean_batch_size: float
+    overhead_s: float = 0.0
+
+    def __post_init__(self):
+        if not self.spans_s:
+            raise ServingError("a service profile needs span samples")
+        if self.mean_batch_size <= 0:
+            raise ServingError(
+                f"mean_batch_size must be positive, "
+                f"got {self.mean_batch_size}"
+            )
+
+    @classmethod
+    def from_window(
+        cls, stats: WindowStats, *, overhead_s: float = 0.0
+    ) -> "ServiceProfile":
+        spans = sorted(stats.batch_service_s)
+        cap = percentile(spans, 0.99)
+        return cls(
+            spans_s=tuple(min(s, cap) for s in spans),
+            mean_batch_size=max(1.0, stats.mean_batch_size),
+            overhead_s=overhead_s,
+        )
+
+    @property
+    def mean_service_s(self) -> float:
+        return sum(self.spans_s) / len(self.spans_s)
+
+    @property
+    def cs2(self) -> float:
+        """Squared coefficient of variation of the spans (capped)."""
+        mean = self.mean_service_s
+        if mean <= 0:
+            return 0.0
+        var = sum((s - mean) ** 2 for s in self.spans_s) / len(
+            self.spans_s
+        )
+        return min(CS2_CAP, var / (mean * mean))
+
+
+@dataclass(frozen=True)
+class WindowPrediction:
+    """The model's answer for one window (or one hypothetical fleet)."""
+
+    arrival_rate_rps: float
+    workers: int
+    #: offered-load utilization a/k (pre-clamp, so > RHO_CLAMP visible)
+    utilization: float
+    #: Erlang-C probability an arriving batch waits
+    p_wait: float
+    #: Allen–Cunneen mean queue wait (seconds, excluding overhead)
+    mean_wait_s: float
+    p95_latency_s: float
+    #: predicted P(latency <= deadline), request-weighted over the
+    #: deadline mix handed to the predictor (1.0 when none given)
+    deadline_hit_rate: float
+    #: the steady-state formulas were clamped at RHO_CLAMP
+    saturated: bool = False
+    window: int | None = None
+
+
+class FleetModel:
+    """Predicts latency quantiles and deadline hits from a profile.
+
+    One instance models one (profile, workers, ca²) operating point;
+    :meth:`latency_quantile` and :meth:`hit_rate` interrogate the same
+    predicted latency distribution, so the two validated quantities are
+    consistent by construction.
+    """
+
+    def __init__(
+        self,
+        profile: ServiceProfile,
+        *,
+        arrival_rate_rps: float,
+        workers: int,
+        ca2: float = 1.0,
+    ):
+        if arrival_rate_rps < 0:
+            raise ServingError(
+                f"arrival rate must be >= 0, got {arrival_rate_rps}"
+            )
+        if workers <= 0:
+            raise ServingError(
+                f"workers must be positive, got {workers}"
+            )
+        self.profile = profile
+        self.arrival_rate_rps = arrival_rate_rps
+        self.workers = workers
+        self.ca2 = min(CA2_CAP, max(0.0, ca2))
+        spans = np.asarray(profile.spans_s)
+        s_b = profile.mean_service_s
+        a = arrival_rate_rps / profile.mean_batch_size * s_b
+        self.utilization = a / workers
+        self.saturated = self.utilization > RHO_CLAMP
+        a_eff = min(a, RHO_CLAMP * workers)
+        self.p_wait = erlang_c(workers, a_eff)
+        rho_eff = a_eff / workers
+        self.mean_wait_s = (
+            self.p_wait
+            * s_b
+            / (workers * (1.0 - rho_eff))
+            * (self.ca2 + self.profile.cs2)
+            / 2.0
+        )
+        #: conditional-wait exponential scale: E[W] = p_wait * scale
+        self._scale = (
+            self.mean_wait_s / self.p_wait if self.p_wait > 1e-12 else 0.0
+        )
+        self._shifted = profile.overhead_s + spans
+
+    def exceed_probability(self, latency_s: float) -> float:
+        """P(request latency > ``latency_s``) under the model.
+
+        Latency = overhead + exponential(ish) queue wait + a span drawn
+        from the empirical distribution; the expectation over spans is
+        exact, the wait tail exponential with the Allen–Cunneen mean.
+        """
+        base = np.maximum(0.0, latency_s - self._shifted)
+        if self._scale <= 0.0:
+            waits = np.where(latency_s < self._shifted, 1.0, 0.0)
+        else:
+            waits = np.where(
+                latency_s < self._shifted,
+                1.0,
+                self.p_wait * np.exp(-base / self._scale),
+            )
+        return float(waits.mean())
+
+    def hit_rate(self, deadline_s: float) -> float:
+        """Predicted P(latency <= deadline)."""
+        return 1.0 - self.exceed_probability(deadline_s)
+
+    def latency_quantile(self, q: float) -> float:
+        """Solve ``P(L > x) = 1 - q`` for x by bisection."""
+        target = 1.0 - q
+        lo = 0.0
+        hi = float(self._shifted.max()) + max(
+            1.0, 30.0 * (self._scale or 0.0)
+        )
+        while self.exceed_probability(hi) > target:
+            hi *= 2.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.exceed_probability(mid) > target:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def predict(
+        self,
+        *,
+        deadlines: list[tuple[float, int]] | None = None,
+        window: int | None = None,
+    ) -> WindowPrediction:
+        """The full prediction; ``deadlines`` is a (deadline_s, weight)
+        mix for the request-weighted deadline-hit rate."""
+        if deadlines:
+            total = sum(w for _, w in deadlines)
+            hit = (
+                sum(w * self.hit_rate(d) for d, w in deadlines) / total
+                if total
+                else 1.0
+            )
+        else:
+            hit = 1.0
+        return WindowPrediction(
+            arrival_rate_rps=self.arrival_rate_rps,
+            workers=self.workers,
+            utilization=self.utilization,
+            p_wait=self.p_wait,
+            mean_wait_s=self.mean_wait_s,
+            p95_latency_s=self.latency_quantile(0.95),
+            deadline_hit_rate=hit,
+            saturated=self.saturated,
+            window=window,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# validation against a measured replay
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WindowValidation:
+    """Model vs measurement for one replay window."""
+
+    window: int
+    requests: int
+    utilization: float
+    measured_p95_s: float
+    predicted_p95_s: float
+    #: |predicted - measured| / measured
+    p95_error: float
+    measured_hit_rate: float
+    predicted_hit_rate: float
+    hit_error: float
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Model-vs-measured errors over every validated window.
+
+    The headline numbers are **request-weighted mean** relative errors:
+    every served request votes once, so a sparse noisy window cannot
+    dominate, and the model is graded on the traffic it actually
+    modeled.  Per-window maxima are reported alongside.
+    """
+
+    rows: tuple[WindowValidation, ...]
+    #: windows with too few completions to grade
+    windows_skipped: int
+    #: calibrated constant overhead used by every prediction (seconds)
+    overhead_s: float
+
+    def _weighted(self, attr: str) -> float:
+        total = sum(r.requests for r in self.rows)
+        if total == 0:
+            return 0.0
+        return (
+            sum(r.requests * getattr(r, attr) for r in self.rows) / total
+        )
+
+    @property
+    def mean_p95_error(self) -> float:
+        return self._weighted("p95_error")
+
+    @property
+    def max_p95_error(self) -> float:
+        return max((r.p95_error for r in self.rows), default=0.0)
+
+    @property
+    def mean_hit_error(self) -> float:
+        return self._weighted("hit_error")
+
+    @property
+    def max_hit_error(self) -> float:
+        return max((r.hit_error for r in self.rows), default=0.0)
+
+    def passed(self, threshold: float = 0.20) -> bool:
+        """The acceptance gate: both weighted mean errors in bounds."""
+        return (
+            bool(self.rows)
+            and self.mean_p95_error < threshold
+            and self.mean_hit_error < threshold
+        )
+
+
+def _calibrate_overhead(
+    windows: dict[int, WindowStats],
+    *,
+    window_real_s: float,
+    workers: int,
+    ca2_by_window,
+    min_requests: int,
+) -> float:
+    """The constant queue-wait term (request-weighted median residual).
+
+    Measured mean queue wait minus the predicted Allen–Cunneen wait,
+    per window; the median across windows is robust to the occasional
+    stall-polluted bucket that the mean would absorb.
+    """
+    residuals: list[tuple[float, int]] = []
+    for w, stats in sorted(windows.items()):
+        if stats.completed < min_requests or not stats.batch_service_s:
+            continue
+        profile = ServiceProfile.from_window(stats)
+        model = FleetModel(
+            profile,
+            arrival_rate_rps=stats.completed / window_real_s,
+            workers=workers,
+            ca2=ca2_by_window(w),
+        )
+        if model.utilization >= 1.0:
+            continue
+        residuals.append(
+            (
+                max(0.0, stats.mean_queue_wait_s - model.mean_wait_s),
+                stats.completed,
+            )
+        )
+    if not residuals:
+        return 0.0
+    residuals.sort()
+    total = sum(n for _, n in residuals)
+    acc = 0
+    for value, n in residuals:
+        acc += n
+        if acc * 2 >= total:
+            return value
+    return residuals[-1][0]
+
+
+def validate_model(
+    result, *, min_requests: int = 150, window_s: float | None = None
+) -> ValidationReport:
+    """Grade the analytical model against a measured replay.
+
+    ``result`` is a :class:`~repro.fleet.replay.ReplayResult`.  Every
+    window with at least ``min_requests`` completions is predicted from
+    its own measured service profile (shared calibrated overhead) and
+    compared on p95 latency and deadline-hit rate.
+    """
+    window_s = (
+        window_s if window_s is not None else result.config.window_s
+    )
+    window_real_s = window_s / result.config.dilation
+    workers = result.config.workers
+    merged = result.telemetry.merged("tenant")
+    per_tenant = result.telemetry.per_tenant()
+    deadline_of = {
+        t.name: t.deadline_s for t in result.trace.spec.tenants
+    }
+    ca2s = result.trace.window_ca2(window_s)
+
+    def ca2_by_window(w: int) -> float:
+        return float(ca2s[w]) if 0 <= w < len(ca2s) else 1.0
+
+    overhead_s = _calibrate_overhead(
+        merged,
+        window_real_s=window_real_s,
+        workers=workers,
+        ca2_by_window=ca2_by_window,
+        min_requests=min_requests,
+    )
+    rows: list[WindowValidation] = []
+    skipped = 0
+    for w, stats in sorted(merged.items()):
+        if stats.completed < min_requests or not stats.batch_service_s:
+            skipped += 1
+            continue
+        profile = ServiceProfile.from_window(
+            stats, overhead_s=overhead_s
+        )
+        model = FleetModel(
+            profile,
+            arrival_rate_rps=stats.completed / window_real_s,
+            workers=workers,
+            ca2=ca2_by_window(w),
+        )
+        deadlines = [
+            (deadline_of[name], t_stats.completed)
+            for (win, name), t_stats in per_tenant.items()
+            if win == w and name in deadline_of and t_stats.completed
+        ]
+        pred = model.predict(deadlines=deadlines, window=w)
+        measured_p95 = stats.p95_latency_s
+        measured_hit = stats.deadline_hit_rate
+        p95_error = (
+            abs(pred.p95_latency_s - measured_p95) / measured_p95
+            if measured_p95 > 0
+            else 0.0
+        )
+        hit_error = (
+            abs(pred.deadline_hit_rate - measured_hit) / measured_hit
+            if measured_hit > 0
+            else abs(pred.deadline_hit_rate - measured_hit)
+        )
+        rows.append(
+            WindowValidation(
+                window=w,
+                requests=stats.completed,
+                utilization=model.utilization,
+                measured_p95_s=measured_p95,
+                predicted_p95_s=pred.p95_latency_s,
+                p95_error=p95_error,
+                measured_hit_rate=measured_hit,
+                predicted_hit_rate=pred.deadline_hit_rate,
+                hit_error=hit_error,
+            )
+        )
+    return ValidationReport(
+        rows=tuple(rows), windows_skipped=skipped, overhead_s=overhead_s
+    )

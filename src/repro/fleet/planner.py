@@ -1,0 +1,177 @@
+"""SLO-driven capacity planning on top of the validated fleet model.
+
+Answers the operator's question directly: *how many workers does this
+trace need to meet its SLO?* — by binary search over the worker count
+using :class:`~repro.fleet.model.FleetModel` predictions.  Feasibility
+is monotone in k (Erlang-C waiting probability strictly falls as servers
+are added at fixed offered load), so the search finds the exact minimal
+fleet in O(log max_workers) model evaluations instead of a sweep of
+replays.
+
+The model inputs come from measurement (a
+:class:`~repro.fleet.model.ServiceProfile` built from a replay's
+windows), which is the whole point of validating the model first: once
+predicted p95/deadline-hit track measured within the gate, the planner's
+answers inherit that confidence without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServingError
+from repro.fleet.model import FleetModel, ServiceProfile, WindowPrediction
+
+__all__ = ["SLOTarget", "CapacityPlan", "plan_capacity"]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """What the fleet must deliver (any subset; all must hold).
+
+    ``deadline_hit_rate`` needs ``deadline_s`` — the hit rate is a
+    property of a specific deadline, not of the fleet alone.
+    """
+
+    p95_latency_s: float | None = None
+    deadline_hit_rate: float | None = None
+    deadline_s: float | None = None
+    #: guard against planning a fleet that runs hot even when latency
+    #: targets are met (queueing cliffs live above ~0.8)
+    max_utilization: float = 0.85
+
+    def validate(self) -> None:
+        if self.p95_latency_s is None and self.deadline_hit_rate is None:
+            raise ServingError(
+                "an SLO needs at least one of p95_latency_s or "
+                "deadline_hit_rate"
+            )
+        if self.p95_latency_s is not None and self.p95_latency_s <= 0:
+            raise ServingError(
+                f"p95_latency_s must be positive, "
+                f"got {self.p95_latency_s}"
+            )
+        if self.deadline_hit_rate is not None:
+            if not 0.0 < self.deadline_hit_rate <= 1.0:
+                raise ServingError(
+                    f"deadline_hit_rate must be in (0, 1], "
+                    f"got {self.deadline_hit_rate}"
+                )
+            if self.deadline_s is None or self.deadline_s <= 0:
+                raise ServingError(
+                    "deadline_hit_rate needs a positive deadline_s"
+                )
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ServingError(
+                f"max_utilization must be in (0, 1), "
+                f"got {self.max_utilization}"
+            )
+
+    def satisfied_by(self, pred: WindowPrediction) -> bool:
+        if pred.saturated or pred.utilization > self.max_utilization:
+            return False
+        if (
+            self.p95_latency_s is not None
+            and pred.p95_latency_s > self.p95_latency_s
+        ):
+            return False
+        if (
+            self.deadline_hit_rate is not None
+            and pred.deadline_hit_rate < self.deadline_hit_rate
+        ):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The planner's answer for one (load, profile, SLO) question."""
+
+    #: minimal worker count meeting the SLO (= ``max_workers`` when
+    #: infeasible — check :attr:`feasible`)
+    workers: int
+    feasible: bool
+    #: the model's prediction at :attr:`workers`
+    prediction: WindowPrediction
+    #: every (workers, p95_latency_s, deadline_hit_rate) point the
+    #: search evaluated, ascending by workers — the audit trail that
+    #: replaces a brute-force sweep
+    evaluated: tuple[tuple[int, float, float], ...]
+    slo: SLOTarget
+    arrival_rate_rps: float
+
+
+def plan_capacity(
+    *,
+    arrival_rate_rps: float,
+    profile: ServiceProfile,
+    slo: SLOTarget,
+    ca2: float = 1.0,
+    max_workers: int = 256,
+) -> CapacityPlan:
+    """Binary-search the minimal worker count that meets ``slo``.
+
+    ``arrival_rate_rps`` should be the *peak* window's rate (capacity
+    must cover the worst window, not the average); ``profile`` the
+    measured service parameterization to plan with.
+    """
+    slo.validate()
+    if arrival_rate_rps < 0:
+        raise ServingError(
+            f"arrival rate must be >= 0, got {arrival_rate_rps}"
+        )
+    if max_workers <= 0:
+        raise ServingError(
+            f"max_workers must be positive, got {max_workers}"
+        )
+    deadlines = (
+        [(slo.deadline_s, 1)] if slo.deadline_s is not None else None
+    )
+    evaluated: dict[int, WindowPrediction] = {}
+
+    def predict(k: int) -> WindowPrediction:
+        if k not in evaluated:
+            evaluated[k] = FleetModel(
+                profile,
+                arrival_rate_rps=arrival_rate_rps,
+                workers=k,
+                ca2=ca2,
+            ).predict(deadlines=deadlines)
+        return evaluated[k]
+
+    lo, hi = 1, max_workers
+    if not slo.satisfied_by(predict(max_workers)):
+        pred = predict(max_workers)
+        return CapacityPlan(
+            workers=max_workers,
+            feasible=False,
+            prediction=pred,
+            evaluated=_table(evaluated),
+            slo=slo,
+            arrival_rate_rps=arrival_rate_rps,
+        )
+    # invariant: hi satisfies the SLO, lo-1 (or nothing below lo) does;
+    # feasibility is monotone in k, so bisection is exact
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if slo.satisfied_by(predict(mid)):
+            hi = mid
+        else:
+            lo = mid + 1
+    return CapacityPlan(
+        workers=lo,
+        feasible=True,
+        prediction=predict(lo),
+        evaluated=_table(evaluated),
+        slo=slo,
+        arrival_rate_rps=arrival_rate_rps,
+    )
+
+
+def _table(
+    evaluated: dict[int, WindowPrediction],
+) -> tuple[tuple[int, float, float], ...]:
+    return tuple(
+        (k, p.p95_latency_s, p.deadline_hit_rate)
+        for k, p in sorted(evaluated.items())
+    )

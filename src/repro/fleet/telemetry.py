@@ -1,0 +1,333 @@
+"""Windowed serving telemetry: one quantile definition, streaming windows.
+
+The fleet subsystem's measurement layer, and the repo's single source of
+quantile semantics:
+
+* :func:`percentile` — nearest-rank percentile over a sorted sequence.
+  Every p50/p95/p99 the serving tier reports
+  (:class:`~repro.serving.dispatcher.TenantStats`,
+  :class:`~repro.serving.dispatcher.DispatchStats`, the eval drivers and
+  the benches) goes through this one function, so "p95" means the same
+  thing in a dispatcher snapshot, a replay window and a capacity plan.
+* :class:`LatencyHistogram` — a log-bucketed streaming histogram with
+  bounded memory and <1% relative quantile error, for windows too large
+  to keep raw samples.
+* :class:`WindowedTelemetry` — per-(window, tenant) and
+  per-(window, device-class) streaming aggregates over a trace replay:
+  request counts and outcomes (completed / failed / shed), deadline
+  hits, p50/p95/p99 latency, queue-wait, batch-service occupancy and
+  queue-depth peaks.  Windows are keyed by *virtual* trace time, so a
+  24 h trace replayed in seconds still reports 1-minute (or any
+  configured) buckets of the day it models.
+
+Nothing in this module imports the serving layer, so
+``repro.serving.dispatcher`` can import :func:`percentile` from here
+without a cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "percentile",
+    "LatencyHistogram",
+    "WindowKey",
+    "WindowStats",
+    "WindowedTelemetry",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (0 if empty).
+
+    The repo-wide quantile definition: ``ceil(q * n)``-th smallest
+    element, clamped into range.  Deliberately interpolation-free so a
+    quantile of integer-valued samples is always one of the samples, and
+    so dispatcher snapshots, replay windows and model validation all
+    agree bit-for-bit on what "p95" selects.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = math.ceil(q * len(sorted_values)) - 1
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+class LatencyHistogram:
+    """Log-bucketed streaming histogram over positive values.
+
+    Buckets grow geometrically by ``1 + resolution``, so any quantile
+    read back is within ``resolution`` (relative) of the exact
+    nearest-rank answer while memory stays bounded by the dynamic range
+    (~2.8k buckets across twelve decades at the 1% default) instead of
+    the sample count.  Zero and negative values land in a dedicated
+    underflow bucket, reported as 0.0.
+    """
+
+    __slots__ = ("resolution", "_log_base", "_buckets", "_zeros", "_count")
+
+    def __init__(self, resolution: float = 0.01):
+        if not 0.0 < resolution < 1.0:
+            raise ValueError(
+                f"resolution must be in (0, 1), got {resolution}"
+            )
+        self.resolution = resolution
+        self._log_base = math.log1p(resolution)
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, value: float) -> None:
+        self._count += 1
+        if value <= 0.0:
+            self._zeros += 1
+            return
+        idx = int(math.floor(math.log(value) / self._log_base))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile (bucket midpoint; 0 if empty)."""
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self._count))
+        if rank <= self._zeros:
+            return 0.0
+        seen = self._zeros
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                lo = math.exp(idx * self._log_base)
+                return lo * (1.0 + 0.5 * self.resolution)
+        return 0.0  # unreachable: counts always cover rank
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        total = sum(
+            n * math.exp(i * self._log_base) * (1 + 0.5 * self.resolution)
+            for i, n in self._buckets.items()
+        )
+        return total / self._count
+
+
+#: one telemetry bucket: (window index, group name).  The group is a
+#: tenant name or a device class, depending on the view.
+WindowKey = tuple[int, str]
+
+
+@dataclass
+class WindowStats:
+    """Aggregates for one (window, group) bucket of a replay.
+
+    Latency/queue-wait samples are kept raw (sorted on demand) — replay
+    windows are thousands of requests at most, and the exact
+    nearest-rank quantile keeps model validation free of histogram
+    error.  ``occupancy_s`` sums *unique* batch service spans, so
+    co-batched requests do not double-count their shared worker time.
+    """
+
+    window: int = 0
+    group: str = ""
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    deadline_hits: int = 0
+    deadline_misses: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    queue_waits_s: list[float] = field(default_factory=list)
+    #: unique batch (worker-busy) seconds attributable to this bucket
+    occupancy_s: float = 0.0
+    #: batch service spans (one entry per unique batch)
+    batch_service_s: list[float] = field(default_factory=list)
+    #: sizes of the unique batches behind ``batch_service_s``
+    batch_sizes: list[int] = field(default_factory=list)
+    peak_queue_depth: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.completed + self.failed + self.shed
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        total = self.deadline_hits + self.deadline_misses
+        return self.deadline_hits / total if total else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        return percentile(sorted(self.latencies_s), q)
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self.latency_quantile(0.50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self.latency_quantile(0.95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self.latency_quantile(0.99)
+
+    @property
+    def mean_queue_wait_s(self) -> float:
+        if not self.queue_waits_s:
+            return 0.0
+        return sum(self.queue_waits_s) / len(self.queue_waits_s)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def mean_service_per_request_s(self) -> float:
+        """Worker-busy seconds per completed request (occupancy basis)."""
+        n = sum(self.batch_sizes)
+        return self.occupancy_s / n if n else 0.0
+
+
+class WindowedTelemetry:
+    """Streaming per-window aggregation of replay outcomes.
+
+    Observations are keyed by the request's **virtual** arrival time
+    (``window = floor(arrival_virtual_s / window_s)``) and aggregated
+    twice — once per tenant and once per device class — so one pass over
+    the replayed tickets yields both views.  Batch-level quantities
+    (service spans, occupancy) are deduplicated by the executing batch's
+    identity: co-batched requests share one worker span.
+    """
+
+    def __init__(self, window_s: float):
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.window_s = window_s
+        self._tenant: dict[WindowKey, WindowStats] = {}
+        self._device: dict[WindowKey, WindowStats] = {}
+        #: batch identity -> set of buckets that already counted it
+        self._seen_batches: dict[tuple, set[WindowKey]] = {}
+
+    def _bucket(
+        self, view: dict[WindowKey, WindowStats], key: WindowKey
+    ) -> WindowStats:
+        stats = view.get(key)
+        if stats is None:
+            stats = view[key] = WindowStats(window=key[0], group=key[1])
+        return stats
+
+    def window_of(self, arrival_virtual_s: float) -> int:
+        return int(arrival_virtual_s // self.window_s)
+
+    def observe_completed(
+        self,
+        *,
+        arrival_virtual_s: float,
+        tenant: str,
+        device_class: str,
+        latency_s: float,
+        queue_wait_s: float,
+        deadline_met: bool,
+        batch_id: tuple | None = None,
+        batch_service_s: float = 0.0,
+        batch_size: int = 1,
+        queue_depth: int = 0,
+    ) -> None:
+        """Fold one completed request into both views.
+
+        ``batch_id`` identifies the executing batch (e.g.
+        ``(worker, start_t, complete_t)``); the batch's service span and
+        occupancy are counted once per bucket no matter how many of its
+        members land there.
+        """
+        w = self.window_of(arrival_virtual_s)
+        for view, group in (
+            (self._tenant, tenant),
+            (self._device, device_class),
+        ):
+            key = (w, group)
+            stats = self._bucket(view, key)
+            stats.completed += 1
+            stats.latencies_s.append(latency_s)
+            stats.queue_waits_s.append(queue_wait_s)
+            if deadline_met:
+                stats.deadline_hits += 1
+            else:
+                stats.deadline_misses += 1
+            stats.peak_queue_depth = max(
+                stats.peak_queue_depth, queue_depth
+            )
+            if batch_id is not None:
+                seen = self._seen_batches.setdefault(batch_id, set())
+                if key not in seen:
+                    seen.add(key)
+                    stats.occupancy_s += batch_service_s
+                    stats.batch_service_s.append(batch_service_s)
+                    stats.batch_sizes.append(batch_size)
+
+    def observe_failed(
+        self, *, arrival_virtual_s: float, tenant: str, device_class: str
+    ) -> None:
+        w = self.window_of(arrival_virtual_s)
+        self._bucket(self._tenant, (w, tenant)).failed += 1
+        self._bucket(self._device, (w, device_class)).failed += 1
+
+    def observe_shed(
+        self, *, arrival_virtual_s: float, tenant: str, device_class: str
+    ) -> None:
+        w = self.window_of(arrival_virtual_s)
+        self._bucket(self._tenant, (w, tenant)).shed += 1
+        self._bucket(self._device, (w, device_class)).shed += 1
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def per_tenant(self) -> Mapping[WindowKey, WindowStats]:
+        return dict(self._tenant)
+
+    def per_device_class(self) -> Mapping[WindowKey, WindowStats]:
+        return dict(self._device)
+
+    def windows(self) -> list[int]:
+        """Every window index observed, ascending."""
+        seen = {w for w, _ in self._tenant}
+        seen.update(w for w, _ in self._device)
+        return sorted(seen)
+
+    def merged(self, view: str = "tenant") -> dict[int, WindowStats]:
+        """Per-window stats with all groups of ``view`` folded together.
+
+        The fleet-wide series the analytical model validates against:
+        one :class:`WindowStats` per window, groups merged (batch spans
+        still deduplicated — they were counted once per bucket, and the
+        merge sums buckets of distinct groups, which never share a
+        batch: batches are single-tenant and single-device).
+        """
+        source = self._tenant if view == "tenant" else self._device
+        out: dict[int, WindowStats] = {}
+        for (w, _), stats in sorted(source.items()):
+            tot = out.get(w)
+            if tot is None:
+                tot = out[w] = WindowStats(window=w, group="ALL")
+            tot.completed += stats.completed
+            tot.failed += stats.failed
+            tot.shed += stats.shed
+            tot.deadline_hits += stats.deadline_hits
+            tot.deadline_misses += stats.deadline_misses
+            tot.latencies_s.extend(stats.latencies_s)
+            tot.queue_waits_s.extend(stats.queue_waits_s)
+            tot.occupancy_s += stats.occupancy_s
+            tot.batch_service_s.extend(stats.batch_service_s)
+            tot.batch_sizes.extend(stats.batch_sizes)
+            tot.peak_queue_depth = max(
+                tot.peak_queue_depth, stats.peak_queue_depth
+            )
+        return out

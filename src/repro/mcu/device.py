@@ -72,6 +72,11 @@ class DeviceProfile:
         """SRAM available to tensor data after the runtime reservation."""
         return self.sram_bytes - self.reserved_ram_bytes
 
+    @property
+    def device_class(self) -> str:
+        """Short core-class tag (``"M4"``, ``"M7"``) for fleet grouping."""
+        return self.core.split("-")[-1]
+
     def cycles_to_seconds(self, cycles: float) -> float:
         return cycles / self.clock_hz
 

@@ -50,7 +50,6 @@ clock and *which* requests are shed under overload — never bits.
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import threading
 import time
@@ -69,6 +68,11 @@ from repro.errors import (
     ServingError,
     WorkerCrashError,
 )
+
+# the repo-wide quantile definition lives with the fleet telemetry (no
+# cycle: fleet.telemetry imports nothing from the serving layer, and
+# fleet/__init__ resolves its replay-harness exports lazily)
+from repro.fleet.telemetry import percentile as _percentile
 from repro.serving import faults as _faults
 from repro.serving.control import (
     Autoscaler,
@@ -81,14 +85,6 @@ from repro.serving.resilience import CircuitBreaker, supervisor_loop
 from repro.serving.session import RequestResult, Session
 
 __all__ = ["DispatchResult", "TenantStats", "DispatchStats", "Dispatcher"]
-
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence (0 if empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = math.ceil(q * len(sorted_values)) - 1
-    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
 
 
 @dataclass(frozen=True)
@@ -106,6 +102,12 @@ class DispatchResult:
     latency_s: float
     #: whether completion beat the request's deadline
     deadline_met: bool
+    #: ``time.monotonic()`` at admission (the ticket's enqueue instant)
+    admit_t: float = 0.0
+    #: ``time.monotonic()`` when the serving attempt began (batch start)
+    start_t: float = 0.0
+    #: ``time.monotonic()`` when the serving attempt finished
+    complete_t: float = 0.0
 
     @property
     def output(self) -> np.ndarray:
@@ -1225,6 +1227,9 @@ class Dispatcher:
                     queue_wait_s=t0 - ticket.enqueue_t,
                     latency_s=t1 - ticket.enqueue_t,
                     deadline_met=t1 <= ticket.deadline_t,
+                    admit_t=ticket.enqueue_t,
+                    start_t=t0,
+                    complete_t=t1,
                 )
             )
 

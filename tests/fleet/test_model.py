@@ -1,0 +1,208 @@
+"""M/G/k model units: Erlang-C, service profiles, predictions, grading."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ServingError
+from repro.fleet.model import (
+    CA2_CAP,
+    CS2_CAP,
+    FleetModel,
+    ServiceProfile,
+    ValidationReport,
+    WindowValidation,
+    erlang_c,
+)
+from repro.fleet.telemetry import WindowStats
+
+
+def profile(spans=(0.010,) * 50, batch=1.0, overhead=0.0):
+    return ServiceProfile(
+        spans_s=tuple(spans), mean_batch_size=batch, overhead_s=overhead
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Erlang-C
+# --------------------------------------------------------------------------- #
+def test_erlang_c_single_server_is_rho():
+    # M/M/1: P(wait) = rho
+    for rho in (0.1, 0.5, 0.9):
+        assert erlang_c(1, rho) == pytest.approx(rho)
+
+
+def test_erlang_c_known_two_server_value():
+    # M/M/2 at a=1 (rho=0.5): C = 1/3
+    assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+
+def test_erlang_c_bounds_and_edges():
+    assert erlang_c(4, 0.0) == 0.0
+    assert erlang_c(4, 4.0) == 1.0
+    assert erlang_c(4, 5.0) == 1.0
+    with pytest.raises(ServingError):
+        erlang_c(0, 1.0)
+
+
+@given(
+    st.integers(1, 64),
+    st.floats(0.01, 0.99),
+)
+def test_erlang_c_monotone_in_servers(k, rho):
+    """At fixed utilization, more servers -> lower waiting probability."""
+    a_small, a_big = k * rho, (k + 1) * rho
+    assert erlang_c(k + 1, a_big) <= erlang_c(k, a_small) + 1e-12
+    assert 0.0 <= erlang_c(k, a_small) <= 1.0
+
+
+def test_erlang_c_large_fleet_is_finite():
+    assert 0.0 < erlang_c(2048, 1843.2) < 1.0  # no factorial overflow
+
+
+# --------------------------------------------------------------------------- #
+# ServiceProfile
+# --------------------------------------------------------------------------- #
+def test_profile_mean_and_cs2():
+    p = profile(spans=(0.010, 0.020, 0.030))
+    assert p.mean_service_s == pytest.approx(0.020)
+    var = (0.010**2 + 0.0 + 0.010**2) / 3.0
+    assert p.cs2 == pytest.approx(var / 0.020**2)
+
+
+def test_profile_cs2_capped():
+    p = profile(spans=(0.001,) * 99 + (10.0,))
+    assert p.cs2 == CS2_CAP
+
+
+def test_profile_from_window_winsorizes_at_p99():
+    stats = WindowStats(window=0, group="ALL")
+    stats.batch_service_s = [0.010] * 199 + [5.0]
+    stats.batch_sizes = [1] * 200
+    p = ServiceProfile.from_window(stats)
+    # the 5 s stall is clamped to the p99 of the spans themselves
+    assert max(p.spans_s) <= 5.0
+    assert p.mean_service_s < 0.05
+
+
+def test_profile_validation():
+    with pytest.raises(ServingError):
+        ServiceProfile(spans_s=(), mean_batch_size=1.0)
+    with pytest.raises(ServingError):
+        ServiceProfile(spans_s=(0.01,), mean_batch_size=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# FleetModel
+# --------------------------------------------------------------------------- #
+def test_model_quantile_and_hit_rate_are_consistent():
+    model = FleetModel(
+        profile(), arrival_rate_rps=50.0, workers=1, ca2=1.0
+    )
+    p95 = model.latency_quantile(0.95)
+    assert model.hit_rate(p95) == pytest.approx(0.95, abs=0.01)
+    assert model.exceed_probability(p95) == pytest.approx(0.05, abs=0.01)
+    # latency can never beat the service span floor
+    assert p95 >= 0.010
+
+
+def test_model_zero_load_latency_is_service_plus_overhead():
+    model = FleetModel(
+        profile(overhead=0.002), arrival_rate_rps=0.0, workers=2
+    )
+    assert model.p_wait == 0.0
+    assert model.mean_wait_s == 0.0
+    assert model.latency_quantile(0.5) == pytest.approx(0.012, abs=1e-4)
+    assert model.predict().deadline_hit_rate == 1.0
+
+
+def test_model_wait_grows_with_load():
+    waits = [
+        FleetModel(
+            profile(), arrival_rate_rps=rate, workers=1
+        ).mean_wait_s
+        for rate in (10.0, 50.0, 90.0)
+    ]
+    assert waits[0] < waits[1] < waits[2]
+
+
+def test_model_saturation_flagged_and_finite():
+    model = FleetModel(profile(), arrival_rate_rps=500.0, workers=1)
+    assert model.saturated
+    pred = model.predict(deadlines=[(0.25, 1)])
+    assert pred.saturated
+    assert pred.utilization > 1.0  # pre-clamp, visible to the planner
+    assert math.isfinite(pred.p95_latency_s)
+    assert 0.0 <= pred.deadline_hit_rate <= 1.0
+
+
+def test_model_ca2_capped_and_burstiness_hurts():
+    calm = FleetModel(
+        profile(), arrival_rate_rps=60.0, workers=1, ca2=1.0
+    )
+    bursty = FleetModel(
+        profile(), arrival_rate_rps=60.0, workers=1, ca2=2.0
+    )
+    capped = FleetModel(
+        profile(), arrival_rate_rps=60.0, workers=1, ca2=100.0
+    )
+    assert bursty.mean_wait_s > calm.mean_wait_s
+    assert capped.ca2 == CA2_CAP
+    assert capped.mean_wait_s == pytest.approx(bursty.mean_wait_s)
+
+
+def test_model_input_validation():
+    with pytest.raises(ServingError):
+        FleetModel(profile(), arrival_rate_rps=-1.0, workers=1)
+    with pytest.raises(ServingError):
+        FleetModel(profile(), arrival_rate_rps=1.0, workers=0)
+
+
+def test_predict_weights_deadline_mix():
+    model = FleetModel(profile(), arrival_rate_rps=50.0, workers=1)
+    tight, loose = 0.011, 10.0
+    mixed = model.predict(
+        deadlines=[(tight, 3), (loose, 1)]
+    ).deadline_hit_rate
+    expect = (3 * model.hit_rate(tight) + model.hit_rate(loose)) / 4
+    assert mixed == pytest.approx(expect)
+
+
+# --------------------------------------------------------------------------- #
+# ValidationReport
+# --------------------------------------------------------------------------- #
+def _row(window, requests, p95_error, hit_error):
+    return WindowValidation(
+        window=window,
+        requests=requests,
+        utilization=0.5,
+        measured_p95_s=0.010,
+        predicted_p95_s=0.010 * (1 + p95_error),
+        p95_error=p95_error,
+        measured_hit_rate=1.0,
+        predicted_hit_rate=1.0 - hit_error,
+        hit_error=hit_error,
+    )
+
+
+def test_report_request_weighted_means():
+    report = ValidationReport(
+        rows=(_row(0, 900, 0.10, 0.00), _row(1, 100, 0.50, 0.10)),
+        windows_skipped=1,
+        overhead_s=0.001,
+    )
+    assert report.mean_p95_error == pytest.approx(0.14)
+    assert report.mean_hit_error == pytest.approx(0.01)
+    assert report.max_p95_error == pytest.approx(0.50)
+    assert report.max_hit_error == pytest.approx(0.10)
+    assert report.passed(0.20)
+    assert not report.passed(0.10)
+
+
+def test_report_empty_never_passes():
+    report = ValidationReport(rows=(), windows_skipped=4, overhead_s=0.0)
+    assert report.mean_p95_error == 0.0
+    assert not report.passed()

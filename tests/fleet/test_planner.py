@@ -1,0 +1,128 @@
+"""Capacity planner: exact bisection, feasibility, SLO validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServingError
+from repro.fleet.model import FleetModel, ServiceProfile
+from repro.fleet.planner import SLOTarget, plan_capacity
+
+PROFILE = ServiceProfile(
+    spans_s=(0.008, 0.010, 0.012) * 20,
+    mean_batch_size=1.0,
+    overhead_s=0.0005,
+)
+
+
+def linear_scan_minimum(arrival_rate_rps, slo, ca2, max_workers=64):
+    deadlines = (
+        [(slo.deadline_s, 1)] if slo.deadline_s is not None else None
+    )
+    for k in range(1, max_workers + 1):
+        pred = FleetModel(
+            PROFILE,
+            arrival_rate_rps=arrival_rate_rps,
+            workers=k,
+            ca2=ca2,
+        ).predict(deadlines=deadlines)
+        if slo.satisfied_by(pred):
+            return k
+    return None
+
+
+def test_planner_matches_linear_scan():
+    slo = SLOTarget(p95_latency_s=0.030)
+    for rate in (50.0, 200.0, 800.0, 2400.0):
+        plan = plan_capacity(
+            arrival_rate_rps=rate, profile=PROFILE, slo=slo, ca2=1.2
+        )
+        assert plan.feasible
+        assert plan.workers == linear_scan_minimum(rate, slo, 1.2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(1.0, 3000.0),
+    st.sampled_from([0.020, 0.040, 0.100]),
+    st.floats(0.0, 2.0),
+)
+def test_planner_is_exact_and_minimal(rate, p95_target, ca2):
+    slo = SLOTarget(
+        p95_latency_s=p95_target,
+        deadline_hit_rate=0.99,
+        deadline_s=2 * p95_target,
+    )
+    plan = plan_capacity(
+        arrival_rate_rps=rate, profile=PROFILE, slo=slo, ca2=ca2
+    )
+    if not plan.feasible:
+        assert plan.workers == 256
+        return
+    assert slo.satisfied_by(plan.prediction)
+    if plan.workers > 1:
+        smaller = FleetModel(
+            PROFILE,
+            arrival_rate_rps=rate,
+            workers=plan.workers - 1,
+            ca2=ca2,
+        ).predict(deadlines=[(slo.deadline_s, 1)])
+        assert not slo.satisfied_by(smaller)
+
+
+def test_planner_logarithmic_evaluation_count():
+    plan = plan_capacity(
+        arrival_rate_rps=900.0,
+        profile=PROFILE,
+        slo=SLOTarget(p95_latency_s=0.030),
+        max_workers=256,
+    )
+    # bisection: <= log2(256) + the max_workers probe, not a 256-sweep
+    assert len(plan.evaluated) <= 10
+    workers = [k for k, _, _ in plan.evaluated]
+    assert workers == sorted(workers)
+
+
+def test_planner_infeasible_short_circuits():
+    # sub-service-floor latency target: no fleet size can meet it
+    plan = plan_capacity(
+        arrival_rate_rps=100.0,
+        profile=PROFILE,
+        slo=SLOTarget(p95_latency_s=0.001),
+        max_workers=32,
+    )
+    assert not plan.feasible
+    assert plan.workers == 32
+    assert len(plan.evaluated) == 1  # one probe at max_workers, then out
+
+
+def test_planner_respects_max_utilization():
+    slo = SLOTarget(p95_latency_s=10.0, max_utilization=0.5)
+    plan = plan_capacity(
+        arrival_rate_rps=500.0, profile=PROFILE, slo=slo
+    )
+    assert plan.feasible
+    assert plan.prediction.utilization <= 0.5
+
+
+def test_slo_validation_errors():
+    for bad in (
+        SLOTarget(),
+        SLOTarget(p95_latency_s=0.0),
+        SLOTarget(deadline_hit_rate=0.99),  # missing deadline_s
+        SLOTarget(deadline_hit_rate=1.5, deadline_s=0.1),
+        SLOTarget(p95_latency_s=0.1, max_utilization=1.0),
+    ):
+        with pytest.raises(ServingError):
+            bad.validate()
+
+
+def test_plan_capacity_input_validation():
+    slo = SLOTarget(p95_latency_s=0.030)
+    with pytest.raises(ServingError):
+        plan_capacity(arrival_rate_rps=-1.0, profile=PROFILE, slo=slo)
+    with pytest.raises(ServingError):
+        plan_capacity(
+            arrival_rate_rps=1.0, profile=PROFILE, slo=slo, max_workers=0
+        )

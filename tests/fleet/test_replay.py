@@ -1,0 +1,137 @@
+"""Replay properties: dilation-invariant outputs, balance, monotonic stamps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.fleet import TenantSpec, TraceSpec, generate_trace
+from repro.fleet.replay import ReplayConfig, build_fleet, input_pools, replay
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    """~400 requests over a short horizon, heterogeneous (M4 + M7)."""
+    spec = TraceSpec(
+        seed=11,
+        n_requests=400,
+        horizon_s=600.0,
+        tenants=(
+            TenantSpec(
+                name="m4", model="tiny-chain-2", device="F411RE", pool_size=4
+            ),
+            TenantSpec(
+                name="m7", model="tiny-chain-4", device="F767ZI", pool_size=4
+            ),
+        ),
+        burst_dwell_s=60.0,
+        calm_dwell_s=120.0,
+    )
+    return generate_trace(spec)
+
+
+@pytest.fixture(scope="module")
+def fleet(small_trace):
+    return build_fleet(small_trace)
+
+
+def run(trace, fleet, dilation, **kw):
+    config = ReplayConfig(
+        dilation=dilation,
+        workers=2,
+        window_s=150.0,
+        # generous queue bound: nothing sheds, so outputs_digest is a
+        # pure function of the trace and must not move with dilation
+        max_queue_depth=100_000,
+        **kw,
+    )
+    return replay(trace, config=config, compiled=fleet)
+
+
+@pytest.fixture(scope="module")
+def result(small_trace, fleet):
+    return run(small_trace, fleet, dilation=2000.0)
+
+
+def test_balance_invariant(result):
+    assert result.balanced
+    counts = result.outcome_counts()
+    s = result.stats
+    assert s.submitted == s.completed + s.failed + s.shed
+    assert counts["completed"] == s.completed
+    assert sum(counts.values()) == len(result.trace)
+
+
+def test_everything_completes_under_generous_queue(result):
+    counts = result.outcome_counts()
+    assert counts["completed"] == len(result.trace)
+    assert counts["failed"] == counts["shed"] == counts["rejected"] == 0
+
+
+def test_heterogeneous_device_classes(result):
+    assert result.device_classes == {"m4": "M4", "m7": "M7"}
+    seen = {r.device_class for r in result.records}
+    assert seen == {"M4", "M7"}
+
+
+def test_ticket_stamps_monotonic(result):
+    """Satellite: admit <= start <= complete per ticket, real seconds."""
+    for rec in result.records:
+        if rec.outcome != "completed":
+            continue
+        assert rec.admit_t <= rec.start_t <= rec.complete_t
+        assert rec.latency_s == pytest.approx(
+            rec.complete_t - rec.admit_t, abs=1e-6
+        )
+        assert rec.queue_wait_s >= 0.0
+
+
+def test_outputs_invariant_under_dilation(small_trace, fleet, result):
+    """The ISSUE's replay-determinism property: two dilations, same
+    per-request outputs and outcomes."""
+    faster = run(small_trace, fleet, dilation=6000.0)
+    assert faster.outputs_digest() == result.outputs_digest()
+    assert faster.outcome_counts() == result.outcome_counts()
+
+
+def test_outputs_match_direct_session_run(small_trace, fleet, result):
+    """Replayed outputs are a pure function of the trace's input draws."""
+    pools = input_pools(small_trace, fleet)
+    spec_by_name = {t.name: t for t in small_trace.spec.tenants}
+    for rec in result.records[:32]:
+        tenant = spec_by_name[rec.tenant]
+        feeds = pools[rec.tenant][
+            int(small_trace.input_draw[rec.index]) % tenant.pool_size
+        ]
+        expect = fleet[rec.tenant].run(feeds=feeds, execution="fast")
+        assert (rec.output == expect.output).all()
+
+
+def test_telemetry_covers_all_requests(result):
+    merged = result.telemetry.merged(view="tenant")
+    assert sum(w.requests for w in merged.values()) == len(result.trace)
+    by_device = result.telemetry.merged(view="device")
+    assert sum(w.completed for w in by_device.values()) == result.completed
+
+
+def test_unknown_model_rejected(small_trace):
+    spec = small_trace.spec
+    bad = TraceSpec(
+        seed=1,
+        n_requests=10,
+        horizon_s=10.0,
+        tenants=(TenantSpec(name="x", model="no-such-model"),),
+    )
+    with pytest.raises(ServingError, match="unknown model"):
+        build_fleet(generate_trace(bad))
+    assert spec.tenants  # the shared fixture is untouched
+
+
+def test_replay_config_validation():
+    for bad in (
+        ReplayConfig(dilation=0.0),
+        ReplayConfig(workers=0),
+        ReplayConfig(window_s=0.0),
+    ):
+        with pytest.raises(ServingError):
+            bad.validate()

@@ -1,0 +1,156 @@
+"""Shared percentile helper, log-bucket histogram, windowed telemetry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fleet.telemetry import (
+    LatencyHistogram,
+    WindowedTelemetry,
+    percentile,
+)
+
+
+# --------------------------------------------------------------------------- #
+# percentile: the one nearest-rank implementation everything shares
+# --------------------------------------------------------------------------- #
+def test_percentile_nearest_rank_units():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(values, 0.50) == 5.0
+    assert percentile(values, 0.95) == 10.0
+    assert percentile(values, 0.10) == 1.0
+    assert percentile([], 0.95) == 0.0
+    assert percentile([7.0], 0.5) == 7.0
+
+
+def test_percentile_is_the_dispatchers_percentile():
+    # satellite 2: serving stats must flow through the shared helper,
+    # not a private copy
+    from repro.serving.dispatcher import _percentile
+
+    assert _percentile is percentile
+
+
+@given(
+    st.lists(st.floats(0.0, 1e6), min_size=1, max_size=200),
+    st.floats(0.01, 1.0),
+)
+def test_percentile_returns_a_sample(values, q):
+    values = sorted(values)
+    result = percentile(values, q)
+    assert result in values
+    # nearest-rank: at least ceil(q*n) samples are <= result
+    rank = math.ceil(q * len(values))
+    assert sum(1 for v in values if v <= result) >= rank
+
+
+# --------------------------------------------------------------------------- #
+# LatencyHistogram
+# --------------------------------------------------------------------------- #
+def test_histogram_quantile_within_resolution():
+    hist = LatencyHistogram(resolution=0.01)
+    values = [0.001 * (i + 1) for i in range(1000)]
+    hist.extend(values)
+    assert len(hist) == 1000
+    for q in (0.5, 0.95, 0.99):
+        exact = percentile(values, q)
+        approx = hist.quantile(q)
+        assert approx == pytest.approx(exact, rel=0.02)
+    assert hist.mean == pytest.approx(sum(values) / len(values), rel=0.02)
+
+
+def test_histogram_edge_cases():
+    assert LatencyHistogram().quantile(0.95) == 0.0
+    hist = LatencyHistogram()
+    hist.add(0.0)
+    hist.add(-1.0)
+    assert hist.quantile(0.99) == 0.0
+    with pytest.raises(ValueError):
+        LatencyHistogram(resolution=0.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(resolution=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# WindowedTelemetry
+# --------------------------------------------------------------------------- #
+def _observe(tele, *, t, tenant="a", device="M4", latency=0.01, **kw):
+    tele.observe_completed(
+        arrival_virtual_s=t,
+        tenant=tenant,
+        device_class=device,
+        latency_s=latency,
+        queue_wait_s=0.001,
+        deadline_met=True,
+        **kw,
+    )
+
+
+def test_windowing_and_views():
+    tele = WindowedTelemetry(window_s=10.0)
+    _observe(tele, t=1.0, tenant="a", device="M4")
+    _observe(tele, t=2.0, tenant="b", device="M7")
+    _observe(tele, t=11.0, tenant="a", device="M4")
+    tele.observe_failed(arrival_virtual_s=3.0, tenant="a", device_class="M4")
+    tele.observe_shed(arrival_virtual_s=4.0, tenant="b", device_class="M7")
+
+    tenants = tele.per_tenant()
+    assert {(0, "a"), (0, "b"), (1, "a")} <= set(tenants)
+    assert tenants[(0, "a")].completed == 1
+    assert tenants[(0, "a")].failed == 1
+    assert tenants[(0, "b")].shed == 1
+
+    devices = tele.per_device_class()
+    assert devices[(0, "M4")].completed == 1
+    assert devices[(0, "M7")].completed == 1
+
+    merged = tele.merged(view="tenant")
+    assert merged[0].completed == 2
+    assert merged[0].requests == 4  # completed + failed + shed
+    assert merged[1].completed == 1
+
+
+def test_batch_service_deduped_once_per_window():
+    tele = WindowedTelemetry(window_s=10.0)
+    for _ in range(3):
+        _observe(
+            tele,
+            t=1.0,
+            batch_id=("w0", 7),
+            batch_service_s=0.030,
+            batch_size=3,
+        )
+    stats = tele.per_tenant()[(0, "a")]
+    # three requests, but the shared batch span counted once
+    assert stats.completed == 3
+    assert stats.batch_service_s == pytest.approx([0.030])
+    assert stats.batch_sizes == [3]
+    assert stats.mean_batch_size == pytest.approx(3.0)
+    assert stats.mean_service_per_request_s == pytest.approx(0.010)
+
+
+def test_window_stats_quantiles_and_rates():
+    tele = WindowedTelemetry(window_s=100.0)
+    for i in range(20):
+        tele.observe_completed(
+            arrival_virtual_s=float(i),
+            tenant="a",
+            device_class="M4",
+            latency_s=0.001 * (i + 1),
+            queue_wait_s=0.0005,
+            deadline_met=i < 18,
+        )
+    stats = tele.per_tenant()[(0, "a")]
+    assert stats.deadline_hit_rate == pytest.approx(0.9)
+    assert stats.p50_latency_s == pytest.approx(0.010)
+    assert stats.p95_latency_s == pytest.approx(0.019)
+    assert stats.p99_latency_s == pytest.approx(0.020)
+    assert stats.mean_queue_wait_s == pytest.approx(0.0005)
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(ValueError):
+        WindowedTelemetry(window_s=0.0)

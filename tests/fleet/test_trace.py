@@ -1,0 +1,133 @@
+"""Trace generation: determinism (in- and cross-process), columns, I/O."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.fleet import TenantSpec, TraceSpec, generate_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def two_tenant_spec(seed: int = 7, n: int = 5000) -> TraceSpec:
+    return TraceSpec(
+        seed=seed,
+        n_requests=n,
+        horizon_s=3600.0,
+        tenants=(
+            TenantSpec(name="a", model="tiny-chain-2", device="F411RE"),
+            TenantSpec(name="b", model="tiny-chain-4", device="F767ZI"),
+        ),
+        burst_dwell_s=120.0,
+        calm_dwell_s=480.0,
+    )
+
+
+def test_same_seed_bit_identical():
+    t1 = generate_trace(two_tenant_spec())
+    t2 = generate_trace(two_tenant_spec())
+    assert t1.digest() == t2.digest()
+    assert np.array_equal(t1.arrival_s, t2.arrival_s)
+    assert np.array_equal(t1.tenant_id, t2.tenant_id)
+    assert np.array_equal(t1.input_draw, t2.input_draw)
+
+
+def test_different_seeds_differ():
+    assert (
+        generate_trace(two_tenant_spec(seed=7)).digest()
+        != generate_trace(two_tenant_spec(seed=8)).digest()
+    )
+
+
+def test_digest_identical_across_processes():
+    """The ISSUE's determinism bar: bit-identical in a fresh process."""
+    spec = two_tenant_spec()
+    code = (
+        "from repro.fleet import TraceSpec, generate_trace;"
+        f"spec = TraceSpec.from_json({spec.to_json()!r});"
+        "print(generate_trace(spec).digest())"
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert out.stdout.strip() == generate_trace(spec).digest()
+
+
+def test_columns_are_well_formed():
+    spec = two_tenant_spec()
+    trace = generate_trace(spec)
+    assert len(trace) == spec.n_requests
+    arr = trace.arrival_s
+    assert np.all(np.diff(arr) >= 0.0)
+    assert arr[0] >= 0.0 and arr[-1] <= spec.horizon_s
+    assert trace.tenant_id.dtype == np.uint16
+    assert trace.tenant_id.max() < len(spec.tenants)
+    assert trace.input_draw.dtype == np.uint16
+    counts = trace.tenant_counts()
+    assert sum(counts.values()) == spec.n_requests
+    # Zipf skew: the first-ranked tenant dominates
+    assert counts["a"] > counts["b"]
+
+
+def test_window_counts_and_ca2():
+    spec = two_tenant_spec()
+    trace = generate_trace(spec)
+    counts = trace.window_counts(600.0)
+    assert len(counts) == 6
+    assert counts.sum() == spec.n_requests
+    ca2 = trace.window_ca2(600.0)
+    assert len(ca2) == 6
+    assert np.all(ca2 >= 0.0)
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = generate_trace(two_tenant_spec())
+    path = trace.save(tmp_path / "trace")
+    assert path.suffix == ".npz"
+    loaded = type(trace).load(path)
+    assert loaded.digest() == trace.digest()
+    assert loaded.spec == trace.spec
+
+
+def test_spec_json_roundtrip():
+    spec = two_tenant_spec()
+    assert TraceSpec.from_json(spec.to_json()) == spec
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        dict(n_requests=0),
+        dict(horizon_s=0.0),
+        dict(tenants=()),
+        dict(
+            tenants=(
+                TenantSpec(name="dup"),
+                TenantSpec(name="dup"),
+            )
+        ),
+        dict(diurnal_amplitude=1.0),
+        dict(burst_multiplier=0.5),
+        dict(burst_dwell_s=0.0),
+        dict(grid_points=4),
+        dict(tenants=(TenantSpec(name="x", weight=0.0),)),
+        dict(tenants=(TenantSpec(name="x", deadline_s=0.0),)),
+        dict(tenants=(TenantSpec(name="x", pool_size=0),)),
+    ],
+)
+def test_invalid_specs_rejected(bad):
+    spec = TraceSpec(**{**dict(seed=1, n_requests=10), **bad})
+    with pytest.raises(ServingError):
+        spec.validate()
