@@ -25,7 +25,15 @@ too — the model grades itself against what the same run measured, so
 runner speed cancels out), admission accounting must balance, and
 sampled replayed outputs must stay bit-exact vs per-call
 ``execution="fast"``.  Replay throughput (>= 500 req/s) is enforced in
-full runs only.
+full runs only.  A seventh ``kind: "storm"`` series tracks availability
+under fire: the storm trace replayed under a seeded chaos storm against
+a resilient fleet (retry budget, circuit breaker, model-driven
+autoscaling), with hard deterministic gates — exact failure
+containment, admission balance, per-window availability >= 99.5%
+outside the storm windows, the retry-budget guardrail, bit-exact
+non-poisoned outputs vs a clean baseline, self-healing to the
+planner's worker target, and failed-set/digest reproducibility on a
+``keep_outputs=False`` rerun.
 
 Usage::
 
@@ -54,9 +62,9 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-#: the one place the schema version lives; bumped to v5 for the fleet
-#: series (the v4 additions — control series — are unchanged)
-SCHEMA = "bench_perf/v5"
+#: the one place the schema version lives; bumped to v6 for the storm
+#: series (the v5 additions — fleet series — are unchanged)
+SCHEMA = "bench_perf/v6"
 SPEEDUP_TARGET = 20.0  # PR-2 acceptance: >=20x on full-model inference
 BATCHED_TARGET = 1.10  # PR-4 acceptance: >=1.10x req/s at batch >= 8 (vww)
 DISPATCH_TARGET = 1.8  # PR-5 acceptance: >=1.8x req/s, 4-worker dispatcher
@@ -78,6 +86,13 @@ FLEET_WINDOW_S = 7_200.0
 FLEET_SMOKE_REQUESTS = 2_000
 FLEET_SMOKE_DILATION = 36_000.0
 FLEET_SMOKE_WINDOW_S = 21_600.0
+#: PR-9 acceptance: per-window availability outside storm windows
+STORM_AVAILABILITY_TARGET = 0.995
+STORM_REQUESTS = 3_000
+STORM_DILATION = 60.0
+STORM_SMOKE_REQUESTS = 900
+STORM_SMOKE_DILATION = 180.0
+STORM_WINDOW_S = 150.0
 MIN_MEASURE_S = 0.05  # minimum total time per measurement window
 
 
@@ -584,6 +599,126 @@ def bench_fleet(smoke: bool, repeats: int):
     ]
 
 
+def bench_storm(smoke: bool, repeats: int):
+    """``kind: "storm"`` series: availability under a seeded chaos storm.
+
+    Three replays of the 4-tenant storm trace through
+    :func:`repro.eval.experiments.storm_trial` — a clean baseline, the
+    ``"mixed"`` storm (tenant-scoped poison + pool-child kill +
+    brownout) against a resilient fleet (bounded retries under a
+    fleet-wide retry budget, hair-trigger breaker, model-driven
+    autoscaling), and a ``keep_outputs=False`` determinism rerun.  All
+    gates are deterministic — a chaos replay is a pure function of
+    ``(trace_seed, storm_seed)`` — so they are hard in smoke too:
+
+    * **containment** — the failed set equals the storm plan's preview;
+    * **balance** — ``admitted == completed + failed + shed``;
+    * **availability** — admitted-weighted success ratio >= the SLO in
+      every window outside the storm phases;
+    * **retry guardrail** — granted retries <= ``burst + ratio * admitted``;
+    * **bit-exactness** — every non-poisoned output digest matches the
+      clean baseline (and cost parity holds per tenant);
+    * **determinism** — the rerun reproduces the failed set and the
+      outputs digest without keeping a single output tensor.
+    """
+    from repro.compiler import PlanCache
+    from repro.eval.experiments import (
+        storm_suite,
+        storm_trace_spec,
+        storm_trial,
+    )
+    from repro.fleet import generate_trace
+    from repro.fleet.replay import build_fleet, input_pools
+    from repro.serving import ErrorBudget, availability_report
+
+    n = STORM_SMOKE_REQUESTS if smoke else STORM_REQUESTS
+    trace = generate_trace(storm_trace_spec(n))
+    plan_cache = PlanCache()
+    compiled = build_fleet(trace, plan_cache=plan_cache)
+    common = dict(
+        dilation=STORM_SMOKE_DILATION if smoke else STORM_DILATION,
+        window_s=STORM_WINDOW_S,
+        trace=trace,
+        compiled=compiled,
+        plan_cache=plan_cache,
+    )
+    storm = storm_suite(trace.spec.horizon_s)["mixed"]
+    _, _, baseline = storm_trial(storm=None, **common)
+    _, plan, result = storm_trial(storm=storm, **common)
+    _, _, rerun = storm_trial(storm=storm, keep_outputs=False, **common)
+
+    report = availability_report(
+        result.telemetry,
+        budget=ErrorBudget(slo=STORM_AVAILABILITY_TARGET),
+        storm_windows=plan.storm_window_ids(STORM_WINDOW_S),
+        audit=result.stats.audit,
+        horizon_s=result.wall_s,
+    )
+    base_digests = {r.index: r.output_digest for r in baseline.records}
+    bitexact = all(
+        r.output_digest == base_digests[r.index]
+        for r in result.records
+        if r.outcome == "completed"
+    )
+    report_match = True
+    pools = input_pools(trace, compiled)
+    for tenant, pool in pools.items():
+        fast = compiled[tenant].run(feeds=pool[0], execution="fast")
+        sim = compiled[tenant].run(feeds=pool[0])
+        bitexact = bitexact and np.array_equal(fast.output, sim.output)
+        report_match = report_match and _reports_match(
+            fast.report, sim.report
+        )
+
+    stats = result.stats
+    snap = stats.retry_budget
+    steady = (
+        report.steady_availability
+        if report.steady_availability is not None else 1.0
+    )
+    deterministic = (
+        rerun.failed_indices() == result.failed_indices()
+        and rerun.outputs_digest() == result.outputs_digest()
+    )
+    counts = result.outcome_counts()
+    return [
+        {
+            "name": f"storm-mixed@{n}req",
+            "kind": "storm",
+            "requests": n,
+            "storm_seed": storm.storm_seed,
+            "trace_digest": trace.digest(),
+            "outputs_digest": result.outputs_digest(),
+            "completed": counts["completed"],
+            "failed": counts["failed"],
+            "shed": counts["shed"],
+            "rejected": counts["rejected"],
+            "expected_failed": len(plan.expected_failed),
+            "contained": result.failed_indices() == plan.expected_failed,
+            "balanced": result.balanced,
+            "steady_availability": round(steady, 6),
+            "storm_availability": (
+                round(report.storm_availability, 6)
+                if report.storm_availability is not None else None
+            ),
+            "availability_met": steady >= STORM_AVAILABILITY_TARGET,
+            "retries": stats.retries,
+            "retry_denied": stats.retry_denied,
+            "retry_ratio": round(stats.retry_ratio, 4),
+            "retry_budget_met": stats.retries
+            <= snap["burst"] + snap["ratio"] * stats.submitted,
+            "planned_workers": stats.planned_workers,
+            "workers": stats.workers,
+            "healed": stats.planned_workers is None
+            or abs(stats.workers - stats.planned_workers) <= 1,
+            "deterministic": deterministic,
+            "replay_wall_s": round(result.wall_s, 3),
+            "bitexact": bitexact,
+            "report_match": report_match,
+        }
+    ]
+
+
 # --------------------------------------------------------------------------- #
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
@@ -612,6 +747,7 @@ def main(argv=None) -> int:
     results += bench_dispatch(args.smoke, args.repeats)
     results += bench_control(args.smoke, args.repeats)
     results += bench_fleet(args.smoke, args.repeats)
+    results += bench_storm(args.smoke, args.repeats)
 
     model_speedups = [
         r["speedup"] for r in results if r["kind"] == "model" and r["speedup"]
@@ -626,6 +762,7 @@ def main(argv=None) -> int:
         r["speedup"] for r in results if r["kind"] == "control" and r["speedup"]
     ]
     fleet_entries = [r for r in results if r["kind"] == "fleet"]
+    storm_entries = [r for r in results if r["kind"] == "storm"]
     payload = {
         "schema": SCHEMA,
         "mode": "smoke" if args.smoke else "full",
@@ -635,6 +772,7 @@ def main(argv=None) -> int:
         "control_target": CONTROL_TARGET,
         "fleet_error_target": FLEET_ERROR_TARGET,
         "fleet_throughput_target": FLEET_THROUGHPUT_TARGET,
+        "storm_availability_target": STORM_AVAILABILITY_TARGET,
         "results": results,
         "summary": {
             "all_bitexact": all(r["bitexact"] for r in results),
@@ -668,6 +806,18 @@ def main(argv=None) -> int:
                 r["replay_requests_per_s"] for r in fleet_entries
             )
             >= FLEET_THROUGHPUT_TARGET,
+            "storm_availability": min(
+                r["steady_availability"] for r in storm_entries
+            ),
+            "storm_gates_met": all(
+                r["contained"]
+                and r["balanced"]
+                and r["availability_met"]
+                and r["retry_budget_met"]
+                and r["healed"]
+                and r["deterministic"]
+                for r in storm_entries
+            ),
         },
     }
     if args.stamp:
@@ -733,6 +883,29 @@ def main(argv=None) -> int:
             f"{r['windows_graded']} windows, "
             f"overhead {r['overhead_ms']:.2f} ms)"
         )
+    print(
+        f"\n{'storm':<{w}}  {'replay':>10}  {'steady':>10}  "
+        f"{'in-storm':>8}  gates"
+    )
+    for r in results:
+        if r["kind"] != "storm":
+            continue
+        in_storm = (
+            f"{100 * r['storm_availability']:.1f}%"
+            if r["storm_availability"] is not None else "-"
+        )
+        gates = (
+            r["contained"] and r["balanced"] and r["availability_met"]
+            and r["retry_budget_met"] and r["healed"]
+            and r["deterministic"]
+        )
+        print(
+            f"{r['name']:<{w}}  {r['replay_wall_s']:>9.1f}s  "
+            f"{100 * r['steady_availability']:>9.2f}%  {in_storm:>8}  "
+            f"{gates}"
+            f"  ({r['failed']}/{r['expected_failed']} failed/expected, "
+            f"retries {r['retries']} granted / {r['retry_denied']} denied)"
+        )
     s = payload["summary"]
     print(
         f"\nmodel speedups {s['min_model_speedup']:.1f}x.."
@@ -753,6 +926,10 @@ def main(argv=None) -> int:
         f"hit {100 * s['fleet_mean_hit_error']:.1f}% "
         f"(target < {100 * FLEET_ERROR_TARGET:.0f}%: "
         f"{'MET' if s['fleet_model_validated'] else 'MISSED'}); "
+        f"storm steady availability "
+        f"{100 * s['storm_availability']:.2f}% "
+        f"(target >= {100 * STORM_AVAILABILITY_TARGET:.1f}%, all gates: "
+        f"{'MET' if s['storm_gates_met'] else 'MISSED'}); "
         f"bit-exact: {s['all_bitexact']}; cost parity: {s['all_reports_match']}"
     )
     print(f"wrote {args.output}")
@@ -764,6 +941,11 @@ def main(argv=None) -> int:
     if not (s["all_bitexact"] and s["all_reports_match"]):
         return 1
     if not s["fleet_model_validated"]:
+        return 1
+    # the storm gates (containment / balance / availability SLO / retry
+    # budget / self-healing / determinism) are pure functions of the
+    # seeds — hard in smoke too
+    if not s["storm_gates_met"]:
         return 1
     if not args.smoke and not (
         s["target_met"]

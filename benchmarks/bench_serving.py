@@ -35,7 +35,19 @@ Three series, three artifacts:
   accounting balances.  The trace digest and the outputs digest in the
   notes are deterministic anchors: bit-identical across reruns,
   processes and dilation factors (measured wall-clock lines vary, as
-  in every other table).
+  in every other table);
+* ``results/storm.txt`` — the PR-9 table
+  (:func:`repro.eval.experiments.storm_eval`): the 4-tenant storm
+  trace replayed under three seeded chaos storms (request poison,
+  brown-out + worker crashes, and a mixed storm with a pool-child
+  kill) against a resilient fleet — bounded retries under a fleet-wide
+  retry budget, hair-trigger circuit breaker, model-driven autoscaling
+  with fault headroom; the gates assert exact failure containment,
+  admission balance, steady-state availability >= the SLO outside the
+  storm windows, the retry-budget guardrail, bit-exact non-poisoned
+  outputs vs a clean baseline, self-healing to the planner's worker
+  target, and failed-set/digest determinism across reruns
+  (``keep_outputs=False``) and thread vs process worker modes.
 
 Bit-exactness is asserted on every row of every table.  Two entry
 points:
@@ -64,6 +76,7 @@ DISPATCH_TITLE = "Dispatch — sharded multi-worker serving (open loop)"
 CONTROL_TITLE = "Control plane — priority QoS, live reconfig, autoscaling"
 CHAOS_TITLE = "Chaos — fault storm, quarantine, breaker degradation"
 FLEET_TITLE = "Fleet — trace replay vs the M/G/k capacity model"
+STORM_TITLE = "Storm — availability under seeded chaos-storm replays"
 FULL_BATCHES = (1, 2, 4, 8, 16)
 SMOKE_BATCHES = (1, 8)
 FULL_REQUESTS = 48
@@ -78,6 +91,13 @@ CHAOS_SEED = 0  # fixed: the storm must poison the same requests every run
 # validated in); smoke just replays a 50x shorter trace
 FULL_FLEET = dict(n_requests=100_000, dilation=720.0, window_s=7200.0)
 SMOKE_FLEET = dict(n_requests=2_000, dilation=36_000.0, window_s=21_600.0)
+# storm sizing: six replays per run (clean baseline, three storms, one
+# keep_outputs=False determinism rerun, one process-mode rerun), so both
+# modes keep the per-replay wall short; the gates are deterministic — a
+# chaos replay is a pure function of (trace_seed, storm_seed) — so they
+# stay hard in smoke
+FULL_STORM = dict(n_requests=3_000, dilation=60.0, window_s=150.0)
+SMOKE_STORM = dict(n_requests=900, dilation=180.0, window_s=150.0)
 
 
 def test_serving_throughput(benchmark, emit):
@@ -162,6 +182,28 @@ def test_fleet_eval(benchmark, emit):
     emit("fleet", render_experiment(FLEET_TITLE, result))
 
 
+def test_storm_eval(benchmark, emit):
+    from repro.eval.experiments import storm_eval
+    from repro.eval.reporting import render_experiment
+
+    result = benchmark.pedantic(
+        lambda: storm_eval(**FULL_STORM), rounds=1, iterations=1
+    )
+    headers, rows, notes = result
+    assert {row[0] for row in rows} == {
+        "poison-burst", "brownout-crash", "mixed",
+    }
+    # "yes" per storm certifies containment (failed set == the storm
+    # plan's preview), admission balance, steady-state availability >=
+    # SLO outside the storm windows, the retry-budget guardrail, bit-
+    # exact non-poisoned outputs vs the clean baseline, and the worker
+    # count healing to the planner's target
+    assert all(row[-1] == "yes" for row in rows)
+    assert any("determinism:" in n and "PASS" in n for n in notes)
+    assert any("worker modes:" in n and "PASS" in n for n in notes)
+    emit("storm", render_experiment(STORM_TITLE, result))
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument(
@@ -170,8 +212,8 @@ def main(argv=None) -> int:
     )
     ap.add_argument(
         "--only", action="append",
-        choices=("serving", "dispatch", "control", "chaos", "fleet"),
-        help="run only the named series (repeatable; default: all five)",
+        choices=("serving", "dispatch", "control", "chaos", "fleet", "storm"),
+        help="run only the named series (repeatable; default: all six)",
     )
     ap.add_argument(
         "--output", type=Path, default=REPO_ROOT / "results" / "serving.txt",
@@ -197,10 +239,15 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "results" / "fleet.txt",
         help="where to write the fleet replay + model-validation table",
     )
+    ap.add_argument(
+        "--storm-output", type=Path,
+        default=REPO_ROOT / "results" / "storm.txt",
+        help="where to write the chaos-storm availability table",
+    )
     args = ap.parse_args(argv)
     series = (
         tuple(args.only) if args.only
-        else ("serving", "dispatch", "control", "chaos", "fleet")
+        else ("serving", "dispatch", "control", "chaos", "fleet", "storm")
     )
 
     from repro.eval.experiments import (
@@ -209,6 +256,7 @@ def main(argv=None) -> int:
         dispatch_serving,
         fleet_eval,
         serving_throughput,
+        storm_eval,
     )
     from repro.eval.reporting import render_experiment
 
@@ -306,6 +354,40 @@ def main(argv=None) -> int:
             return 1
         if not any("+ shed: yes" in n for n in fleet_notes):
             print("FAIL: fleet replay admission accounting did not balance")
+            return 1
+
+    if "storm" in series:
+        storm_result = storm_eval(
+            **(SMOKE_STORM if args.smoke else FULL_STORM)
+        )
+        storm_text = render_experiment(STORM_TITLE, storm_result)
+        args.storm_output.parent.mkdir(exist_ok=True)
+        args.storm_output.write_text(storm_text)
+        print(storm_text)
+        print(f"wrote {args.storm_output}")
+        _, storm_rows, storm_notes = storm_result
+        # a "NO" means a storm broke an availability invariant:
+        # containment (failed set != the plan's preview), admission
+        # balance, steady-state availability below the SLO outside the
+        # storm windows, a retry past the fleet-wide budget, a
+        # non-poisoned output diverging from the clean baseline, or the
+        # worker count not healing to the planner's target
+        if not all(row[-1] == "yes" for row in storm_rows):
+            print("FAIL: a chaos storm broke an availability invariant "
+                  "(containment / balance / SLO / retry budget / "
+                  "bit-exactness / self-healing)")
+            return 1
+        if not any(
+            "determinism:" in n and "PASS" in n for n in storm_notes
+        ):
+            print("FAIL: storm replay not deterministic across reruns "
+                  "(keep_outputs=False)")
+            return 1
+        if not any(
+            "worker modes:" in n and "PASS" in n for n in storm_notes
+        ):
+            print("FAIL: storm replay diverged between thread and "
+                  "process worker modes")
             return 1
 
     return 0

@@ -43,6 +43,11 @@ __all__ = [
     "fleet_trace_spec",
     "fleet_trial",
     "fleet_eval",
+    "storm_trace_spec",
+    "storm_suite",
+    "storm_fleet_config",
+    "storm_trial",
+    "storm_eval",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1310,6 +1315,373 @@ def fleet_eval(
     return headers, rows, notes
 
 
+# --------------------------------------------------------------------------- #
+def storm_trace_spec(n_requests: int = 3000, seed: int = 77):
+    """The 4-tenant workload every chaos-storm drill replays.
+
+    Same tenant mix as :func:`fleet_trace_spec` (both device classes,
+    Zipf skew, distinct priorities/deadlines) over a short 30-minute
+    virtual horizon, so seeded storm phases — declared in absolute
+    virtual time — cover a meaningful fraction of the trace without a
+    long replay.
+    """
+    from repro.fleet import TenantSpec, TraceSpec
+
+    return TraceSpec(
+        seed=seed,
+        n_requests=n_requests,
+        horizon_s=1800.0,
+        tenants=(
+            TenantSpec(
+                name="alpha", model="tiny-chain-4", device="F411RE",
+                priority=2, weight=2.0, deadline_s=0.25,
+            ),
+            TenantSpec(
+                name="beta", model="tiny-chain-6", device="F767ZI",
+                priority=1, deadline_s=0.25,
+            ),
+            TenantSpec(
+                name="gamma", model="tiny-chain-2", device="F411RE",
+                priority=1, deadline_s=0.10,
+            ),
+            TenantSpec(
+                name="delta", model="wide-chain-4", device="F767ZI",
+                priority=0, deadline_s=0.50,
+            ),
+        ),
+        zipf_s=1.1,
+        diurnal_amplitude=0.3,
+        peak_hour=12.0,
+        burst_multiplier=1.4,
+        burst_dwell_s=120.0,
+        calm_dwell_s=240.0,
+    )
+
+
+def storm_suite(horizon_s: float = 1800.0):
+    """The three seeded storms the ``storm`` eval replays (name -> spec).
+
+    Each exercises a different failure surface: pure request poison
+    (containment + availability), brownout + worker crashes (breaker
+    degradation + supervisor + fault-headroom autoscaling, zero
+    failures), and a mixed storm layering tenant-scoped poison, a
+    pool-child kill and a brownout.
+    """
+    from repro.fleet import StormPhase, StormSpec
+
+    h = horizon_s
+    return {
+        "poison-burst": StormSpec(
+            storm_seed=101,
+            phases=(
+                StormPhase(
+                    kind="poison",
+                    onset_s=0.30 * h,
+                    duration_s=0.15 * h,
+                    rate=0.15,
+                ),
+            ),
+        ),
+        "brownout-crash": StormSpec(
+            storm_seed=202,
+            phases=(
+                StormPhase(
+                    kind="brownout",
+                    onset_s=0.40 * h,
+                    duration_s=0.20 * h,
+                    budget=6,
+                ),
+                StormPhase(
+                    kind="crash",
+                    onset_s=0.40 * h,
+                    duration_s=0.20 * h,
+                    workers=(0,),
+                    budget=2,
+                ),
+            ),
+        ),
+        "mixed": StormSpec(
+            storm_seed=303,
+            phases=(
+                StormPhase(
+                    kind="poison",
+                    onset_s=0.20 * h,
+                    duration_s=0.10 * h,
+                    rate=0.08,
+                    tenants=("alpha", "beta"),
+                ),
+                StormPhase(
+                    kind="pool_kill",
+                    onset_s=0.55 * h,
+                    duration_s=0.10 * h,
+                ),
+                StormPhase(
+                    kind="brownout",
+                    onset_s=0.70 * h,
+                    duration_s=0.10 * h,
+                    budget=4,
+                ),
+            ),
+        ),
+    }
+
+
+def storm_fleet_config(trace, config):
+    """The resilient fleet a storm drill runs: retries + budget + healing.
+
+    :func:`repro.fleet.replay.fleet_config` plus the availability
+    machinery under test: a bounded retry policy, the fleet-wide retry
+    budget, a hair-trigger breaker so brown-outs degrade fast, and
+    **model-driven** autoscaling inside ``1..max(4, workers)`` with
+    fault headroom while breakers are open.
+    """
+    from dataclasses import replace
+
+    from repro.fleet.replay import fleet_config
+    from repro.serving import RetryPolicy
+
+    return replace(
+        fleet_config(trace, config),
+        min_workers=1,
+        max_workers=max(4, config.workers),
+        retry=RetryPolicy(max_attempts=3, backoff_s=0.001, jitter=0.0),
+        retry_budget_ratio=0.10,
+        retry_budget_burst=8,
+        breaker_threshold=2,
+        breaker_cooldown_s=0.05,
+        autoscale_mode="model",
+        fault_headroom=1.25,
+        scale_cooldown_s=0.05,
+    )
+
+
+def storm_trial(
+    *,
+    storm=None,
+    n_requests: int = 3000,
+    dilation: float = 60.0,
+    window_s: float = 150.0,
+    workers: int = 2,
+    trace_seed: int = 77,
+    worker_mode: str = "thread",
+    keep_outputs: bool = True,
+    trace=None,
+    compiled=None,
+    plan_cache=None,
+):
+    """Compile a storm against the trace and replay under it.
+
+    The shared core of the ``storm`` experiment and the gated
+    ``kind: "storm"`` series in ``benchmarks/bench_perf.py``.  Pass
+    ``storm=None`` for the clean baseline replay (same trace, same
+    resilient fleet config, no faults) whose per-request output digests
+    anchor the bit-exactness gate.  ``trace``/``compiled``/``plan_cache``
+    let a caller amortize trace generation and fleet compilation across
+    the suite.  Returns ``(trace, plan, result)`` with ``plan=None``
+    for the baseline.
+    """
+    from repro.fleet import build_storm_plan, generate_trace
+    from repro.fleet.replay import ReplayConfig, replay
+
+    if trace is None:
+        trace = generate_trace(storm_trace_spec(n_requests, trace_seed))
+    plan = None if storm is None else build_storm_plan(trace, storm)
+    cfg = ReplayConfig(
+        dilation=dilation,
+        workers=workers,
+        window_s=window_s,
+        max_queue_depth=65_536,
+        worker_mode=worker_mode,
+        keep_outputs=keep_outputs,
+    )
+    result = replay(
+        trace,
+        config=cfg,
+        compiled=compiled,
+        plan_cache=plan_cache,
+        faults=None if plan is None else plan.faults,
+        fleet=storm_fleet_config(trace, cfg),
+    )
+    return trace, plan, result
+
+
+def storm_eval(
+    *,
+    n_requests: int = 3000,
+    dilation: float = 60.0,
+    window_s: float = 150.0,
+    workers: int = 2,
+    trace_seed: int = 77,
+    availability_slo: float = 0.995,
+) -> Experiment:
+    """Extension: availability under fire — seeded chaos-storm replays.
+
+    Replays the 4-tenant storm trace under the three
+    :func:`storm_suite` storms and grades, per storm:
+
+    * **containment** — the failed set equals the storm plan's exact
+      preview (``expected_failed``), nothing else;
+    * **balance** — ``admitted == completed + failed + shed``;
+    * **availability** — admitted-weighted success ratio >= the SLO in
+      every window *outside* the storm, bounded error-budget burn
+      inside;
+    * **retry guardrail** — granted retries never exceed
+      ``burst + ratio * admitted``;
+    * **bit-exactness** — every non-poisoned request's output digest
+      matches the clean baseline replay;
+    * **self-healing** — the live worker count ends within +/-1 of the
+      capacity planner's target.
+
+    The notes add the determinism anchors: an identical failed set and
+    outputs digest on a rerun with ``keep_outputs=False`` (histogram
+    telemetry, no stored tensors), and an identical failed set under
+    ``worker_mode="process"``.
+    """
+    from repro.compiler import PlanCache
+    from repro.fleet import generate_trace
+    from repro.serving import ErrorBudget, availability_report
+
+    trace = generate_trace(storm_trace_spec(n_requests, trace_seed))
+    plan_cache = PlanCache()
+    budget = ErrorBudget(slo=availability_slo)
+    common = dict(
+        dilation=dilation,
+        window_s=window_s,
+        workers=workers,
+        trace=trace,
+        plan_cache=plan_cache,
+    )
+
+    _, _, baseline = storm_trial(storm=None, **common)
+    base_digests = {
+        r.index: r.output_digest for r in baseline.records
+    }
+
+    headers = [
+        "Storm", "Req", "Failed/Exp", "Steady avail", "Storm avail",
+        "Burn", "Retry ratio", "Workers plan/got", "gates",
+    ]
+    rows = []
+    notes = []
+    storms = storm_suite(trace.spec.horizon_s)
+    results = {}
+    for name, storm in storms.items():
+        _, plan, res = storm_trial(storm=storm, **common)
+        results[name] = (plan, res)
+        storm_ids = plan.storm_window_ids(window_s)
+        report = availability_report(
+            res.telemetry,
+            budget=budget,
+            storm_windows=storm_ids,
+            audit=res.stats.audit,
+            horizon_s=res.wall_s,
+        )
+        failed = res.failed_indices()
+        contained = failed == plan.expected_failed
+        steady = (
+            report.steady_availability
+            if report.steady_availability is not None else 1.0
+        )
+        in_storm = (
+            report.storm_availability
+            if report.storm_availability is not None else 1.0
+        )
+        worst = report.worst_window
+        stats = res.stats
+        snap = stats.retry_budget
+        retry_ok = stats.retries <= (
+            snap["burst"] + snap["ratio"] * stats.submitted
+        )
+        exact = all(
+            r.output_digest == base_digests[r.index]
+            for r in res.records
+            if r.outcome == "completed"
+        )
+        planned = stats.planned_workers
+        healed = planned is None or abs(stats.workers - planned) <= 1
+        gates = (
+            contained
+            and res.balanced
+            and steady >= availability_slo
+            and retry_ok
+            and exact
+            and healed
+        )
+        rows.append((
+            name,
+            len(res.records),
+            f"{len(failed)}/{len(plan.expected_failed)}",
+            f"{100 * steady:.2f}%",
+            f"{100 * in_storm:.2f}%",
+            f"{worst.burn_rate:.0f}x" if worst is not None else "-",
+            f"{100 * stats.retry_ratio:.1f}%",
+            f"{planned if planned is not None else '-'}/{stats.workers}",
+            "yes" if gates else "NO",
+        ))
+        mttr = (
+            f"{1e3 * report.mttr_s:.0f} ms" if report.mttr_s is not None
+            else "n/a"
+        )
+        mtbf = (
+            f"{1e3 * report.mtbf_s:.0f} ms" if report.mtbf_s is not None
+            else "n/a"
+        )
+        notes.append(
+            f"{name}: {len(plan.faults.specs)} fault spec(s), "
+            f"{len(storm_ids)} storm window(s); "
+            f"retries {stats.retries} granted / {stats.retry_denied} "
+            f"denied (budget {snap['burst']:.0f} + "
+            f"{100 * snap['ratio']:.0f}% of {stats.submitted}); "
+            f"MTTR {mttr}, MTBF {mtbf}; {report.summary()}"
+        )
+
+    # determinism anchors: rerun the poison storm without stored outputs
+    # (histogram telemetry) and under process workers; the failed set and
+    # the digest fold must not move
+    name0 = "poison-burst"
+    plan0, res0 = results[name0]
+    _, _, rerun = storm_trial(
+        storm=storms[name0], keep_outputs=False, **common
+    )
+    rerun_ok = (
+        rerun.failed_indices() == res0.failed_indices()
+        and rerun.outputs_digest() == res0.outputs_digest()
+    )
+    notes.append(
+        f"determinism: rerun of '{name0}' with keep_outputs=False "
+        f"(histogram windows, no tensors kept) — failed set and outputs "
+        f"digest {res0.outputs_digest()} identical: "
+        f"{'PASS' if rerun_ok else 'FAIL'}"
+    )
+    namep = "mixed"
+    planp, resp = results[namep]
+    _, _, proc = storm_trial(
+        storm=storms[namep], worker_mode="process", **common
+    )
+    proc_ok = (
+        proc.failed_indices() == resp.failed_indices()
+        and proc.outputs_digest() == resp.outputs_digest()
+    )
+    notes.append(
+        f"worker modes: '{namep}' replayed under worker_mode='process' "
+        f"(pool-child kill live) — failed set and outputs digest "
+        f"identical to thread mode: {'PASS' if proc_ok else 'FAIL'}"
+    )
+    notes.extend([
+        f"trace: digest {trace.digest()}, {len(trace)} requests over "
+        f"{trace.spec.horizon_s / 60:.0f} min virtual, dilation "
+        f"{dilation:g}x; fleet: workers 1..{max(4, workers)} "
+        f"(model-driven autoscale, fault headroom 1.25), retry "
+        f"max_attempts 3, budget 10% + 8 burst, breaker threshold 2",
+        f"error budget: SLO {100 * availability_slo:.1f}% per window "
+        f"outside storm phases; storm windows graded on burn only — a "
+        f"chaos replay is a pure function of (trace_seed, storm_seed)",
+        "tracked gate: kind 'storm' in BENCH_perf.json "
+        "(benchmarks/bench_perf.py) and the storm-smoke CI job",
+    ])
+    return headers, rows, notes
+
+
 #: name -> driver, used by benches, examples and EXPERIMENTS.md generation.
 ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "table1": table1,
@@ -1328,4 +1700,5 @@ ALL_EXPERIMENTS: dict[str, Callable[[], Experiment]] = {
     "control": control_serving,
     "chaos": chaos_serving,
     "fleet": fleet_eval,
+    "storm": storm_eval,
 }

@@ -54,6 +54,12 @@ _EXPORTS = {
     "SLOTarget": "repro.fleet.planner",
     "CapacityPlan": "repro.fleet.planner",
     "plan_capacity": "repro.fleet.planner",
+    # chaos storms (imports the serving layer, hence lazy like replay)
+    "PHASE_KINDS": "repro.fleet.chaos",
+    "StormPhase": "repro.fleet.chaos",
+    "StormSpec": "repro.fleet.chaos",
+    "StormPlan": "repro.fleet.chaos",
+    "build_storm_plan": "repro.fleet.chaos",
 }
 
 __all__ = sorted(_EXPORTS)

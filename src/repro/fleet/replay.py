@@ -81,13 +81,20 @@ class ReplayConfig:
     execution: str = "turbo"
     #: per-ticket result wait bound (real seconds)
     result_timeout_s: float = 120.0
-    #: keep per-request output tensors (needed for bit-exact digests;
-    #: drop for very large traces where only telemetry matters)
+    #: keep per-request output tensors.  ``False`` is the
+    #: million-request mode: outputs are digested on the fly (so the
+    #: bit-exactness gates still hold) and the telemetry streams
+    #: :class:`~repro.fleet.telemetry.LatencyHistogram` windows instead
+    #: of raw-sample lists — memory stays bounded by window count, not
+    #: request count.
     keep_outputs: bool = True
     #: run one request per tenant before starting the clock, so the
     #: first trace window measures steady state rather than cold weight
     #: packing / BLAS warm-up
     warmup: bool = True
+    #: dispatcher worker mode (``"thread"`` or ``"process"``); chaos
+    #: determinism is asserted across both
+    worker_mode: str = "thread"
 
     def validate(self) -> None:
         if self.dilation <= 0:
@@ -101,6 +108,11 @@ class ReplayConfig:
         if self.window_s <= 0:
             raise ServingError(
                 f"window_s must be positive, got {self.window_s}"
+            )
+        if self.worker_mode not in ("thread", "process"):
+            raise ServingError(
+                f"unknown worker_mode {self.worker_mode!r}; "
+                "use 'thread' or 'process'"
             )
 
 
@@ -125,6 +137,9 @@ class RequestRecord:
     #: queue depth sampled at admission
     queue_depth: int = 0
     output: np.ndarray | None = field(default=None, repr=False)
+    #: blake2b over the output bytes, computed at completion time — the
+    #: bit-exactness witness that survives ``keep_outputs=False``
+    output_digest: bytes | None = field(default=None, repr=False)
 
     @property
     def batch_id(self) -> tuple | None:
@@ -181,17 +196,30 @@ class ReplayResult:
         s = self.stats
         return s.submitted == s.completed + s.failed + s.shed
 
+    def failed_indices(self) -> tuple[int, ...]:
+        """Trace indices (== request seqs) that failed, ascending.
+
+        The set a chaos replay checks against
+        :attr:`~repro.fleet.chaos.StormPlan.expected_failed`.
+        """
+        return tuple(
+            r.index for r in self.records if r.outcome == "failed"
+        )
+
     def outputs_digest(self) -> str:
-        """Digest of per-request outcomes and output tensors, in order.
+        """Digest of per-request outcomes and output digests, in order.
 
         Dilation, worker count and scheduling must not change this (as
         long as nothing is shed): outputs depend only on the trace.
+        Built from the per-record ``output_digest`` computed at
+        completion time, so it is identical whether or not the run kept
+        the output tensors themselves.
         """
         h = hashlib.blake2b(digest_size=16)
         for rec in self.records:
             h.update(rec.outcome[:1].encode())
-            if rec.output is not None:
-                h.update(np.ascontiguousarray(rec.output).tobytes())
+            if rec.output_digest is not None:
+                h.update(rec.output_digest)
         return h.hexdigest()
 
 
@@ -293,6 +321,7 @@ def replay(
     compiled: Mapping[str, CompiledModel] | None = None,
     plan_cache: PlanCache | None = None,
     faults=None,
+    fleet: FleetConfig | None = None,
 ) -> ReplayResult:
     """Drive a real dispatcher from ``trace`` under dilated time.
 
@@ -300,6 +329,11 @@ def replay(
     not earlier ones finished, which is what makes overload windows real
     (queueing, shedding and deadline misses happen exactly as they would
     in production, just on a compressed clock).
+
+    ``fleet`` overrides the default pinned-worker
+    :func:`fleet_config` — the storm evals use it to replay with retry
+    policies, retry budgets, breaker thresholds and an *autoscaling*
+    range (``min_workers < max_workers``) in force.
     """
     config = config if config is not None else ReplayConfig()
     config.validate()
@@ -319,8 +353,9 @@ def replay(
     dispatcher = Dispatcher(
         dict(compiled),
         workers=config.workers,
+        worker_mode=config.worker_mode,
         execution=config.execution,
-        config=fleet_config(trace, config),
+        config=fleet if fleet is not None else fleet_config(trace, config),
         plan_cache=plan_cache,
         faults=faults,
     )
@@ -390,6 +425,7 @@ def replay(
             except ServingError:
                 records.append(RequestRecord(outcome="failed", **common))
                 continue
+            out = np.ascontiguousarray(dr.output)
             records.append(
                 RequestRecord(
                     outcome="completed",
@@ -405,6 +441,9 @@ def replay(
                         if config.keep_outputs
                         else None
                     ),
+                    output_digest=hashlib.blake2b(
+                        out.tobytes(), digest_size=16
+                    ).digest(),
                     **common,
                 )
             )
@@ -414,7 +453,9 @@ def replay(
         if gc_was_enabled:
             gc.enable()
         dispatcher.close()
-    telemetry = _fill_telemetry(records, config.window_s)
+    telemetry = _fill_telemetry(
+        records, config.window_s, histograms=not config.keep_outputs
+    )
     return ReplayResult(
         trace=trace,
         config=config,
@@ -429,18 +470,23 @@ def replay(
 
 
 def _fill_telemetry(
-    records: list[RequestRecord], window_s: float
+    records: list[RequestRecord],
+    window_s: float,
+    *,
+    histograms: bool = False,
 ) -> WindowedTelemetry:
     """Fold the replay log into windowed per-tenant/per-device stats.
 
     Two passes: batch sizes first (a :class:`RequestRecord` knows its
     batch identity but not how many co-batched siblings it had), then
-    the streaming observes.
+    the streaming observes.  ``histograms=True`` (the
+    ``keep_outputs=False`` million-request mode) streams latencies into
+    fixed-size :class:`LatencyHistogram` buckets instead of raw samples.
     """
     batch_sizes = Counter(
         r.batch_id for r in records if r.batch_id is not None
     )
-    telemetry = WindowedTelemetry(window_s)
+    telemetry = WindowedTelemetry(window_s, histograms=histograms)
     for rec in records:
         if rec.outcome == "completed":
             telemetry.observe_completed(

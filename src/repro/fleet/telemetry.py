@@ -119,6 +119,23 @@ class LatencyHistogram:
         )
         return total / self._count
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s counts into this histogram (same resolution).
+
+        What lets :meth:`WindowedTelemetry.merged` build fleet-wide
+        windows out of per-group histogram buckets without ever holding
+        raw samples.
+        """
+        if other.resolution != self.resolution:
+            raise ValueError(
+                "cannot merge histograms of different resolutions "
+                f"({self.resolution} vs {other.resolution})"
+            )
+        for idx, n in other._buckets.items():
+            self._buckets[idx] = self._buckets.get(idx, 0) + n
+        self._zeros += other._zeros
+        self._count += other._count
+
 
 #: one telemetry bucket: (window index, group name).  The group is a
 #: tenant name or a device class, depending on the view.
@@ -129,11 +146,15 @@ WindowKey = tuple[int, str]
 class WindowStats:
     """Aggregates for one (window, group) bucket of a replay.
 
-    Latency/queue-wait samples are kept raw (sorted on demand) — replay
-    windows are thousands of requests at most, and the exact
-    nearest-rank quantile keeps model validation free of histogram
-    error.  ``occupancy_s`` sums *unique* batch service spans, so
-    co-batched requests do not double-count their shared worker time.
+    Latency/queue-wait samples are kept raw by default (sorted on
+    demand) — replay windows are thousands of requests at most, and the
+    exact nearest-rank quantile keeps model validation free of
+    histogram error.  For million-request replays the telemetry can
+    instead stream samples into :class:`LatencyHistogram` buckets
+    (``latency_hist`` / ``queue_wait_hist`` set): bounded memory, <1%
+    relative quantile error, batch spans still raw (there are few).
+    ``occupancy_s`` sums *unique* batch service spans, so co-batched
+    requests do not double-count their shared worker time.
     """
 
     window: int = 0
@@ -152,10 +173,19 @@ class WindowStats:
     #: sizes of the unique batches behind ``batch_service_s``
     batch_sizes: list[int] = field(default_factory=list)
     peak_queue_depth: int = 0
+    #: streaming alternatives to the raw sample lists (histogram mode)
+    latency_hist: "LatencyHistogram | None" = None
+    queue_wait_hist: "LatencyHistogram | None" = None
 
     @property
     def requests(self) -> int:
         return self.completed + self.failed + self.shed
+
+    @property
+    def availability(self) -> float:
+        """Success ratio vs admitted-into-this-window (1.0 if empty)."""
+        n = self.requests
+        return self.completed / n if n else 1.0
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -163,6 +193,8 @@ class WindowStats:
         return self.deadline_hits / total if total else 0.0
 
     def latency_quantile(self, q: float) -> float:
+        if self.latency_hist is not None:
+            return self.latency_hist.quantile(q)
         return percentile(sorted(self.latencies_s), q)
 
     @property
@@ -179,6 +211,8 @@ class WindowStats:
 
     @property
     def mean_queue_wait_s(self) -> float:
+        if self.queue_wait_hist is not None:
+            return self.queue_wait_hist.mean
         if not self.queue_waits_s:
             return 0.0
         return sum(self.queue_waits_s) / len(self.queue_waits_s)
@@ -207,21 +241,36 @@ class WindowedTelemetry:
     identity: co-batched requests share one worker span.
     """
 
-    def __init__(self, window_s: float):
+    def __init__(
+        self,
+        window_s: float,
+        *,
+        histograms: bool = False,
+        resolution: float = 0.01,
+    ):
         if window_s <= 0:
             raise ValueError(f"window_s must be positive, got {window_s}")
         self.window_s = window_s
+        self.histograms = histograms
+        self.resolution = resolution
         self._tenant: dict[WindowKey, WindowStats] = {}
         self._device: dict[WindowKey, WindowStats] = {}
         #: batch identity -> set of buckets that already counted it
         self._seen_batches: dict[tuple, set[WindowKey]] = {}
+
+    def _new_stats(self, key: WindowKey) -> WindowStats:
+        stats = WindowStats(window=key[0], group=key[1])
+        if self.histograms:
+            stats.latency_hist = LatencyHistogram(self.resolution)
+            stats.queue_wait_hist = LatencyHistogram(self.resolution)
+        return stats
 
     def _bucket(
         self, view: dict[WindowKey, WindowStats], key: WindowKey
     ) -> WindowStats:
         stats = view.get(key)
         if stats is None:
-            stats = view[key] = WindowStats(window=key[0], group=key[1])
+            stats = view[key] = self._new_stats(key)
         return stats
 
     def window_of(self, arrival_virtual_s: float) -> int:
@@ -256,8 +305,12 @@ class WindowedTelemetry:
             key = (w, group)
             stats = self._bucket(view, key)
             stats.completed += 1
-            stats.latencies_s.append(latency_s)
-            stats.queue_waits_s.append(queue_wait_s)
+            if stats.latency_hist is not None:
+                stats.latency_hist.add(latency_s)
+                stats.queue_wait_hist.add(queue_wait_s)
+            else:
+                stats.latencies_s.append(latency_s)
+                stats.queue_waits_s.append(queue_wait_s)
             if deadline_met:
                 stats.deadline_hits += 1
             else:
@@ -316,14 +369,18 @@ class WindowedTelemetry:
         for (w, _), stats in sorted(source.items()):
             tot = out.get(w)
             if tot is None:
-                tot = out[w] = WindowStats(window=w, group="ALL")
+                tot = out[w] = self._new_stats((w, "ALL"))
             tot.completed += stats.completed
             tot.failed += stats.failed
             tot.shed += stats.shed
             tot.deadline_hits += stats.deadline_hits
             tot.deadline_misses += stats.deadline_misses
-            tot.latencies_s.extend(stats.latencies_s)
-            tot.queue_waits_s.extend(stats.queue_waits_s)
+            if tot.latency_hist is not None:
+                tot.latency_hist.merge(stats.latency_hist)
+                tot.queue_wait_hist.merge(stats.queue_wait_hist)
+            else:
+                tot.latencies_s.extend(stats.latencies_s)
+                tot.queue_waits_s.extend(stats.queue_waits_s)
             tot.occupancy_s += stats.occupancy_s
             tot.batch_service_s.extend(stats.batch_service_s)
             tot.batch_sizes.extend(stats.batch_sizes)

@@ -46,6 +46,13 @@ tenant mixing, live reconfiguration and failure recovery change wall
 clock, never bits.
 """
 
+from repro.serving.budgets import (
+    AvailabilityReport,
+    ErrorBudget,
+    RetryBudget,
+    availability_report,
+    repair_metrics,
+)
 from repro.serving.control import (
     Autoscaler,
     ConfigChange,
@@ -72,9 +79,14 @@ from repro.serving.session import (
 
 __all__ = [
     "Autoscaler",
+    "AvailabilityReport",
     "CircuitBreaker",
     "ConfigChange",
     "ControlPlane",
+    "ErrorBudget",
+    "RetryBudget",
+    "availability_report",
+    "repair_metrics",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -164,6 +164,9 @@ DEFAULT_POLICY = TenantPolicy()
 #: batch-former scheduling disciplines a config may select
 SCHEDULING_MODES = ("weighted", "fifo")
 
+#: autoscaler policies a config may select
+AUTOSCALE_MODES = ("heuristic", "model")
+
 
 @dataclass(frozen=True)
 class FleetConfig:
@@ -214,6 +217,21 @@ class FleetConfig:
     #: how long the parent waits on one process-pool result before
     #: declaring the child dead and rebuilding the pool
     process_result_timeout_s: float = 120.0
+    #: fleet-wide retry budget: retries beyond the mandatory quarantine
+    #: isolation run may never exceed ``retry_budget_burst +
+    #: retry_budget_ratio x admitted`` (0.0 = no budgeted retries)
+    retry_budget_ratio: float = 0.1
+    #: retry tokens available before any request has been admitted
+    retry_budget_burst: int = 8
+    #: autoscaler policy: ``"heuristic"`` (queue-depth/EWMA backlog) or
+    #: ``"model"`` (M/G/k capacity planning from the measured arrival
+    #: rate, falling back to the heuristic until calibrated)
+    autoscale_mode: str = "heuristic"
+    #: deadline-hit-rate target the model-driven autoscaler plans for
+    autoscale_hit_rate: float = 0.99
+    #: worker-target multiplier while any circuit breaker is open —
+    #: degraded backends are slower, so plan headroom for the storm
+    fault_headroom: float = 1.25
 
     def policy(self, tenant: str) -> TenantPolicy:
         """The tenant's policy (:data:`DEFAULT_POLICY` if unnamed)."""
@@ -294,6 +312,30 @@ class FleetConfig:
                 f"process_result_timeout_s must be positive, "
                 f"got {self.process_result_timeout_s}"
             )
+        if not (0.0 <= self.retry_budget_ratio <= 1.0):
+            raise ConfigError(
+                f"retry_budget_ratio must be in [0, 1], "
+                f"got {self.retry_budget_ratio}"
+            )
+        if self.retry_budget_burst < 0:
+            raise ConfigError(
+                f"retry_budget_burst must be >= 0, "
+                f"got {self.retry_budget_burst}"
+            )
+        if self.autoscale_mode not in AUTOSCALE_MODES:
+            raise ConfigError(
+                f"unknown autoscale_mode {self.autoscale_mode!r}; "
+                f"use one of {AUTOSCALE_MODES}"
+            )
+        if not (0.0 < self.autoscale_hit_rate <= 1.0):
+            raise ConfigError(
+                f"autoscale_hit_rate must be in (0, 1], "
+                f"got {self.autoscale_hit_rate}"
+            )
+        if self.fault_headroom < 1.0:
+            raise ConfigError(
+                f"fault_headroom must be >= 1, got {self.fault_headroom}"
+            )
 
     # -- functional update helpers -------------------------------------- #
     def evolve(self, **changes) -> "FleetConfig":
@@ -315,7 +357,9 @@ class FleetConfig:
             "min_workers", "max_workers", "max_batch", "max_queue_depth",
             "default_deadline_s", "batch_timeout_s", "scheduling",
             "scale_up_backlog", "scale_down_backlog", "scale_patience",
-            "scale_cooldown_s", "retry", "breaker_threshold",
+            "scale_cooldown_s", "retry", "retry_budget_ratio",
+            "retry_budget_burst", "autoscale_mode", "autoscale_hit_rate",
+            "fault_headroom", "breaker_threshold",
             "breaker_cooldown_s", "supervise_interval_s",
             "process_result_timeout_s",
         ):
@@ -544,6 +588,46 @@ class Autoscaler:
                 <= cfg.scale_down_backlog * max(1, workers - 1)
             )
             if not fits_smaller:
+                self._low_streak = 0
+                return None
+            self._low_streak += 1
+            if (
+                self._low_streak < cfg.scale_patience
+                or now < self._cool_until
+            ):
+                return None
+            self._low_streak = 0
+            self._cool_until = now + cfg.scale_cooldown_s
+            return workers - 1
+
+    def decide_target(
+        self, *, target: int, workers: int, now: float
+    ) -> int | None:
+        """Steer toward an externally planned worker target.
+
+        The model-driven path: the dispatcher plans capacity from the
+        measured arrival rate (:func:`repro.fleet.planner.plan_capacity`
+        plus fault headroom) and hands the answer here, which applies
+        the *same* clamp / cooldown / shrink-patience discipline as the
+        heuristic — model and heuristic modes share one hysteresis, so
+        switching modes live never double-fires a resize.  Growth jumps
+        straight to the planned target (a storm wants capacity now);
+        shrinking steps down one worker per patience streak.
+        """
+        with self._lock:
+            cfg = self._config
+            if workers < cfg.min_workers:
+                return cfg.min_workers
+            if workers > cfg.max_workers:
+                return cfg.max_workers
+            target = max(cfg.min_workers, min(cfg.max_workers, target))
+            if target > workers:
+                self._low_streak = 0
+                if now < self._cool_until:
+                    return None
+                self._cool_until = now + cfg.scale_cooldown_s
+                return target
+            if target == workers:
                 self._low_streak = 0
                 return None
             self._low_streak += 1

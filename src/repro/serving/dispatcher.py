@@ -50,6 +50,7 @@ clock and *which* requests are shed under overload — never bits.
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import threading
 import time
@@ -71,9 +72,14 @@ from repro.errors import (
 
 # the repo-wide quantile definition lives with the fleet telemetry (no
 # cycle: fleet.telemetry imports nothing from the serving layer, and
-# fleet/__init__ resolves its replay-harness exports lazily)
+# fleet/__init__ resolves its replay-harness exports lazily); the M/G/k
+# model + planner the model-driven autoscaler consumes import only
+# telemetry and errors, so the same acyclicity argument covers them
+from repro.fleet.model import ServiceProfile
+from repro.fleet.planner import SLOTarget, plan_capacity
 from repro.fleet.telemetry import percentile as _percentile
 from repro.serving import faults as _faults
+from repro.serving.budgets import RetryBudget
 from repro.serving.control import (
     Autoscaler,
     ConfigChange,
@@ -175,8 +181,17 @@ class DispatchStats:
     audit: tuple[ConfigChange, ...] = ()
     #: requests re-run in isolation after a batch fault (quarantine)
     quarantined: int = 0
-    #: extra isolation attempts beyond the first (backoff retries)
+    #: extra isolation attempts beyond the first (backoff retries),
+    #: i.e. retries the fleet-wide budget granted
     retries: int = 0
+    #: retries the fleet-wide retry budget denied (storm guardrail)
+    retry_denied: int = 0
+    #: retry-budget bookkeeping: ratio/burst knobs plus the
+    #: admitted/granted/denied counters behind the token bucket
+    retry_budget: Mapping[str, float] = field(default_factory=dict)
+    #: the model-driven autoscaler's most recent planner target
+    #: (``None`` while heuristic or uncalibrated)
+    planned_workers: int | None = None
     #: worker threads the supervisor respawned after a crash
     worker_crashes: int = 0
     #: process pools rebuilt after a child death / broken pipe
@@ -190,6 +205,11 @@ class DispatchStats:
     @property
     def requests_per_s(self) -> float:
         return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def retry_ratio(self) -> float:
+        """Granted retries per admitted request (the budgeted quantity)."""
+        return self.retries / self.submitted if self.submitted else 0.0
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -243,6 +263,17 @@ PROCESS_RESULT_TIMEOUT_S = 120.0
 #: raise the fleet's ``max_batch`` live without forming batches the
 #: sessions would reject; configs above the cap are rejected up front.
 SESSION_BATCH_CAP = 256
+
+#: observation floors before the model-driven autoscaler trusts its own
+#: calibration; below them ``autoscale_mode="model"`` falls back to the
+#: queue-depth heuristic
+MODEL_MIN_ARRIVALS = 16
+MODEL_MIN_BATCHES = 8
+
+#: recent-history windows feeding the capacity model: admission instants
+#: (measured arrival rate) and batch (span, size) pairs (service profile)
+ARRIVAL_HISTORY = 2048
+SPAN_HISTORY = 512
 
 
 def _process_serve(
@@ -527,6 +558,21 @@ class Dispatcher:
         }
         self._quarantined = 0
         self._retries = 0
+        self._retry_denied = 0
+        #: fleet-wide retry guardrail: admissions fill it, retries drain
+        #: it, so a fault storm can never amplify itself past
+        #: ``burst + ratio x admitted`` extra attempts
+        self._retry_budget = RetryBudget(
+            config.retry_budget_ratio, config.retry_budget_burst
+        )
+        #: model-driven autoscaler inputs: recent admission instants
+        #: (measured arrival rate) and batch (span, size) history
+        #: (service profile); bounded so a long-lived fleet stays O(1)
+        self._admit_times: deque[float] = deque(maxlen=ARRIVAL_HISTORY)
+        self._span_history: deque[tuple[float, int]] = deque(
+            maxlen=SPAN_HISTORY
+        )
+        self._planned_workers: int | None = None
         self._worker_crashes = 0
         self._pool_rebuilds = 0
         self._unjoined_workers: tuple[int, ...] = ()
@@ -723,6 +769,12 @@ class Dispatcher:
                 "max_batch covers the largest value you plan to apply live"
             )
         change = self.control.apply(new_config)
+        # adopt the new budget knobs without resetting the bucket's
+        # admission/grant history: a mid-storm reconfig must not hand
+        # the retry path a fresh burst allowance
+        self._retry_budget.reconfigure(
+            new_config.retry_budget_ratio, new_config.retry_budget_burst
+        )
         # hard clamp into the new range right away (the autoscaler only
         # moves the fleet on load observations); target is derived under
         # the scale lock so a concurrent autoscale resize cannot leave
@@ -848,9 +900,35 @@ class Dispatcher:
             self.queue.kick()
 
     def _maybe_autoscale(self) -> None:
-        """One autoscaler observation (called on submit / batch done)."""
+        """One autoscaler observation (called on submit / batch done).
+
+        ``autoscale_mode="model"`` plans the worker target from first
+        principles — the M/G/k capacity planner at the *measured*
+        arrival rate and service profile, times ``fault_headroom``
+        while any circuit breaker is open — and only falls back to the
+        queue-depth heuristic until enough observations calibrate it.
+        """
         if self._closed:
             return
+        cfg = self.control.config
+        if cfg.autoscale_mode == "model":
+            planned = self._plan_workers(cfg)
+            if planned is not None:
+                if any(
+                    b.state == "open" for b in self._breakers.values()
+                ):
+                    planned = math.ceil(planned * cfg.fault_headroom)
+                planned = min(planned, cfg.max_workers)
+                with self._stats_lock:
+                    self._planned_workers = planned
+                target = self._autoscaler.decide_target(
+                    target=planned,
+                    workers=self._target_workers,
+                    now=time.monotonic(),
+                )
+                if target is not None and target != self._target_workers:
+                    self._resize(target, reason="autoscale-model")
+                return
         with self._stats_lock:
             estimates = [
                 s for s in self._service_s.values() if s is not None
@@ -866,6 +944,54 @@ class Dispatcher:
         )
         if target is not None and target != self._target_workers:
             self._resize(target, reason="autoscale")
+
+    def _plan_workers(self, cfg: FleetConfig) -> int | None:
+        """The planner's worker target, or ``None`` while uncalibrated.
+
+        Measures the arrival rate over the recent admission instants,
+        parameterizes a :class:`ServiceProfile` from the recent batch
+        spans, and asks :func:`plan_capacity` for the smallest fleet
+        meeting the config's deadline SLO — the ROADMAP's "feed the
+        planner's answer back" loop.  Returns ``None`` (heuristic
+        fallback) below the observation floors, so a cold fleet never
+        steers by an unmeasured model.
+        """
+        with self._stats_lock:
+            admits = tuple(self._admit_times)
+            spans = tuple(self._span_history)
+        if (
+            len(admits) < MODEL_MIN_ARRIVALS
+            or len(spans) < MODEL_MIN_BATCHES
+        ):
+            return None
+        window = admits[-1] - admits[0]
+        if window <= 0:
+            return None
+        rate = (len(admits) - 1) / window
+        profile = ServiceProfile(
+            spans_s=tuple(sorted(s for s, _ in spans)),
+            mean_batch_size=max(
+                1.0, sum(n for _, n in spans) / len(spans)
+            ),
+        )
+        deadline_s = cfg.default_deadline_s
+        slo = SLOTarget(
+            p95_latency_s=deadline_s,
+            deadline_hit_rate=cfg.autoscale_hit_rate,
+            deadline_s=deadline_s,
+        )
+        try:
+            plan = plan_capacity(
+                arrival_rate_rps=rate,
+                profile=profile,
+                slo=slo,
+                max_workers=cfg.max_workers,
+            )
+        except ServingError:
+            return None
+        # infeasible plans still return max_workers — the best the
+        # config allows, and exactly what a storm wants deployed
+        return plan.workers
 
     # ------------------------------------------------------------------ #
     # submission
@@ -922,6 +1048,10 @@ class Dispatcher:
             self._admitted += 1
             if self._first_submit_t is None:
                 self._first_submit_t = now
+            self._admit_times.append(now)
+        # every admission deposits retry allowance: the budget is a
+        # ratio of real work, not wall clock
+        self._retry_budget.note_admitted()
         self._maybe_autoscale()
         return ticket
 
@@ -1150,6 +1280,25 @@ class Dispatcher:
                 budget = ticket.deadline_t - time.monotonic()
                 if delay + est > max(0.0, budget):
                     break
+                if not self._retry_budget.allow():
+                    # fleet-wide retry budget exhausted: fail this
+                    # request now rather than let a storm amplify
+                    # itself through the retry path (the first
+                    # isolation run above was still mandatory)
+                    with self._stats_lock:
+                        self._retry_denied += 1
+                        first_denial = self._retry_denied == 1
+                    if first_denial:
+                        snap = self._retry_budget.snapshot
+                        self.control.record(
+                            "retry-budget",
+                            f"retry budget exhausted after "
+                            f"{snap['granted']:.0f} grant(s) "
+                            f"(ratio {snap['ratio']:.3f}, burst "
+                            f"{snap['burst']:.0f}); denying further "
+                            "retries until admissions refill it",
+                        )
+                    break
                 if delay > 0:
                     time.sleep(delay)
                 with self._stats_lock:
@@ -1205,6 +1354,7 @@ class Dispatcher:
                 if prev is None
                 else 0.5 * prev + 0.5 * service_s
             )
+            self._span_history.append((service_s, len(batch)))
             self._completed += len(batch)
             self._batches += 1
             self._tenant_batches[tenant] += 1
@@ -1361,6 +1511,9 @@ class Dispatcher:
                 audit=self.control.audit(),
                 quarantined=self._quarantined,
                 retries=self._retries,
+                retry_denied=self._retry_denied,
+                retry_budget=self._retry_budget.snapshot,
+                planned_workers=self._planned_workers,
                 worker_crashes=self._worker_crashes,
                 pool_rebuilds=self._pool_rebuilds,
                 degraded={

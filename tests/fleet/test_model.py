@@ -206,3 +206,47 @@ def test_report_empty_never_passes():
     report = ValidationReport(rows=(), windows_skipped=4, overhead_s=0.0)
     assert report.mean_p95_error == 0.0
     assert not report.passed()
+
+
+# --------------------------------------------------------------------------- #
+# multi-k validation sweep (PR-9 satellite, ROADMAP follow-up a)
+# --------------------------------------------------------------------------- #
+# the Erlang-C term only matters beyond a single server: sweep the same
+# measured replay protocol the "fleet" eval uses across k=2..8 workers
+# and require the request-weighted errors to stay inside the same gate
+# that CI enforces at k=1.  The offered load scales with k so each
+# worker sees comparable utilization — a fixed load at k=8 collapses to
+# the noise floor where the wait term the sweep exists to check is
+# invisible.  Replays measure wall time, so one retry absorbs a
+# scheduler-noise outlier on oversubscribed runners; the model error
+# itself is systematic and survives the retry.
+@pytest.mark.parametrize("k", [2, 4, 8])
+def test_model_validates_beyond_one_worker(k):
+    from repro.eval.experiments import fleet_trace_spec
+    from repro.fleet import generate_trace, validate_model
+    from repro.fleet.replay import ReplayConfig, build_fleet, replay
+
+    trace = generate_trace(fleet_trace_spec(5_000 * k, seed=42))
+    fleet = build_fleet(trace)
+    report = None
+    for _attempt in range(2):
+        result = replay(
+            trace,
+            config=ReplayConfig(
+                dilation=36_000.0,
+                workers=k,
+                window_s=21_600.0,
+                max_queue_depth=65_536,
+            ),
+            compiled=fleet,
+        )
+        assert result.balanced
+        report = validate_model(result, min_requests=150)
+        assert report.rows, f"k={k}: every window was skipped"
+        assert all(r.utilization <= 1.05 for r in report.rows)
+        if report.passed(0.20):
+            break
+    assert report.passed(0.20), (
+        f"k={k}: p95 err {report.mean_p95_error:.1%}, "
+        f"hit err {report.mean_hit_error:.1%}"
+    )

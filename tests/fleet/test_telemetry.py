@@ -154,3 +154,75 @@ def test_window_stats_quantiles_and_rates():
 def test_invalid_window_rejected():
     with pytest.raises(ValueError):
         WindowedTelemetry(window_s=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# availability + histogram-backed windows (PR-9)
+# --------------------------------------------------------------------------- #
+def test_window_availability():
+    tele = WindowedTelemetry(window_s=10.0)
+    for _ in range(3):
+        _observe(tele, t=1.0)
+    tele.observe_failed(arrival_virtual_s=2.0, tenant="a", device_class="M4")
+    stats = tele.per_tenant()[(0, "a")]
+    assert stats.availability == pytest.approx(3 / 4)
+    # an empty window is vacuously available
+    empty = WindowedTelemetry(window_s=10.0)
+    empty.observe_shed(arrival_virtual_s=1.0, tenant="a", device_class="M4")
+    assert empty.per_tenant()[(0, "a")].availability == 0.0
+
+
+def test_histogram_merge():
+    a = LatencyHistogram(resolution=0.01)
+    b = LatencyHistogram(resolution=0.01)
+    a.extend([0.001 * (i + 1) for i in range(500)])
+    b.extend([0.002 * (i + 1) for i in range(500)])
+    both = LatencyHistogram(resolution=0.01)
+    both.extend([0.001 * (i + 1) for i in range(500)])
+    both.extend([0.002 * (i + 1) for i in range(500)])
+    a.merge(b)
+    assert len(a) == 1000
+    for q in (0.5, 0.95, 0.99):
+        assert a.quantile(q) == pytest.approx(both.quantile(q))
+    assert a.mean == pytest.approx(both.mean)
+    with pytest.raises(ValueError, match="resolution"):
+        a.merge(LatencyHistogram(resolution=0.02))
+
+
+def test_histogram_mode_streams_instead_of_storing():
+    raw = WindowedTelemetry(window_s=10.0)
+    hist = WindowedTelemetry(window_s=10.0, histograms=True)
+    for tele in (raw, hist):
+        for i in range(200):
+            _observe(tele, t=float(i % 10), latency=0.001 * (i + 1))
+        tele.observe_failed(
+            arrival_virtual_s=1.0, tenant="a", device_class="M4"
+        )
+    r = raw.per_tenant()[(0, "a")]
+    h = hist.per_tenant()[(0, "a")]
+    assert r.latency_hist is None
+    assert h.latency_hist is not None
+    assert h.latencies_s == []  # no raw samples kept in histogram mode
+    assert h.completed == r.completed
+    assert h.availability == pytest.approx(r.availability)
+    # quantiles agree within the histogram's relative resolution
+    for q in (0.5, 0.95, 0.99):
+        assert h.latency_quantile(q) == pytest.approx(
+            r.latency_quantile(q), rel=0.02
+        )
+    assert h.mean_queue_wait_s == pytest.approx(
+        r.mean_queue_wait_s, rel=0.02
+    )
+
+
+def test_histogram_mode_merged_view():
+    tele = WindowedTelemetry(window_s=10.0, histograms=True)
+    _observe(tele, t=1.0, tenant="a", latency=0.010)
+    _observe(tele, t=2.0, tenant="b", latency=0.020)
+    merged = tele.merged(view="tenant")
+    assert merged[0].completed == 2
+    assert merged[0].latency_hist is not None
+    assert len(merged[0].latency_hist) == 2
+    assert merged[0].latency_quantile(0.99) == pytest.approx(
+        0.020, rel=0.02
+    )
